@@ -1,0 +1,63 @@
+//! Criterion wrapper around the figure workloads: one benchmark per
+//! (figure-cell) so regressions in protocol performance are caught by the
+//! standard `cargo bench` flow. Cells use reduced tick counts — the full
+//! paper-scale sweep lives in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdso_game::{Protocol, Scenario};
+use sdso_harness::run_experiment;
+use sdso_sim::NetworkModel;
+
+/// One simulated game per iteration: Figure 5/6/7's inner loop.
+fn bench_figure_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_cells");
+    group.sample_size(10);
+    for protocol in Protocol::PAPER {
+        for &n in &[2u16, 4] {
+            let scenario = Scenario::paper(n, 1).with_ticks(30);
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), n),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| {
+                        run_experiment(scenario, protocol, NetworkModel::paper_testbed())
+                            .expect("figure cell run")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The virtual-time scheduler's raw throughput: a tight ping-pong.
+fn bench_simulator_overhead(c: &mut Criterion) {
+    use sdso_net::{Endpoint, Payload};
+    use sdso_sim::SimCluster;
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("ping_pong_1000", |b| {
+        b.iter(|| {
+            SimCluster::new(2, NetworkModel::instant())
+                .run(|mut ep| {
+                    let peer = 1 - ep.node_id();
+                    for _ in 0..500 {
+                        if ep.node_id() == 0 {
+                            ep.send(peer, Payload::control(vec![0u8; 8]))?;
+                            let _ = ep.recv()?;
+                        } else {
+                            let _ = ep.recv()?;
+                            ep.send(peer, Payload::control(vec![0u8; 8]))?;
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("ping pong")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_cells, bench_simulator_overhead);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the S-DSO runtime's data structures: diffs, the
+//! exchange list, the slotted buffer, and block encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdso_core::{Diff, ExchangeList, LogicalTime, ObjectId, SlottedBuffer, Version};
+use sdso_game::{Block, Direction};
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff");
+    for &size in &[64usize, 2048, 65536] {
+        let old = vec![0u8; size];
+        let mut new = old.clone();
+        // Dirty 10% of the buffer in scattered runs.
+        for i in (0..size).step_by(10) {
+            new[i] = 1;
+        }
+        group.bench_with_input(BenchmarkId::new("between", size), &size, |b, _| {
+            b.iter(|| Diff::between(black_box(&old), black_box(&new)));
+        });
+        let diff = Diff::between(&old, &new);
+        group.bench_with_input(BenchmarkId::new("apply", size), &size, |b, _| {
+            let mut target = old.clone();
+            b.iter(|| diff.apply(black_box(&mut target)).unwrap());
+        });
+        let newer = Diff::single(size as u32 / 2, vec![9; size / 4]);
+        group.bench_with_input(BenchmarkId::new("merge", size), &size, |b, _| {
+            b.iter(|| black_box(&diff).merge(black_box(&newer)));
+        });
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| sdso_net::wire::encode(black_box(&diff)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_list");
+    for &peers in &[16u16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_and_due", peers),
+            &peers,
+            |b, &peers| {
+                b.iter(|| {
+                    let mut list = ExchangeList::new();
+                    for p in 0..peers {
+                        list.schedule(p, LogicalTime::from_ticks(u64::from(p % 13) + 1));
+                    }
+                    black_box(list.due(LogicalTime::from_ticks(6)))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reschedule_churn", peers),
+            &peers,
+            |b, &peers| {
+                let mut list = ExchangeList::new();
+                for p in 0..peers {
+                    list.schedule(p, LogicalTime::from_ticks(u64::from(p) + 1));
+                }
+                let mut tick = 0u64;
+                b.iter(|| {
+                    tick += 1;
+                    let peer = (tick % u64::from(peers)) as u16;
+                    list.schedule(peer, LogicalTime::from_ticks(tick + 10));
+                    black_box(list.peek_next())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slotted_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slotted_buffer");
+    for &nodes in &[4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("buffer_and_drain", nodes),
+            &nodes,
+            |b, &nodes| {
+                let stamp = Version::new(LogicalTime::from_ticks(1), 0);
+                b.iter(|| {
+                    let mut buf = SlottedBuffer::new(nodes, 0, true);
+                    for obj in 0..32u32 {
+                        buf.buffer_for_all(
+                            ObjectId(obj % 8),
+                            &Diff::single(0, vec![obj as u8; 64]),
+                            stamp,
+                            &[],
+                        );
+                    }
+                    black_box(buf.drain_slot(1))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_block_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block");
+    let tank = Block::Tank {
+        team: 7,
+        tank: 0,
+        hp: 2,
+        facing: Direction::East,
+        fired: Some(sdso_game::FireRecord { target: sdso_game::Pos::new(3, 4), tick: 99 }),
+    };
+    for &size in &[64usize, 2048] {
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, &size| {
+            b.iter(|| black_box(&tank).encode(size));
+        });
+        let encoded = tank.encode(size);
+        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| Block::decode(black_box(&encoded)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_exchange_list,
+    bench_slotted_buffer,
+    bench_block_codec
+);
+criterion_main!(benches);

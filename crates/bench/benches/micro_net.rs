@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the transport layer: framing, the in-process hub,
+//! vector clocks, and the wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdso_net::memory::MemoryHub;
+use sdso_net::{Endpoint, Payload};
+use sdso_protocols::VectorClock;
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    for &size in &[64usize, 2048, 65536] {
+        let payload = Payload::data(vec![0u8; size]);
+        group.bench_with_input(BenchmarkId::new("write", size), &size, |b, _| {
+            let mut buf = Vec::with_capacity(size + 16);
+            b.iter(|| {
+                buf.clear();
+                sdso_net::frame::write_frame(&mut buf, 0, black_box(&payload)).unwrap();
+            });
+        });
+        let mut encoded = Vec::new();
+        sdso_net::frame::write_frame(&mut encoded, 0, &payload).unwrap();
+        group.bench_with_input(BenchmarkId::new("read", size), &size, |b, _| {
+            b.iter(|| {
+                let mut cursor = std::io::Cursor::new(black_box(&encoded));
+                sdso_net::frame::read_frame(&mut cursor).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_transport");
+    group.bench_function("send_recv_2048", |b| {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut rx = eps.pop().unwrap();
+        let mut tx = eps.pop().unwrap();
+        let payload = Payload::data(vec![0u8; 2048]);
+        b.iter(|| {
+            tx.send(1, payload.clone()).unwrap();
+            black_box(rx.recv().unwrap())
+        });
+    });
+    group.bench_function("broadcast_16", |b| {
+        let mut eps = MemoryHub::new(16).into_endpoints();
+        let payload = Payload::control(vec![0u8; 64]);
+        b.iter(|| {
+            eps[0].broadcast(black_box(&payload)).unwrap();
+            for ep in eps.iter_mut().skip(1) {
+                let _ = ep.recv().unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_clock");
+    for &width in &[16usize, 256] {
+        let mut a = VectorClock::new(width);
+        let mut b_clock = VectorClock::new(width);
+        for i in 0..width {
+            if i % 2 == 0 {
+                a.increment(i as u16);
+            } else {
+                b_clock.increment(i as u16);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("compare", width), &width, |bench, _| {
+            bench.iter(|| black_box(&a).compare(black_box(&b_clock)));
+        });
+        group.bench_with_input(BenchmarkId::new("merge", width), &width, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge(black_box(&b_clock));
+                black_box(m)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame, bench_memory_transport, bench_vector_clock);
+criterion_main!(benches);

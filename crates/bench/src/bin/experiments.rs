@@ -1,0 +1,102 @@
+//! Regenerates the paper's evaluation figures on the virtual-time cluster.
+//!
+//! ```text
+//! cargo run --release -p sdso-bench --bin experiments -- [COMMAND] [FLAGS]
+//!
+//! COMMANDS
+//!   fig5        Figure 5: normalised execution time per process
+//!   fig6        Figure 6: total message transfers
+//!   fig7        Figure 7: data message transfers
+//!   fig8        Figure 8: protocol overhead as % of execution time
+//!   ext-size    Ext. A: effect of object payload size (paper future work 2)
+//!   ext-block   Ext. B: blocking-time breakdown (paper future work 1)
+//!   ext-diff    Ext. C: diff-merging ablation
+//!   ext-proto   Ext. D: LRC and causal memory alongside the paper's four
+//!   all         Everything above, in order
+//!
+//! FLAGS
+//!   --quick     Small grid (2–4 processes, 40 ticks) for a fast look
+//!   --csv       Emit CSV instead of aligned text
+//!   --ticks N   Override iterations per process
+//!   --seeds K   Average over K placement seeds (default 1, the paper's setup)
+//! ```
+
+use sdso_harness::{Sweep, Table};
+
+fn print_tables(tables: &[Table], csv: bool) {
+    for table in tables {
+        if csv {
+            println!("# {}", table.title);
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut quick = false;
+    let mut csv = false;
+    let mut ticks: Option<u64> = None;
+    let mut seeds: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--ticks" => {
+                ticks = Some(it.next().ok_or("--ticks needs a value")?.parse()?);
+            }
+            "--seeds" => {
+                seeds = Some(it.next().ok_or("--seeds needs a value")?.parse()?);
+            }
+            cmd if !cmd.starts_with('-') => command = cmd.to_owned(),
+            other => return Err(format!("unknown flag {other:?}").into()),
+        }
+    }
+
+    let mut sweep = if quick { Sweep::quick() } else { Sweep::paper() };
+    if let Some(t) = ticks {
+        sweep.ticks = t;
+    }
+    if let Some(k) = seeds {
+        sweep.seeds = (0..k).map(|i| 0x5D50_1997 + i * 7919).collect();
+    }
+
+    eprintln!(
+        "grid: processes {:?}, ranges {:?}, {} ticks, {} seed(s)",
+        sweep.process_counts, sweep.ranges, sweep.ticks, sweep.seeds.len()
+    );
+
+    let run = |name: &str, sweep: &Sweep| -> Result<(), Box<dyn std::error::Error>> {
+        let t0 = std::time::Instant::now();
+        let tables = match name {
+            "fig5" => sweep.figure5()?,
+            "fig6" => sweep.figure6()?,
+            "fig7" => sweep.figure7()?,
+            "fig8" => sweep.figure8()?,
+            "ext-size" => sweep.ext_data_size(&[64, 256, 1024, 4096])?,
+            "ext-block" => sweep.ext_blocking()?,
+            "ext-diff" => sweep.ext_diff_merging()?,
+            "ext-proto" => sweep.ext_protocols()?,
+            other => return Err(format!("unknown command {other:?}").into()),
+        };
+        print_tables(&tables, csv);
+        eprintln!("[{name} done in {:.1?}]\n", t0.elapsed());
+        Ok(())
+    };
+
+    if command == "all" {
+        for name in
+            ["fig5", "fig6", "fig7", "fig8", "ext-size", "ext-block", "ext-diff", "ext-proto"]
+        {
+            run(name, &sweep)?;
+        }
+    } else {
+        run(&command, &sweep)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Benchmark crate: see `benches/` and `src/bin/experiments.rs`.
+//!
+//! This crate has no library API of its own; it exists to host the
+//! criterion micro-benchmarks and the `experiments` binary that
+//! regenerates the paper's figures.

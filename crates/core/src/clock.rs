@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// A logical timestamp: the number of `exchange` calls (equivalently, object
+/// modifications) a process has performed.
+///
+/// "Every time an application process modifies a shared object, it calls
+/// `exchange()`, and a logical system clock is advanced one time-tick"
+/// (paper §3.1). Under BSYNC any two processes' clocks differ by at most one
+/// tick; under the MSYNC family they drift freely between rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalTime(u64);
+
+impl LogicalTime {
+    /// Time zero (program initialisation).
+    pub const ZERO: LogicalTime = LogicalTime(0);
+
+    /// Creates a timestamp from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        LogicalTime(ticks)
+    }
+
+    /// Raw tick count.
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp `n` ticks later.
+    pub const fn plus(self, n: u64) -> LogicalTime {
+        LogicalTime(self.0 + n)
+    }
+
+    /// Ticks from `earlier` to `self`, saturating at zero.
+    pub fn ticks_since(self, earlier: LogicalTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for LogicalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The per-process logical clock.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock {
+    now: LogicalTime,
+}
+
+impl LogicalClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+
+    /// The current time.
+    pub fn now(&self) -> LogicalTime {
+        self.now
+    }
+
+    /// Advances one tick and returns the new time.
+    pub fn tick(&mut self) -> LogicalTime {
+        self.now = self.now.plus(1);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_by_one() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.now(), LogicalTime::ZERO);
+        assert_eq!(c.tick(), LogicalTime::from_ticks(1));
+        assert_eq!(c.tick(), LogicalTime::from_ticks(2));
+        assert_eq!(c.now(), LogicalTime::from_ticks(2));
+    }
+
+    #[test]
+    fn ticks_since_saturates() {
+        let a = LogicalTime::from_ticks(3);
+        let b = LogicalTime::from_ticks(10);
+        assert_eq!(b.ticks_since(a), 7);
+        assert_eq!(a.ticks_since(b), 0);
+    }
+}

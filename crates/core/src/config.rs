@@ -1,0 +1,62 @@
+/// Tunables of the S-DSO runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsoConfig {
+    /// When set, every message's *modelled* wire size is padded up to this
+    /// many bytes. The paper's system exchanged fixed-size frames: "the
+    /// average data size is the same as the average control message size;
+    /// both are 2048 bytes". `None` models variable-size frames.
+    pub frame_wire_len: Option<u32>,
+    /// Merge multiple diffs to one object into a single diff per slot (the
+    /// paper's optimisation). Disable only for the ablation study.
+    pub merge_diffs: bool,
+}
+
+impl DsoConfig {
+    /// The paper's configuration: 2048-byte frames, diff merging on.
+    pub fn paper() -> Self {
+        DsoConfig { frame_wire_len: Some(2048), merge_diffs: true }
+    }
+
+    /// Compact frames (wire size = encoded size), diff merging on.
+    pub fn compact() -> Self {
+        DsoConfig { frame_wire_len: None, merge_diffs: true }
+    }
+
+    /// Returns a copy with a different frame size.
+    pub fn with_frame_wire_len(mut self, len: Option<u32>) -> Self {
+        self.frame_wire_len = len;
+        self
+    }
+
+    /// Returns a copy with diff merging switched.
+    pub fn with_merge_diffs(mut self, merge: bool) -> Self {
+        self.merge_diffs = merge;
+        self
+    }
+}
+
+impl Default for DsoConfig {
+    fn default() -> Self {
+        DsoConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_reported_frame_size() {
+        let c = DsoConfig::paper();
+        assert_eq!(c.frame_wire_len, Some(2048));
+        assert!(c.merge_diffs);
+        assert_eq!(DsoConfig::default(), c);
+    }
+
+    #[test]
+    fn builders_modify_single_fields() {
+        let c = DsoConfig::paper().with_frame_wire_len(None).with_merge_diffs(false);
+        assert_eq!(c.frame_wire_len, None);
+        assert!(!c.merge_diffs);
+    }
+}

@@ -1,0 +1,360 @@
+//! Binary diffs of object state.
+//!
+//! S-DSO buffers "diffs of the state of each object since their previous
+//! modification" in per-peer slots and "can be tuned to merge multiple diffs
+//! to the same object into one diff since the last exchange with a given
+//! process" (paper §3.1). [`Diff`] is that representation: a sorted,
+//! non-overlapping run-list of `(offset, bytes)` pairs.
+
+use sdso_net::wire::{Wire, WireReader, WireWriter};
+use sdso_net::NetError;
+
+/// How close two dirty byte ranges may be before [`Diff::between`] joins
+/// them into one run (run headers cost 8 bytes on the wire, so tiny gaps are
+/// cheaper to ship than to split).
+const COALESCE_GAP: usize = 4;
+
+/// A sparse binary patch: a sorted list of non-overlapping byte runs.
+///
+/// # Example
+///
+/// ```
+/// use sdso_core::Diff;
+///
+/// let old = vec![0u8; 8];
+/// let mut new = old.clone();
+/// new[2] = 7;
+/// new[6] = 9;
+/// let diff = Diff::between(&old, &new);
+/// let mut patched = old.clone();
+/// diff.apply(&mut patched).unwrap();
+/// assert_eq!(patched, new);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<Run>,
+}
+
+/// One contiguous dirty range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Run {
+    offset: u32,
+    bytes: Vec<u8>,
+}
+
+impl Run {
+    fn end(&self) -> u32 {
+        self.offset + self.bytes.len() as u32
+    }
+}
+
+impl Diff {
+    /// The empty diff.
+    pub fn empty() -> Self {
+        Diff::default()
+    }
+
+    /// Builds a diff containing exactly one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + bytes.len()` exceeds `u32::MAX`.
+    pub fn single(offset: u32, bytes: Vec<u8>) -> Self {
+        assert!(
+            u32::try_from(bytes.len()).is_ok_and(|l| offset.checked_add(l).is_some()),
+            "diff run exceeds u32 address space"
+        );
+        if bytes.is_empty() {
+            return Diff::empty();
+        }
+        Diff { runs: vec![Run { offset, bytes }] }
+    }
+
+    /// Computes the diff that transforms `old` into `new`.
+    ///
+    /// Runs separated by fewer than a few unchanged bytes are coalesced,
+    /// trading a handful of redundant bytes for fewer run headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths (objects never change
+    /// size in S-DSO).
+    pub fn between(old: &[u8], new: &[u8]) -> Self {
+        assert_eq!(old.len(), new.len(), "objects never change size");
+        let mut runs: Vec<Run> = Vec::new();
+        let mut i = 0usize;
+        while i < new.len() {
+            if old[i] == new[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut last_dirty = i;
+            i += 1;
+            while i < new.len() {
+                if old[i] != new[i] {
+                    last_dirty = i;
+                    i += 1;
+                } else if i - last_dirty <= COALESCE_GAP {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            runs.push(Run {
+                offset: start as u32,
+                bytes: new[start..=last_dirty].to_vec(),
+            });
+            i = last_dirty + 1;
+        }
+        Diff { runs }
+    }
+
+    /// Applies the diff to `target` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving `target` unmodified) if any run falls
+    /// outside the target.
+    pub fn apply(&self, target: &mut [u8]) -> Result<(), NetError> {
+        for run in &self.runs {
+            if run.end() as usize > target.len() {
+                return Err(NetError::Codec(format!(
+                    "diff run [{}, {}) exceeds object size {}",
+                    run.offset,
+                    run.end(),
+                    target.len()
+                )));
+            }
+        }
+        for run in &self.runs {
+            target[run.offset as usize..run.end() as usize].copy_from_slice(&run.bytes);
+        }
+        Ok(())
+    }
+
+    /// Overlays `newer` onto `self`: the result applied to any buffer equals
+    /// applying `self` then `newer`.
+    pub fn merge(&self, newer: &Diff) -> Diff {
+        if self.runs.is_empty() {
+            return newer.clone();
+        }
+        if newer.runs.is_empty() {
+            return self.clone();
+        }
+        // Paint both diffs (newer last) into a byte overlay, then rebuild
+        // runs. Diffs in S-DSO cover small objects, so the O(dirty bytes)
+        // cost is negligible and the semantics are trivially right.
+        let mut overlay: std::collections::BTreeMap<u32, u8> = std::collections::BTreeMap::new();
+        for diff in [self, newer] {
+            for run in &diff.runs {
+                for (i, &b) in run.bytes.iter().enumerate() {
+                    overlay.insert(run.offset + i as u32, b);
+                }
+            }
+        }
+        let mut runs: Vec<Run> = Vec::new();
+        for (offset, byte) in overlay {
+            match runs.last_mut() {
+                Some(last) if last.end() == offset => last.bytes.push(byte),
+                _ => runs.push(Run { offset, bytes: vec![byte] }),
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total dirty bytes carried.
+    pub fn byte_count(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Whether the diff changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates over `(offset, bytes)` runs in ascending offset order.
+    pub fn runs(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.runs.iter().map(|r| (r.offset, r.bytes.as_slice()))
+    }
+
+    /// Encoded size on the wire, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.runs.iter().map(|r| 8 + r.bytes.len()).sum::<usize>()
+    }
+}
+
+impl Wire for Diff {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_seq(&self.runs, |w, run| {
+            w.put_u32(run.offset);
+            w.put_bytes(&run.bytes);
+        });
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let runs = r.get_seq(|r| {
+            let offset = r.get_u32()?;
+            let bytes = r.get_bytes()?.to_vec();
+            Ok(Run { offset, bytes })
+        })?;
+        // Reject address-space overflow FIRST: the overlap check below
+        // computes offset + len, which must not wrap on untrusted input.
+        if runs.iter().any(|r| {
+            u32::try_from(r.bytes.len()).ok().and_then(|l| r.offset.checked_add(l)).is_none()
+        }) {
+            return Err(NetError::Codec("diff run exceeds u32 address space".into()));
+        }
+        // Enforce the sorted/non-overlapping invariant.
+        for pair in runs.windows(2) {
+            if pair[1].offset < pair[0].end() {
+                return Err(NetError::Codec("diff runs overlap or are unsorted".into()));
+            }
+        }
+        Ok(Diff { runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdso_net::wire;
+
+    #[test]
+    fn between_and_apply_roundtrip() {
+        let old = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut new = old.clone();
+        new[4] = b'Q';
+        new[20] = b'X';
+        new[21] = b'Y';
+        let diff = Diff::between(&old, &new);
+        let mut patched = old.clone();
+        diff.apply(&mut patched).unwrap();
+        assert_eq!(patched, new);
+    }
+
+    #[test]
+    fn identical_buffers_give_empty_diff() {
+        let buf = vec![42u8; 128];
+        let diff = Diff::between(&buf, &buf);
+        assert!(diff.is_empty());
+        assert_eq!(diff.byte_count(), 0);
+    }
+
+    #[test]
+    fn nearby_changes_coalesce_into_one_run() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[10] = 1;
+        new[13] = 1; // gap of 2 ≤ COALESCE_GAP
+        let diff = Diff::between(&old, &new);
+        assert_eq!(diff.run_count(), 1);
+    }
+
+    #[test]
+    fn distant_changes_stay_separate_runs() {
+        let old = vec![0u8; 64];
+        let mut new = old.clone();
+        new[0] = 1;
+        new[40] = 1;
+        let diff = Diff::between(&old, &new);
+        assert_eq!(diff.run_count(), 2);
+    }
+
+    #[test]
+    fn apply_out_of_bounds_is_error_and_leaves_target_untouched() {
+        let diff = Diff::single(10, vec![1, 2, 3]);
+        let mut target = vec![0u8; 8];
+        let before = target.clone();
+        assert!(diff.apply(&mut target).is_err());
+        assert_eq!(target, before);
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let base = vec![0u8; 16];
+        let a = Diff::single(2, vec![1, 1, 1, 1]);
+        let b = Diff::single(4, vec![2, 2, 2, 2]);
+
+        let mut sequential = base.clone();
+        a.apply(&mut sequential).unwrap();
+        b.apply(&mut sequential).unwrap();
+
+        let merged = a.merge(&b);
+        let mut at_once = base.clone();
+        merged.apply(&mut at_once).unwrap();
+        assert_eq!(at_once, sequential);
+    }
+
+    #[test]
+    fn merge_newer_fully_covers_older() {
+        let a = Diff::single(4, vec![1; 8]);
+        let b = Diff::single(0, vec![2; 16]);
+        let merged = a.merge(&b);
+        assert_eq!(merged, b);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = Diff::single(3, vec![9, 9]);
+        assert_eq!(a.merge(&Diff::empty()), a);
+        assert_eq!(Diff::empty().merge(&a), a);
+    }
+
+    #[test]
+    fn merge_disjoint_keeps_both() {
+        let a = Diff::single(0, vec![1, 1]);
+        let b = Diff::single(10, vec![2, 2]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.run_count(), 2);
+        assert_eq!(merged.byte_count(), 4);
+    }
+
+    #[test]
+    fn merge_adjacent_runs_normalize() {
+        let a = Diff::single(0, vec![1, 1]);
+        let b = Diff::single(2, vec![2, 2]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.run_count(), 1);
+        let mut buf = vec![0u8; 4];
+        merged.apply(&mut buf).unwrap();
+        assert_eq!(buf, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let old = vec![0u8; 40];
+        let mut new = old.clone();
+        new[3] = 1;
+        new[20] = 2;
+        new[39] = 3;
+        let diff = Diff::between(&old, &new);
+        let encoded = wire::encode(&diff);
+        assert_eq!(encoded.len(), diff.encoded_len());
+        let decoded: Diff = wire::decode(&encoded).unwrap();
+        assert_eq!(decoded, diff);
+    }
+
+    #[test]
+    fn decode_rejects_overlapping_runs() {
+        let mut w = WireWriter::new();
+        // Two runs: [0,4) and [2,6) — overlapping.
+        w.put_u32(2);
+        w.put_u32(0);
+        w.put_bytes(&[1, 1, 1, 1]);
+        w.put_u32(2);
+        w.put_bytes(&[2, 2, 2, 2]);
+        let res: Result<Diff, _> = wire::decode(&w.into_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn single_empty_bytes_is_empty_diff() {
+        assert!(Diff::single(5, Vec::new()).is_empty());
+    }
+}

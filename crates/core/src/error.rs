@@ -1,0 +1,87 @@
+use std::fmt;
+
+use sdso_net::NetError;
+
+use crate::object::ObjectId;
+
+/// Errors produced by the S-DSO runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DsoError {
+    /// A transport-level failure.
+    Net(NetError),
+    /// An operation referenced an object never registered with `share`.
+    UnknownObject(ObjectId),
+    /// An object id was registered with `share` twice.
+    AlreadyShared(ObjectId),
+    /// A write fell outside an object's bounds.
+    OutOfBounds {
+        /// The object written.
+        object: ObjectId,
+        /// Write start offset.
+        offset: u32,
+        /// Write length.
+        len: usize,
+        /// The object's size.
+        size: usize,
+    },
+    /// A peer violated the exchange protocol (e.g. a message stamped in the
+    /// logical past, or an unexpected message kind during a rendezvous).
+    ProtocolViolation(String),
+}
+
+impl fmt::Display for DsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsoError::Net(e) => write!(f, "transport error: {e}"),
+            DsoError::UnknownObject(id) => write!(f, "object {id} was never shared"),
+            DsoError::AlreadyShared(id) => write!(f, "object {id} already shared"),
+            DsoError::OutOfBounds { object, offset, len, size } => write!(
+                f,
+                "write of {len} bytes at offset {offset} exceeds object {object} of {size} bytes"
+            ),
+            DsoError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DsoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsoError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for DsoError {
+    fn from(e: NetError) -> Self {
+        DsoError::Net(e)
+    }
+}
+
+impl From<DsoError> for NetError {
+    /// Lowers a runtime error onto the transport error type (protocol
+    /// details flatten into a codec-error message). Exists so cluster
+    /// closures whose signature is `Result<T, NetError>` can use `?` on
+    /// runtime calls instead of hand-rolling this match at every site.
+    fn from(e: DsoError) -> Self {
+        match e {
+            DsoError::Net(net) => net,
+            other => NetError::Codec(format!("protocol failure: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = DsoError::OutOfBounds { object: ObjectId(3), offset: 10, len: 4, size: 8 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('4') && s.contains('8'));
+        assert!(DsoError::UnknownObject(ObjectId(9)).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,81 @@
+use sdso_net::SimSpan;
+
+/// Counters the S-DSO runtime maintains about its own behaviour.
+///
+/// These complement the transport-level counters in
+/// [`sdso_net::NetMetrics`]: together they feed the paper's Figure 8
+/// (protocol overhead as a fraction of execution time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DsoMetrics {
+    /// `exchange` calls performed.
+    pub exchanges: u64,
+    /// Rendezvous partners summed over all exchanges.
+    pub rendezvous_peers: u64,
+    /// Object updates shipped (after merging).
+    pub updates_sent: u64,
+    /// Remote updates applied to local replicas.
+    pub updates_applied: u64,
+    /// Remote updates dropped because a newer version was already applied
+    /// (the last-writer-wins convergence rule).
+    pub updates_stale: u64,
+    /// Messages that arrived stamped in the logical future and were
+    /// buffered until their tick.
+    pub early_buffered: u64,
+    /// Virtual/wall time spent inside `exchange` (sending, waiting and
+    /// applying) — the lookahead protocols' entire overhead.
+    pub exchange_time: SimSpan,
+    /// The portion of [`DsoMetrics::exchange_time`] spent blocked waiting
+    /// for rendezvous partners.
+    pub exchange_wait: SimSpan,
+}
+
+impl DsoMetrics {
+    /// Element-wise sum (for aggregating across processes).
+    pub fn merged(&self, other: &DsoMetrics) -> DsoMetrics {
+        DsoMetrics {
+            exchanges: self.exchanges + other.exchanges,
+            rendezvous_peers: self.rendezvous_peers + other.rendezvous_peers,
+            updates_sent: self.updates_sent + other.updates_sent,
+            updates_applied: self.updates_applied + other.updates_applied,
+            updates_stale: self.updates_stale + other.updates_stale,
+            early_buffered: self.early_buffered + other.early_buffered,
+            exchange_time: self.exchange_time + other.exchange_time,
+            exchange_wait: self.exchange_wait + other.exchange_wait,
+        }
+    }
+
+    /// Average rendezvous group size per exchange.
+    pub fn avg_rendezvous_size(&self) -> f64 {
+        if self.exchanges == 0 {
+            0.0
+        } else {
+            self.rendezvous_peers as f64 / self.exchanges as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_sums_everything() {
+        let a = DsoMetrics { exchanges: 2, updates_sent: 3, ..DsoMetrics::default() };
+        let b = DsoMetrics {
+            exchanges: 1,
+            exchange_wait: SimSpan::from_micros(5),
+            ..DsoMetrics::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.exchanges, 3);
+        assert_eq!(m.updates_sent, 3);
+        assert_eq!(m.exchange_wait.as_micros(), 5);
+    }
+
+    #[test]
+    fn avg_rendezvous_size_handles_zero() {
+        assert_eq!(DsoMetrics::default().avg_rendezvous_size(), 0.0);
+        let m = DsoMetrics { exchanges: 4, rendezvous_peers: 6, ..DsoMetrics::default() };
+        assert!((m.avg_rendezvous_size() - 1.5).abs() < 1e-9);
+    }
+}

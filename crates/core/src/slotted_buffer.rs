@@ -1,0 +1,234 @@
+use std::collections::BTreeMap;
+
+use sdso_net::NodeId;
+
+use crate::diff::Diff;
+use crate::object::{ObjectId, Version};
+
+/// A pending update for one object in one peer's slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingUpdate {
+    /// The object modified.
+    pub object: ObjectId,
+    /// The (possibly merged) diff to ship.
+    pub diff: Diff,
+    /// Stamp of the newest local write folded into `diff`.
+    pub version: Version,
+}
+
+/// The per-process slotted buffer of outstanding modifications (paper
+/// Fig. 3).
+///
+/// "S-DSO maintains a slotted buffer at each process for outstanding
+/// modifications to be exchanged with remote processes. There is one slot in
+/// the buffer for each remote process. [...] the buffered changes are diffs
+/// of the state of each object since their previous modification", and
+/// "S-DSO can be tuned to merge multiple diffs to the same object into one
+/// diff since the last exchange with a given process." With merging disabled
+/// (the ablation configuration) every modification stays a separate pending
+/// update and is shipped separately.
+///
+/// # Example
+///
+/// ```
+/// use sdso_core::{Diff, LogicalTime, ObjectId, SlottedBuffer, Version};
+///
+/// let mut buf = SlottedBuffer::new(3, 0, true);
+/// let stamp = Version::new(LogicalTime::from_ticks(1), 0);
+/// buf.buffer_for_all(ObjectId(7), &Diff::single(0, vec![1]), stamp, &[2]);
+/// assert_eq!(buf.slot_len(1), 1); // peer 1 got the update buffered
+/// assert_eq!(buf.slot_len(2), 0); // peer 2 was exchanged with directly
+/// ```
+#[derive(Debug)]
+pub struct SlottedBuffer {
+    /// slot\[peer\] — `None` at the local process's own index. Each object
+    /// maps to one or more pending updates (more than one only when merging
+    /// is disabled).
+    slots: Vec<Option<BTreeMap<ObjectId, Vec<PendingUpdate>>>>,
+    merge: bool,
+    merged_count: u64,
+}
+
+impl SlottedBuffer {
+    /// Creates a buffer for a cluster of `num_nodes`, local process `me`.
+    /// `merge` enables per-object diff merging (the paper's optimisation;
+    /// disable it only for the ablation study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    pub fn new(num_nodes: usize, me: NodeId, merge: bool) -> Self {
+        assert!(usize::from(me) < num_nodes, "local id out of range");
+        let slots = (0..num_nodes)
+            .map(|i| if i == usize::from(me) { None } else { Some(BTreeMap::new()) })
+            .collect();
+        SlottedBuffer { slots, merge, merged_count: 0 }
+    }
+
+    /// Buffers a local modification for every remote peer except those in
+    /// `exclude` (the peers the update was just sent to directly).
+    pub fn buffer_for_all(
+        &mut self,
+        object: ObjectId,
+        diff: &Diff,
+        version: Version,
+        exclude: &[NodeId],
+    ) {
+        if diff.is_empty() {
+            return;
+        }
+        for (peer, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot else { continue };
+            if exclude.contains(&(peer as NodeId)) {
+                continue;
+            }
+            let entries = slot.entry(object).or_default();
+            match entries.last_mut() {
+                Some(pending) if self.merge => {
+                    pending.diff = pending.diff.merge(diff);
+                    pending.version = pending.version.max(version);
+                    self.merged_count += 1;
+                }
+                _ => {
+                    entries.push(PendingUpdate { object, diff: diff.clone(), version });
+                }
+            }
+        }
+    }
+
+    /// Drains `peer`'s slot, returning the pending updates in object order
+    /// (oldest-first within one object when merging is disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the local process or out of range.
+    pub fn drain_slot(&mut self, peer: NodeId) -> Vec<PendingUpdate> {
+        let slot = self.slots[usize::from(peer)]
+            .as_mut()
+            .expect("drain_slot: peer must be remote");
+        std::mem::take(slot).into_values().flatten().collect()
+    }
+
+    /// Number of pending updates for `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the local process or out of range.
+    pub fn slot_len(&self, peer: NodeId) -> usize {
+        self.slots[usize::from(peer)]
+            .as_ref()
+            .expect("slot_len: peer must be remote")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// How many per-object merges have occurred (for the diff-merging
+    /// ablation metric).
+    pub fn merged_count(&self) -> u64 {
+        self.merged_count
+    }
+
+    /// Total updates pending across all slots.
+    pub fn total_pending(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .flat_map(BTreeMap::values)
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalTime;
+
+    fn v(t: u64, w: u16) -> Version {
+        Version::new(LogicalTime::from_ticks(t), w)
+    }
+
+    fn buf() -> SlottedBuffer {
+        SlottedBuffer::new(4, 1, true)
+    }
+
+    #[test]
+    fn buffers_for_every_remote_peer() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        for peer in [0u16, 2, 3] {
+            assert_eq!(b.slot_len(peer), 1);
+        }
+        assert_eq!(b.total_pending(), 3);
+    }
+
+    #[test]
+    fn excluded_peers_skip_buffering() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 1), &[0, 3]);
+        assert_eq!(b.slot_len(0), 0);
+        assert_eq!(b.slot_len(2), 1);
+        assert_eq!(b.slot_len(3), 0);
+    }
+
+    #[test]
+    fn merges_diffs_per_object() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1, 1]), v(1, 1), &[]);
+        b.buffer_for_all(ObjectId(1), &Diff::single(1, vec![2, 2]), v(2, 1), &[]);
+        assert_eq!(b.slot_len(0), 1, "same object merged into one entry");
+        let drained = b.drain_slot(0);
+        assert_eq!(drained.len(), 1);
+        let mut target = vec![0u8; 3];
+        drained[0].diff.apply(&mut target).unwrap();
+        assert_eq!(target, vec![1, 2, 2]);
+        assert_eq!(drained[0].version, v(2, 1));
+        assert!(b.merged_count() > 0);
+    }
+
+    #[test]
+    fn merging_disabled_keeps_updates_separate() {
+        let mut b = SlottedBuffer::new(2, 0, false);
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 0), &[]);
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![2]), v(2, 0), &[]);
+        assert_eq!(b.slot_len(1), 2);
+        assert_eq!(b.merged_count(), 0);
+        let drained = b.drain_slot(1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].version, v(1, 0), "oldest first");
+    }
+
+    #[test]
+    fn drain_empties_only_that_slot() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        let drained = b.drain_slot(2);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(b.slot_len(2), 0);
+        assert_eq!(b.slot_len(0), 1, "other slots untouched");
+    }
+
+    #[test]
+    fn empty_diff_not_buffered() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::empty(), v(1, 1), &[]);
+        assert_eq!(b.total_pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remote")]
+    fn draining_own_slot_panics() {
+        let mut b = buf();
+        let _ = b.drain_slot(1);
+    }
+
+    #[test]
+    fn updates_drain_in_object_order() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(9), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        b.buffer_for_all(ObjectId(3), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        let ids: Vec<_> = b.drain_slot(0).into_iter().map(|u| u.object).collect();
+        assert_eq!(ids, vec![ObjectId(3), ObjectId(9)]);
+    }
+}

@@ -1,0 +1,296 @@
+//! S-DSO's wire protocol.
+//!
+//! Every S-DSO message is one [`DsoMessage`] encoded with the workspace
+//! codec. Consistency protocols built on top of the runtime (entry
+//! consistency's lock traffic, LRC's write notices, …) travel inside the
+//! [`DsoMessage::App`] escape hatch so that one framing layer serves all.
+
+use sdso_net::wire::{Wire, WireReader, WireWriter};
+use sdso_net::{MsgClass, NetError, Payload};
+
+use crate::clock::LogicalTime;
+use crate::diff::Diff;
+use crate::object::{ObjectId, Version};
+
+/// One object update inside a rendezvous data message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireUpdate {
+    /// The object modified.
+    pub object: ObjectId,
+    /// Byte-level changes.
+    pub diff: Diff,
+    /// Stamp of the newest write folded into `diff`.
+    pub version: Version,
+}
+
+impl Wire for WireUpdate {
+    fn encode(&self, w: &mut WireWriter) {
+        self.object.encode(w);
+        self.version.encode(w);
+        self.diff.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let object = ObjectId::decode(r)?;
+        let version = Version::decode(r)?;
+        let diff = Diff::decode(r)?;
+        Ok(WireUpdate { object, diff, version })
+    }
+}
+
+/// The messages exchanged by the S-DSO runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsoMessage {
+    /// The data half of a rendezvous `(data, SYNC)` pair: buffered plus
+    /// current-interval updates, stamped with the sender's logical time.
+    Data {
+        /// Sender's logical time.
+        time: LogicalTime,
+        /// The updates carried.
+        updates: Vec<WireUpdate>,
+    },
+    /// The control half of a rendezvous pair. Sent alone when the sender
+    /// has no updates to report (e.g. it lost a contention arbitration and
+    /// held still this interval).
+    Sync {
+        /// Sender's logical time.
+        time: LogicalTime,
+    },
+    /// A pushed full object body (`async_put` / `sync_put`).
+    Put {
+        /// The object.
+        object: ObjectId,
+        /// Its version at the sender.
+        version: Version,
+        /// Full object contents.
+        body: Vec<u8>,
+        /// Whether the receiver must acknowledge (`sync_put`).
+        wants_ack: bool,
+    },
+    /// A request to pull an object's current body (`async_get`/`sync_get`).
+    GetReq {
+        /// The object requested.
+        object: ObjectId,
+    },
+    /// The reply to a [`DsoMessage::GetReq`].
+    GetRep {
+        /// The object.
+        object: ObjectId,
+        /// Its version at the replier.
+        version: Version,
+        /// Full object contents.
+        body: Vec<u8>,
+    },
+    /// Acknowledgement of a `sync_put`.
+    Ack,
+    /// Opaque bytes for a protocol layered above the runtime, with an
+    /// explicit accounting class.
+    App {
+        /// Accounting class of the embedded message.
+        class: MsgClass,
+        /// The embedded encoding.
+        bytes: Vec<u8>,
+    },
+}
+
+const TAG_DATA: u8 = 1;
+const TAG_SYNC: u8 = 2;
+const TAG_PUT: u8 = 3;
+const TAG_GET_REQ: u8 = 4;
+const TAG_GET_REP: u8 = 5;
+const TAG_ACK: u8 = 6;
+const TAG_APP: u8 = 7;
+
+impl DsoMessage {
+    /// The accounting class of this message (data messages carry object
+    /// state; everything else is control).
+    pub fn class(&self) -> MsgClass {
+        match self {
+            DsoMessage::Data { .. } | DsoMessage::Put { .. } | DsoMessage::GetRep { .. } => {
+                MsgClass::Data
+            }
+            DsoMessage::Sync { .. } | DsoMessage::GetReq { .. } | DsoMessage::Ack => {
+                MsgClass::Control
+            }
+            DsoMessage::App { class, .. } => *class,
+        }
+    }
+
+    /// Encodes into a transport payload, padding the modelled wire size to
+    /// `frame_wire_len` when configured (the paper's system exchanged
+    /// fixed-size 2048-byte frames for control and data alike).
+    pub fn into_payload(self, frame_wire_len: Option<u32>) -> Payload {
+        let class = self.class();
+        let bytes = sdso_net::wire::encode(&self);
+        let payload = Payload::new(class, bytes);
+        match frame_wire_len {
+            Some(len) => payload.with_wire_len(len),
+            None => payload,
+        }
+    }
+}
+
+impl Wire for DsoMessage {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DsoMessage::Data { time, updates } => {
+                w.put_u8(TAG_DATA);
+                w.put_u64(time.as_ticks());
+                w.put_seq(updates, |w, u| u.encode(w));
+            }
+            DsoMessage::Sync { time } => {
+                w.put_u8(TAG_SYNC);
+                w.put_u64(time.as_ticks());
+            }
+            DsoMessage::Put { object, version, body, wants_ack } => {
+                w.put_u8(TAG_PUT);
+                object.encode(w);
+                version.encode(w);
+                w.put_bytes(body);
+                w.put_bool(*wants_ack);
+            }
+            DsoMessage::GetReq { object } => {
+                w.put_u8(TAG_GET_REQ);
+                object.encode(w);
+            }
+            DsoMessage::GetRep { object, version, body } => {
+                w.put_u8(TAG_GET_REP);
+                object.encode(w);
+                version.encode(w);
+                w.put_bytes(body);
+            }
+            DsoMessage::Ack => w.put_u8(TAG_ACK),
+            DsoMessage::App { class, bytes } => {
+                w.put_u8(TAG_APP);
+                w.put_u8(class.to_wire_u8());
+                w.put_bytes(bytes);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match r.get_u8()? {
+            TAG_DATA => {
+                let time = LogicalTime::from_ticks(r.get_u64()?);
+                let updates = r.get_seq(WireUpdate::decode)?;
+                Ok(DsoMessage::Data { time, updates })
+            }
+            TAG_SYNC => Ok(DsoMessage::Sync { time: LogicalTime::from_ticks(r.get_u64()?) }),
+            TAG_PUT => {
+                let object = ObjectId::decode(r)?;
+                let version = Version::decode(r)?;
+                let body = r.get_bytes()?.to_vec();
+                let wants_ack = r.get_bool()?;
+                Ok(DsoMessage::Put { object, version, body, wants_ack })
+            }
+            TAG_GET_REQ => Ok(DsoMessage::GetReq { object: ObjectId::decode(r)? }),
+            TAG_GET_REP => {
+                let object = ObjectId::decode(r)?;
+                let version = Version::decode(r)?;
+                let body = r.get_bytes()?.to_vec();
+                Ok(DsoMessage::GetRep { object, version, body })
+            }
+            TAG_ACK => Ok(DsoMessage::Ack),
+            TAG_APP => {
+                let class = MsgClass::from_wire_u8(r.get_u8()?)?;
+                let bytes = r.get_bytes()?.to_vec();
+                Ok(DsoMessage::App { class, bytes })
+            }
+            tag => Err(NetError::Codec(format!("unknown DsoMessage tag {tag:#x}"))),
+        }
+    }
+}
+
+/// Local extension to convert [`MsgClass`] to/from a wire byte (the net
+/// crate keeps its own conversion private).
+trait MsgClassWire: Sized {
+    fn to_wire_u8(self) -> u8;
+    fn from_wire_u8(b: u8) -> Result<Self, NetError>;
+}
+
+impl MsgClassWire for MsgClass {
+    fn to_wire_u8(self) -> u8 {
+        match self {
+            MsgClass::Control => 0,
+            MsgClass::Data => 1,
+        }
+    }
+    fn from_wire_u8(b: u8) -> Result<Self, NetError> {
+        match b {
+            0 => Ok(MsgClass::Control),
+            1 => Ok(MsgClass::Data),
+            _ => Err(NetError::Codec(format!("invalid message class byte {b:#x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdso_net::wire;
+
+    fn roundtrip(msg: DsoMessage) {
+        let encoded = wire::encode(&msg);
+        let decoded: DsoMessage = wire::decode(&encoded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let v = Version::new(LogicalTime::from_ticks(4), 2);
+        roundtrip(DsoMessage::Data {
+            time: LogicalTime::from_ticks(9),
+            updates: vec![WireUpdate {
+                object: ObjectId(3),
+                diff: Diff::single(2, vec![1, 2, 3]),
+                version: v,
+            }],
+        });
+        roundtrip(DsoMessage::Sync { time: LogicalTime::from_ticks(1) });
+        roundtrip(DsoMessage::Put {
+            object: ObjectId(1),
+            version: v,
+            body: vec![0; 16],
+            wants_ack: true,
+        });
+        roundtrip(DsoMessage::GetReq { object: ObjectId(8) });
+        roundtrip(DsoMessage::GetRep { object: ObjectId(8), version: v, body: vec![7; 4] });
+        roundtrip(DsoMessage::Ack);
+        roundtrip(DsoMessage::App { class: MsgClass::Control, bytes: vec![9, 9] });
+    }
+
+    #[test]
+    fn classes_match_paper_accounting() {
+        let v = Version::INITIAL;
+        assert_eq!(
+            DsoMessage::Data { time: LogicalTime::ZERO, updates: vec![] }.class(),
+            MsgClass::Data
+        );
+        assert_eq!(DsoMessage::Sync { time: LogicalTime::ZERO }.class(), MsgClass::Control);
+        assert_eq!(
+            DsoMessage::Put { object: ObjectId(0), version: v, body: vec![], wants_ack: false }
+                .class(),
+            MsgClass::Data
+        );
+        assert_eq!(DsoMessage::GetReq { object: ObjectId(0) }.class(), MsgClass::Control);
+        assert_eq!(
+            DsoMessage::GetRep { object: ObjectId(0), version: v, body: vec![] }.class(),
+            MsgClass::Data
+        );
+        assert_eq!(DsoMessage::Ack.class(), MsgClass::Control);
+    }
+
+    #[test]
+    fn payload_padding_models_fixed_frames() {
+        let msg = DsoMessage::Sync { time: LogicalTime::ZERO };
+        let padded = msg.clone().into_payload(Some(2048));
+        assert_eq!(padded.wire_len(), 2048);
+        let unpadded = msg.into_payload(None);
+        assert!(unpadded.wire_len() < 2048);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let res: Result<DsoMessage, _> = wire::decode(&[0xEE]);
+        assert!(res.is_err());
+    }
+}

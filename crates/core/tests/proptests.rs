@@ -1,0 +1,146 @@
+//! Property tests of the core data structures' invariants.
+
+use proptest::prelude::*;
+use sdso_core::{Diff, ExchangeList, LogicalTime, ObjectId, SlottedBuffer, Version};
+
+// ---------------------------------------------------------------------
+// ExchangeList: earliest-first ordering, uniqueness, due semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn exchange_list_keeps_one_entry_per_peer(
+        ops in proptest::collection::vec((0u16..8, 1u64..100), 0..64)
+    ) {
+        let mut list = ExchangeList::new();
+        let mut expected = std::collections::BTreeMap::new();
+        for (peer, time) in ops {
+            list.schedule(peer, LogicalTime::from_ticks(time));
+            expected.insert(peer, time);
+        }
+        prop_assert_eq!(list.len(), expected.len());
+        for (&peer, &time) in &expected {
+            prop_assert_eq!(list.time_for(peer), Some(LogicalTime::from_ticks(time)));
+        }
+    }
+
+    #[test]
+    fn exchange_list_iterates_earliest_first(
+        ops in proptest::collection::vec((0u16..16, 1u64..100), 1..64)
+    ) {
+        let mut list = ExchangeList::new();
+        for (peer, time) in ops {
+            list.schedule(peer, LogicalTime::from_ticks(time));
+        }
+        let times: Vec<u64> = list.iter().map(|(t, _)| t.as_ticks()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(times, sorted, "iteration must be time-ordered");
+    }
+
+    #[test]
+    fn due_splits_the_list_consistently(
+        ops in proptest::collection::vec((0u16..16, 1u64..100), 1..64),
+        now in 0u64..120,
+    ) {
+        let mut list = ExchangeList::new();
+        for (peer, time) in ops {
+            list.schedule(peer, LogicalTime::from_ticks(time));
+        }
+        let now_t = LogicalTime::from_ticks(now);
+        let due = list.due(now_t);
+        for peer in &due {
+            prop_assert!(list.time_for(*peer).unwrap() <= now_t);
+        }
+        let due_set: std::collections::BTreeSet<u16> = due.iter().copied().collect();
+        for (time, peer) in list.iter() {
+            prop_assert_eq!(time <= now_t, due_set.contains(&peer));
+        }
+    }
+
+    #[test]
+    fn remove_then_peek_is_consistent(
+        ops in proptest::collection::vec((0u16..8, 1u64..50), 1..32),
+        victim in 0u16..8,
+    ) {
+        let mut list = ExchangeList::new();
+        for (peer, time) in &ops {
+            list.schedule(*peer, LogicalTime::from_ticks(*time));
+        }
+        let had = list.time_for(victim).is_some();
+        let removed = list.remove(victim);
+        prop_assert_eq!(removed.is_some(), had);
+        prop_assert_eq!(list.time_for(victim), None);
+        if let Some((_, p)) = list.peek_next() {
+            prop_assert_ne!(p, victim);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SlottedBuffer: merged slots reproduce sequential application
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn slotted_buffer_merging_preserves_final_state(
+        writes in proptest::collection::vec((0u32..4, 0u32..16, any::<u8>()), 1..40)
+    ) {
+        // Apply the same write sequence (a) directly to a buffer and
+        // (b) through the slotted buffer's merged diffs: results match.
+        const SIZE: usize = 24;
+        let mut direct = vec![vec![0u8; SIZE]; 4];
+        let mut buf = SlottedBuffer::new(2, 0, true);
+
+        for (i, &(obj, offset, byte)) in writes.iter().enumerate() {
+            let offset = offset % (SIZE as u32 - 1);
+            direct[obj as usize][offset as usize] = byte;
+            let stamp = Version::new(LogicalTime::from_ticks(i as u64 + 1), 0);
+            buf.buffer_for_all(ObjectId(obj), &Diff::single(offset, vec![byte]), stamp, &[]);
+        }
+
+        let mut via_slots = vec![vec![0u8; SIZE]; 4];
+        for update in buf.drain_slot(1) {
+            update.diff.apply(&mut via_slots[update.object.0 as usize]).unwrap();
+        }
+        prop_assert_eq!(via_slots, direct);
+    }
+
+    #[test]
+    fn slotted_buffer_unmerged_replay_matches_too(
+        writes in proptest::collection::vec((0u32..3, 0u32..8, any::<u8>()), 1..24)
+    ) {
+        const SIZE: usize = 12;
+        let mut direct = vec![vec![0u8; SIZE]; 3];
+        let mut buf = SlottedBuffer::new(2, 0, false);
+        for (i, &(obj, offset, byte)) in writes.iter().enumerate() {
+            let offset = offset % (SIZE as u32 - 1);
+            direct[obj as usize][offset as usize] = byte;
+            let stamp = Version::new(LogicalTime::from_ticks(i as u64 + 1), 0);
+            buf.buffer_for_all(ObjectId(obj), &Diff::single(offset, vec![byte]), stamp, &[]);
+        }
+        let mut replayed = vec![vec![0u8; SIZE]; 3];
+        for update in buf.drain_slot(1) {
+            update.diff.apply(&mut replayed[update.object.0 as usize]).unwrap();
+        }
+        prop_assert_eq!(replayed, direct);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diff: wire fuzz — decoding arbitrary bytes never panics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn diff_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = sdso_net::wire::decode::<Diff>(&bytes); // Err is fine, panic is not
+    }
+
+    #[test]
+    fn dso_message_decode_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = sdso_net::wire::decode::<sdso_core::wire::DsoMessage>(&bytes);
+    }
+}

@@ -1,0 +1,196 @@
+//! ASCII rendering of the shared world — the reproduction's stand-in for
+//! the original system's interactive display (paper Fig. 1 shows the X11
+//! front end; ours is a terminal grid).
+//!
+//! Rendering reads a replica through any [`WorldView`], so it can display
+//! one process's possibly-stale local view — which is itself instructive:
+//! under MSYNC2 a process's picture of remote map regions visibly lags
+//! until tanks come within interaction range.
+
+use sdso_net::NodeId;
+
+use crate::ai::WorldView;
+use crate::block::Block;
+use crate::scenario::Scenario;
+use crate::world::{Direction, Pos};
+
+/// Glyphs used by [`render`]:
+///
+/// | glyph | meaning |
+/// |---|---|
+/// | `.` | empty block |
+/// | `G` | the goal |
+/// | `$` | bonus |
+/// | `*` | bomb |
+/// | `#` | obstacle |
+/// | `0`–`9`, `a`–`f` | a team's tank (team id, base 36) |
+/// | `^ v > <` | the facing marker variant when `facing_markers` is on |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Draw tanks as facing arrows instead of team digits.
+    pub facing_markers: bool,
+    /// Draw a border around the grid.
+    pub border: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { facing_markers: false, border: true }
+    }
+}
+
+/// The glyph for one block.
+pub fn glyph(block: Block, options: RenderOptions) -> char {
+    match block {
+        Block::Empty => '.',
+        Block::Goal => 'G',
+        Block::Bonus { .. } => '$',
+        Block::Bomb => '*',
+        Block::Obstacle => '#',
+        Block::Tank { team, facing, .. } => {
+            if options.facing_markers {
+                match facing {
+                    Direction::North => '^',
+                    Direction::South => 'v',
+                    Direction::East => '>',
+                    Direction::West => '<',
+                }
+            } else {
+                char::from_digit(u32::from(team) % 36, 36).unwrap_or('?')
+            }
+        }
+    }
+}
+
+/// Renders a replica of the world as a multi-line string.
+pub fn render(scenario: &Scenario, view: &impl WorldView, options: RenderOptions) -> String {
+    let grid = scenario.grid;
+    let mut out = String::with_capacity((grid.width as usize + 3) * (grid.height as usize + 2));
+    if options.border {
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', grid.width as usize));
+        out.push_str("+\n");
+    }
+    for y in 0..grid.height {
+        if options.border {
+            out.push('|');
+        }
+        for x in 0..grid.width {
+            out.push(glyph(view.block_at(Pos::new(x, y)), options));
+        }
+        if options.border {
+            out.push('|');
+        }
+        out.push('\n');
+    }
+    if options.border {
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', grid.width as usize));
+        out.push_str("+\n");
+    }
+    out
+}
+
+/// A one-line scoreboard for the teams present in `view`.
+pub fn scoreboard(scenario: &Scenario, view: &impl WorldView) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    for team in 0..scenario.teams {
+        let pos = find_team(scenario, view, team);
+        match pos {
+            Some((p, hp)) => entries.push(format!("T{team}@({},{})hp{hp}", p.x, p.y)),
+            None => entries.push(format!("T{team}:down")),
+        }
+    }
+    entries.join("  ")
+}
+
+fn find_team(
+    scenario: &Scenario,
+    view: &impl WorldView,
+    team: NodeId,
+) -> Option<(Pos, u8)> {
+    scenario.grid.iter().find_map(|pos| match view.block_at(pos) {
+        Block::Tank { team: t, hp, .. } if t == team => Some((pos, hp)),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn view_of(map: BTreeMap<Pos, Block>) -> impl WorldView {
+        move |pos: Pos| map.get(&pos).copied().unwrap_or(Block::Empty)
+    }
+
+    fn tiny_scenario() -> Scenario {
+        let mut s = Scenario::paper(2, 1);
+        s.grid = crate::world::Grid { width: 4, height: 3 };
+        s
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s = tiny_scenario();
+        let text = render(&s, &view_of(BTreeMap::new()), RenderOptions::default());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3 + 2, "rows plus border");
+        assert!(lines.iter().all(|l| l.len() == 4 + 2), "cols plus border");
+    }
+
+    #[test]
+    fn glyphs_cover_every_block_kind() {
+        let opts = RenderOptions::default();
+        assert_eq!(glyph(Block::Empty, opts), '.');
+        assert_eq!(glyph(Block::Goal, opts), 'G');
+        assert_eq!(glyph(Block::Bonus { points: 5 }, opts), '$');
+        assert_eq!(glyph(Block::Bomb, opts), '*');
+        assert_eq!(glyph(Block::Obstacle, opts), '#');
+        let tank = Block::Tank {
+            team: 11,
+            tank: 0,
+            hp: 2,
+            facing: Direction::West,
+            fired: None,
+        };
+        assert_eq!(glyph(tank, opts), 'b', "team 11 renders base-36");
+        let arrows = RenderOptions { facing_markers: true, border: false };
+        assert_eq!(glyph(tank, arrows), '<');
+    }
+
+    #[test]
+    fn render_places_blocks_at_their_positions() {
+        let s = tiny_scenario();
+        let map = BTreeMap::from([
+            (Pos::new(1, 0), Block::Goal),
+            (Pos::new(2, 2), Block::Obstacle),
+        ]);
+        let text = render(&s, &view_of(map), RenderOptions { facing_markers: false, border: false });
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(&lines[0][1..2], "G");
+        assert_eq!(&lines[2][2..3], "#");
+    }
+
+    #[test]
+    fn scoreboard_reports_presence_and_absence() {
+        let s = tiny_scenario();
+        let map = BTreeMap::from([(
+            Pos::new(3, 1),
+            Block::Tank { team: 0, tank: 0, hp: 2, facing: Direction::North, fired: None },
+        )]);
+        let board = scoreboard(&s, &view_of(map));
+        assert!(board.contains("T0@(3,1)hp2"));
+        assert!(board.contains("T1:down"));
+    }
+
+    #[test]
+    fn initial_world_renders_without_panics() {
+        let s = Scenario::paper(4, 1);
+        let world = s.initial_world();
+        let view = move |pos: Pos| world[s.grid.object_at(pos).0 as usize];
+        let text = render(&Scenario::paper(4, 1), &view, RenderOptions::default());
+        assert!(text.contains('G'));
+        assert!(text.matches(|c: char| c.is_ascii_digit()).count() >= 4);
+    }
+}

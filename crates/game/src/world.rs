@@ -1,0 +1,208 @@
+//! The shared 2D environment: coordinates, directions, and the mapping of
+//! grid blocks onto S-DSO objects.
+
+use sdso_core::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// A grid position (origin top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pos {
+    /// Column, `0..width`.
+    pub x: u16,
+    /// Row, `0..height`.
+    pub y: u16,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(x: u16, y: u16) -> Self {
+        Pos { x, y }
+    }
+
+    /// Manhattan distance (tanks move one block per tick in the four
+    /// cardinal directions, so this is also the worst-case travel time).
+    pub fn manhattan(self, other: Pos) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// Whether the two positions share a row or a column (the alignment the
+    /// MSYNC s-function treats as "can affect my next operation").
+    pub fn aligned(self, other: Pos) -> bool {
+        self.x == other.x || self.y == other.y
+    }
+
+    /// Ticks until the two could share a row or column, each moving one
+    /// block per tick toward alignment: `ceil(min(|dx|, |dy|) / 2)`.
+    pub fn ticks_to_alignment(self, other: Pos) -> u64 {
+        let dx = u64::from(self.x.abs_diff(other.x));
+        let dy = u64::from(self.y.abs_diff(other.y));
+        dx.min(dy).div_ceil(2)
+    }
+
+    /// Ticks until the two could be within Manhattan distance `d`, each
+    /// moving one block per tick toward each other (distance shrinks by two
+    /// per tick): `ceil(max(0, dist - d) / 2)`.
+    pub fn ticks_to_within(self, other: Pos, d: u32) -> u64 {
+        u64::from(self.manhattan(other).saturating_sub(d)).div_ceil(2)
+    }
+
+    /// The neighbouring position in `dir`, when inside a `grid`.
+    pub fn step(self, dir: Direction, grid: Grid) -> Option<Pos> {
+        let (x, y) = (i32::from(self.x), i32::from(self.y));
+        let (nx, ny) = match dir {
+            Direction::North => (x, y - 1),
+            Direction::South => (x, y + 1),
+            Direction::East => (x + 1, y),
+            Direction::West => (x - 1, y),
+        };
+        (nx >= 0 && ny >= 0 && (nx as u32) < u32::from(grid.width) && (ny as u32) < u32::from(grid.height))
+            .then(|| Pos::new(nx as u16, ny as u16))
+    }
+}
+
+/// The four movement/facing/firing directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Decreasing `y`.
+    North,
+    /// Increasing `y`.
+    South,
+    /// Increasing `x`.
+    East,
+    /// Decreasing `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in the paper's look order.
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::East, Direction::West];
+
+    /// Stable wire/AI discriminant.
+    pub fn index(self) -> u8 {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+        }
+    }
+
+    /// Inverse of [`Direction::index`].
+    pub fn from_index(i: u8) -> Option<Direction> {
+        Direction::ALL.get(usize::from(i)).copied()
+    }
+}
+
+/// The grid dimensions. The paper's evaluation uses 32×24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of columns.
+    pub width: u16,
+    /// Number of rows.
+    pub height: u16,
+}
+
+impl Grid {
+    /// The paper's 32×24 shared environment.
+    pub const PAPER: Grid = Grid { width: 32, height: 24 };
+
+    /// Number of blocks (= shared objects).
+    pub fn cells(self) -> u32 {
+        u32::from(self.width) * u32::from(self.height)
+    }
+
+    /// The S-DSO object holding the block at `pos` (row-major).
+    pub fn object_at(self, pos: Pos) -> ObjectId {
+        ObjectId(u32::from(pos.y) * u32::from(self.width) + u32::from(pos.x))
+    }
+
+    /// Inverse of [`Grid::object_at`].
+    pub fn pos_of(self, object: ObjectId) -> Pos {
+        Pos::new((object.0 % u32::from(self.width)) as u16, (object.0 / u32::from(self.width)) as u16)
+    }
+
+    /// Whether `pos` lies inside the grid.
+    pub fn contains(self, pos: Pos) -> bool {
+        pos.x < self.width && pos.y < self.height
+    }
+
+    /// Iterates every position, row-major.
+    pub fn iter(self) -> impl Iterator<Item = Pos> {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| Pos::new(x, y)))
+    }
+
+    /// The centre block (the game's goal position).
+    pub fn center(self) -> Pos {
+        Pos::new(self.width / 2, self.height / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_mapping_roundtrips() {
+        let g = Grid::PAPER;
+        for pos in [Pos::new(0, 0), Pos::new(31, 23), Pos::new(5, 7)] {
+            assert_eq!(g.pos_of(g.object_at(pos)), pos);
+        }
+        assert_eq!(g.cells(), 768);
+    }
+
+    #[test]
+    fn manhattan_and_alignment() {
+        let a = Pos::new(3, 4);
+        let b = Pos::new(6, 8);
+        assert_eq!(a.manhattan(b), 7);
+        assert!(!a.aligned(b));
+        assert!(a.aligned(Pos::new(3, 20)));
+        assert!(a.aligned(Pos::new(9, 4)));
+    }
+
+    #[test]
+    fn alignment_time_is_half_the_smaller_axis_gap() {
+        let a = Pos::new(0, 0);
+        assert_eq!(a.ticks_to_alignment(Pos::new(10, 5)), 3); // ceil(5/2)
+        assert_eq!(a.ticks_to_alignment(Pos::new(10, 0)), 0); // already aligned
+        assert_eq!(a.ticks_to_alignment(Pos::new(1, 1)), 1);
+    }
+
+    #[test]
+    fn within_time_accounts_for_mutual_approach() {
+        let a = Pos::new(0, 0);
+        let b = Pos::new(10, 0);
+        assert_eq!(a.ticks_to_within(b, 4), 3); // (10-4)/2
+        assert_eq!(a.ticks_to_within(b, 10), 0);
+        assert_eq!(a.ticks_to_within(b, 11), 0);
+    }
+
+    #[test]
+    fn step_respects_bounds() {
+        let g = Grid::PAPER;
+        assert_eq!(Pos::new(0, 0).step(Direction::North, g), None);
+        assert_eq!(Pos::new(0, 0).step(Direction::West, g), None);
+        assert_eq!(Pos::new(0, 0).step(Direction::South, g), Some(Pos::new(0, 1)));
+        assert_eq!(Pos::new(31, 23).step(Direction::East, g), None);
+    }
+
+    #[test]
+    fn direction_index_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), Some(d));
+        }
+        assert_eq!(Direction::from_index(9), None);
+    }
+
+    #[test]
+    fn iter_covers_every_cell_once() {
+        let g = Grid { width: 4, height: 3 };
+        let all: Vec<Pos> = g.iter().collect();
+        assert_eq!(all.len(), 12);
+        let mut unique = all.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 12);
+    }
+}

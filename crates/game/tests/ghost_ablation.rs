@@ -1,0 +1,132 @@
+//! Negative control for the spawn-ghost mechanism (DESIGN.md §7): an
+//! MSYNC-style s-function that ignores respawn teleports must eventually
+//! violate spatial consistency in a respawn-heavy game — and the runtime
+//! must *detect* that (protocol violation or deadlock), never diverge
+//! silently. This test documents that the ghost positions in
+//! `sdso_game::sfuncs` are load-bearing, not decorative.
+
+use sdso_core::{
+    DsoConfig, DsoError, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime,
+};
+use sdso_game::{team_positions, Block, GameCore, Pos, Scenario};
+use sdso_net::{Endpoint, NodeId};
+use sdso_protocols::Lookahead;
+use sdso_sim::{NetworkModel, SimCluster};
+
+/// MSYNC2's trigger, but computed from visible tank positions only — no
+/// spawn-point ghosts, so a respawn teleport is unpredictable.
+struct Msync2NoGhosts {
+    me: NodeId,
+    scenario: Scenario,
+    d: u32,
+}
+
+impl SFunction for Msync2NoGhosts {
+    fn next_exchange(
+        &mut self,
+        peer: NodeId,
+        now: LogicalTime,
+        view: &ObjectStore,
+    ) -> Option<LogicalTime> {
+        let ours = team_positions(view, &self.scenario, self.me);
+        let theirs = team_positions(view, &self.scenario, peer);
+        let d = self.d;
+        let delta = ours
+            .iter()
+            .flat_map(|&m| {
+                theirs
+                    .iter()
+                    .map(move |&t| m.ticks_to_alignment(t).max(m.ticks_to_within(t, d)))
+            })
+            .min()
+            // A team in limbo is invisible: without ghosts the best this
+            // schedule can do is a (wrong) "nothing can happen soon".
+            .unwrap_or(8);
+        Some(now.plus(delta.max(1)))
+    }
+}
+
+fn run_no_ghosts(scenario: &Scenario) -> Vec<Result<(), DsoError>> {
+    let outer = scenario.clone();
+    let outcome = SimCluster::new(usize::from(scenario.teams), NetworkModel::paper_testbed())
+        .run(move |ep| {
+            let me = ep.node_id();
+            let s = outer.clone();
+            let config =
+                DsoConfig { frame_wire_len: s.frame_wire_len, merge_diffs: s.merge_diffs };
+            let mut rt = SdsoRuntime::new(ep, config);
+            for (idx, block) in s.initial_world().iter().enumerate() {
+                rt.share(ObjectId(idx as u32), block.encode(s.block_bytes))
+                    .map_err(to_net)?;
+            }
+            let sfunc = Msync2NoGhosts { me, scenario: s.clone(), d: s.relevance_distance() };
+            let mut node = Lookahead::new(rt, sfunc).map_err(to_net)?;
+            let mut core = GameCore::new(s.clone(), me);
+            struct P<'a, E: Endpoint> {
+                rt: &'a mut SdsoRuntime<E>,
+                s: &'a Scenario,
+            }
+            impl<E: Endpoint> sdso_game::BlockPort for P<'_, E> {
+                fn read_block(&self, pos: Pos) -> Result<Block, DsoError> {
+                    Block::decode(self.rt.read(self.s.grid.object_at(pos))?)
+                        .ok_or_else(|| DsoError::ProtocolViolation("corrupt block".into()))
+                }
+                fn write_block(&mut self, pos: Pos, b: Block) -> Result<(), DsoError> {
+                    self.rt.write(self.s.grid.object_at(pos), 0, &b.encode(self.s.block_bytes))
+                }
+            }
+            for _ in 0..s.ticks {
+                {
+                    let mut port = P { rt: node.runtime_mut(), s: &s };
+                    core.run_tick(&mut port).map_err(to_net)?;
+                }
+                node.step().map_err(to_net)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    outcome
+        .nodes
+        .into_iter()
+        .map(|n| n.result.map_err(|e| DsoError::ProtocolViolation(format!("{e}"))))
+        .collect()
+}
+
+fn to_net(e: DsoError) -> sdso_net::NetError {
+    e.into()
+}
+
+#[test]
+fn ghostless_schedule_fails_loudly_not_silently() {
+    // Dense, respawn-heavy configuration (the one that exposed the original
+    // respawn race). Without spawn ghosts the schedule is unsound; the
+    // guarantee under test is that the system *reports* the violation —
+    // through the strict own-cell oracle, a stale-stamp rejection, or a
+    // deadlock — on at least one node, rather than completing with
+    // silently divergent replicas.
+    let scenario = Scenario::paper(16, 3).with_ticks(200);
+    let results = run_no_ghosts(&scenario);
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    assert!(
+        failures > 0,
+        "the ghost-free schedule completed cleanly; either this \
+         configuration stopped exercising respawn teleports (weaken of the \
+         test) or violations are no longer detected (a real regression)"
+    );
+}
+
+#[test]
+fn ghosted_schedule_passes_the_same_configuration() {
+    // Positive control: the shipped MSYNC2 (with ghosts) survives the
+    // identical configuration.
+    let scenario = Scenario::paper(16, 3).with_ticks(200);
+    let s = scenario.clone();
+    let outcome = SimCluster::new(16, NetworkModel::paper_testbed())
+        .run(move |ep| {
+            sdso_game::run_node(ep, &s, sdso_game::Protocol::Msync2).map_err(to_net)
+        })
+        .unwrap();
+    for node in outcome.nodes {
+        assert!(node.result.is_ok(), "ghosted MSYNC2 must pass: {:?}", node.result.err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness for the S-DSO reproduction.
+//!
+//! Ties together the virtual-time cluster (`sdso-sim`), the tank game
+//! (`sdso-game`) and the consistency protocols (`sdso-protocols`) into
+//! runnable experiments that regenerate every figure of the paper's
+//! evaluation section:
+//!
+//! | Figure | Metric | Function |
+//! |---|---|---|
+//! | Fig. 5 | normalised execution time | [`Sweep::figure5`] |
+//! | Fig. 6 | total messages | [`Sweep::figure6`] |
+//! | Fig. 7 | data messages | [`Sweep::figure7`] |
+//! | Fig. 8 | protocol overhead % | [`Sweep::figure8`] |
+//! | Ext. A | data-size sweep | [`Sweep::ext_data_size`] |
+//! | Ext. B | blocking breakdown | [`Sweep::ext_blocking`] |
+//! | Ext. C | diff-merging ablation | [`Sweep::ext_diff_merging`] |
+//! | Ext. D | LRC + causal comparison | [`Sweep::ext_protocols`] |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sdso_harness::Sweep;
+//!
+//! # fn main() -> Result<(), sdso_sim::SimError> {
+//! for table in Sweep::paper().figure5()? {
+//!     println!("{table}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod experiment;
+mod figures;
+mod table;
+
+pub use experiment::{mean_of, run_experiment, run_seeds, RunSummary};
+pub use figures::Sweep;
+pub use table::Table;

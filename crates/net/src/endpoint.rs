@@ -1,0 +1,108 @@
+use crate::error::NetError;
+use crate::message::{Incoming, Payload};
+use crate::metrics::NetMetricsSnapshot;
+use crate::time::{SimInstant, SimSpan};
+
+/// Identifies a node (process) within a cluster. Node ids are dense:
+/// `0..num_nodes`.
+pub type NodeId = u16;
+
+/// The transport abstraction every consistency protocol is written against.
+///
+/// An endpoint belongs to exactly one node of a fixed-size cluster and can
+/// exchange [`Payload`]s with every other node. Three implementations exist:
+///
+/// * [`memory::MemoryEndpoint`](crate::memory::MemoryEndpoint) — crossbeam
+///   channels, real threads, wall-clock time;
+/// * [`tcp::TcpEndpoint`](crate::tcp::TcpEndpoint) — a real TCP mesh, the
+///   moral equivalent of the original system's socket layer;
+/// * `sdso_sim::SimEndpoint` — deterministic virtual time over a modelled
+///   network, used for the paper's evaluation figures.
+///
+/// # Time
+///
+/// [`Endpoint::now`] reports microseconds since a transport-defined epoch —
+/// wall time for real transports, virtual time in the simulator.
+/// [`Endpoint::advance`] models local computation: the simulator advances the
+/// node's virtual clock, real transports treat it as a no-op (the computation
+/// itself already took wall time).
+pub trait Endpoint: Send {
+    /// This node's id.
+    fn node_id(&self) -> NodeId;
+
+    /// Number of nodes in the cluster.
+    fn num_nodes(&self) -> usize;
+
+    /// Sends `payload` to `to`. Non-blocking (transports buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPeer`] if `to` is out of range or equal to
+    /// this node, and [`NetError::Disconnected`] if the peer is gone.
+    fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError>;
+
+    /// Receives the next message, blocking until one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if no message can ever arrive
+    /// again, and [`NetError::Deadlock`] if the virtual-time scheduler proves
+    /// the whole cluster is blocked.
+    fn recv(&mut self) -> Result<Incoming, NetError>;
+
+    /// Receives the next message if one is already available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if no message can ever arrive again.
+    fn try_recv(&mut self) -> Result<Option<Incoming>, NetError>;
+
+    /// Models `dt` of local computation on this node.
+    fn advance(&mut self, dt: SimSpan);
+
+    /// Current time on this node's clock.
+    fn now(&self) -> SimInstant;
+
+    /// Snapshot of this endpoint's traffic counters.
+    fn metrics(&self) -> NetMetricsSnapshot;
+
+    /// Sends a copy of `payload` to every other node in the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure.
+    fn broadcast(&mut self, payload: &Payload) -> Result<(), NetError> {
+        let me = self.node_id();
+        for peer in 0..self.num_nodes() as NodeId {
+            if peer != me {
+                self.send(peer, payload.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a destination node id against the cluster size and self-sends.
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidPeer`] when the peer is this node itself or out
+/// of range.
+pub(crate) fn check_peer(me: NodeId, to: NodeId, num_nodes: usize) -> Result<(), NetError> {
+    if to == me || usize::from(to) >= num_nodes {
+        return Err(NetError::InvalidPeer { peer: to, cluster: num_nodes });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_peer_rejects_self_and_out_of_range() {
+        assert!(check_peer(0, 0, 4).is_err());
+        assert!(check_peer(0, 4, 4).is_err());
+        assert!(check_peer(0, 3, 4).is_ok());
+    }
+}

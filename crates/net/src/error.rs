@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by transports and codecs in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A peer id was outside the cluster, or a node tried to message itself.
+    InvalidPeer {
+        /// The offending peer id.
+        peer: u16,
+        /// Number of nodes in the cluster.
+        cluster: usize,
+    },
+    /// The peer (or the whole hub/mesh) has shut down; no more messages can
+    /// flow in the indicated direction.
+    Disconnected,
+    /// A frame or message failed to decode.
+    Codec(String),
+    /// An underlying I/O error (TCP transport only).
+    Io(std::io::Error),
+    /// The virtual-time scheduler detected that every node is blocked with no
+    /// message in flight — a distributed deadlock in the protocol under test.
+    Deadlock(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidPeer { peer, cluster } => {
+                write!(f, "invalid peer id {peer} for cluster of {cluster} nodes")
+            }
+            NetError::Disconnected => write!(f, "transport disconnected"),
+            NetError::Codec(msg) => write!(f, "codec error: {msg}"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Deadlock(detail) => write!(f, "distributed deadlock: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::InvalidPeer { peer: 9, cluster: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = NetError::Codec("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let e = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

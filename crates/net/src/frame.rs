@@ -1,0 +1,149 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +---------+--------+---------+----------+----------------+
+//! | len u32 | from   | class   | wire_len | body           |
+//! |         | u16    | u8      | u32      | len - 7 bytes  |
+//! +---------+--------+---------+----------+----------------+
+//! ```
+//!
+//! `len` counts everything after itself. `wire_len` carries the *modelled*
+//! message size (see [`Payload::wire_len`]) so that metrics agree between
+//! real and simulated transports.
+
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+
+use crate::endpoint::NodeId;
+use crate::error::NetError;
+use crate::message::{Incoming, MsgClass, Payload};
+
+/// Header bytes following the length prefix.
+const HEADER: usize = 2 + 1 + 4;
+
+/// Maximum accepted frame body, a defence against corrupt length prefixes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one framed message to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, from: NodeId, payload: &Payload) -> Result<(), NetError> {
+    let body_len = payload.bytes.len();
+    let len = (HEADER + body_len) as u32;
+    let mut head = [0u8; 4 + HEADER];
+    head[0..4].copy_from_slice(&len.to_le_bytes());
+    head[4..6].copy_from_slice(&from.to_le_bytes());
+    head[6] = payload.class.to_wire();
+    head[7..11].copy_from_slice(&payload.wire_len.to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(&payload.bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from `r`, blocking until complete.
+///
+/// # Errors
+///
+/// Returns [`NetError::Disconnected`] on a clean EOF at a frame boundary,
+/// [`NetError::Codec`] on malformed frames, and [`NetError::Io`] otherwise.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Incoming, NetError> {
+    let mut len_buf = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len_buf) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => NetError::Disconnected,
+            _ => NetError::Io(e),
+        });
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len < HEADER || len > MAX_FRAME {
+        return Err(NetError::Codec(format!("invalid frame length {len}")));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    let from = NodeId::from_le_bytes([frame[0], frame[1]]);
+    let class = MsgClass::from_wire(frame[2])
+        .ok_or_else(|| NetError::Codec(format!("invalid message class {:#x}", frame[2])))?;
+    let wire_len = u32::from_le_bytes([frame[3], frame[4], frame[5], frame[6]]);
+    let body = Bytes::copy_from_slice(&frame[HEADER..]);
+    let wire_len = wire_len.max(body.len() as u32);
+    Ok(Incoming { from, payload: Payload { class, bytes: body, wire_len } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: Payload) -> Incoming {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, &payload).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_everything() {
+        let p = Payload::data(vec![9u8; 100]).with_wire_len(2048);
+        let got = roundtrip(p.clone());
+        assert_eq!(got.from, 3);
+        assert_eq!(got.payload, p);
+    }
+
+    #[test]
+    fn empty_body_roundtrip() {
+        let got = roundtrip(Payload::control(Vec::new()));
+        assert_eq!(got.payload.bytes.len(), 0);
+        assert_eq!(got.payload.class, MsgClass::Control);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_disconnected() {
+        let err = read_frame(&mut Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert!(matches!(err, NetError::Disconnected));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, &Payload::data(vec![1u8; 50])).unwrap();
+        buf.truncate(buf.len() - 10);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, NetError::Codec(_)));
+    }
+
+    #[test]
+    fn invalid_class_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, &Payload::control(vec![1])).unwrap();
+        buf[6] = 0xFF; // corrupt the class byte
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, NetError::Codec(_)));
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..5u8 {
+            write_frame(&mut buf, i as NodeId, &Payload::data(vec![i])).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for i in 0..5u8 {
+            let got = read_frame(&mut cursor).unwrap();
+            assert_eq!(got.from, i as NodeId);
+            assert_eq!(got.payload.bytes[0], i);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Message transport substrate for the S-DSO distributed shared object system.
+//!
+//! This crate provides everything the consistency layers need to talk to each
+//! other, without committing to a particular medium:
+//!
+//! * [`Payload`] / [`Incoming`] — the unit of exchange, tagged with a
+//!   [`MsgClass`] so that evaluation harnesses can count control and data
+//!   messages separately (the paper's Figures 6 and 7 plot exactly that
+//!   split).
+//! * [`Endpoint`] — the transport abstraction all protocols are written
+//!   against. Implementations exist for in-process channels
+//!   ([`memory::MemoryHub`]), real TCP meshes ([`tcp::TcpMesh`]), and the
+//!   virtual-time cluster simulator in the `sdso-sim` crate.
+//! * [`wire`] — a small, dependency-free binary codec used by every message
+//!   type in the workspace.
+//! * [`frame`] — length-prefixed framing shared by the TCP transport and any
+//!   future stream transport.
+//!
+//! The original S-DSO system (West, Schwan, Tacic, Ahamad; ICDCS 1997) was
+//! "directly layered onto sockets"; [`tcp`] plays that role here, while
+//! [`memory`] and the simulator make the same protocol code testable and
+//! measurable deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use sdso_net::{memory::MemoryHub, Endpoint, MsgClass, Payload};
+//!
+//! # fn main() -> Result<(), sdso_net::NetError> {
+//! let mut eps = MemoryHub::new(2).into_endpoints();
+//! let mut b = eps.pop().unwrap();
+//! let mut a = eps.pop().unwrap();
+//!
+//! a.send(1, Payload::control(b"hello".as_ref()))?;
+//! let msg = b.recv()?;
+//! assert_eq!(msg.from, 0);
+//! assert_eq!(&msg.payload.bytes[..], b"hello");
+//! assert_eq!(msg.payload.class, MsgClass::Control);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod endpoint;
+mod error;
+mod message;
+mod metrics;
+mod time;
+
+pub mod frame;
+pub mod memory;
+pub mod tcp;
+pub mod wire;
+
+pub use endpoint::{Endpoint, NodeId};
+pub use error::NetError;
+pub use message::{Incoming, MsgClass, Payload};
+pub use metrics::{ClassCounters, NetMetrics, NetMetricsSnapshot};
+pub use time::{SimInstant, SimSpan};

@@ -1,0 +1,209 @@
+//! In-process transport backed by crossbeam channels.
+//!
+//! Every node of a [`MemoryHub`] runs on its own OS thread; message delivery
+//! is immediate (no modelled latency). This transport is the workhorse for
+//! unit and property tests of protocol logic; timing-sensitive evaluation
+//! uses the virtual-time simulator instead.
+
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::endpoint::{check_peer, Endpoint, NodeId};
+use crate::error::NetError;
+use crate::message::{Incoming, Payload};
+use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::time::{SimInstant, SimSpan};
+
+/// Builder for a fully-connected in-process cluster.
+///
+/// # Example
+///
+/// ```
+/// use sdso_net::{memory::MemoryHub, Endpoint, Payload};
+///
+/// # fn main() -> Result<(), sdso_net::NetError> {
+/// let endpoints = MemoryHub::new(3).into_endpoints();
+/// assert_eq!(endpoints.len(), 3);
+/// assert_eq!(endpoints[2].node_id(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemoryHub {
+    endpoints: Vec<MemoryEndpoint>,
+}
+
+impl MemoryHub {
+    /// Creates a hub of `n` mutually connected nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `NodeId::MAX`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster must have at least one node");
+        assert!(n <= usize::from(NodeId::MAX), "cluster too large");
+        let start = Instant::now();
+        let channels: Vec<(Sender<Incoming>, Receiver<Incoming>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Incoming>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let endpoints = channels
+            .into_iter()
+            .enumerate()
+            .map(|(id, (_, rx))| MemoryEndpoint {
+                id: id as NodeId,
+                num_nodes: n,
+                peers: senders.clone(),
+                rx,
+                start,
+                metrics: NetMetrics::new(),
+            })
+            .collect();
+        MemoryHub { endpoints }
+    }
+
+    /// Consumes the hub, yielding one endpoint per node, indexed by node id.
+    pub fn into_endpoints(self) -> Vec<MemoryEndpoint> {
+        self.endpoints
+    }
+}
+
+/// One node's endpoint in a [`MemoryHub`] cluster.
+#[derive(Debug)]
+pub struct MemoryEndpoint {
+    id: NodeId,
+    num_nodes: usize,
+    peers: Vec<Sender<Incoming>>,
+    rx: Receiver<Incoming>,
+    start: Instant,
+    metrics: NetMetrics,
+}
+
+impl Endpoint for MemoryEndpoint {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
+        check_peer(self.id, to, self.num_nodes)?;
+        self.metrics.record_send(payload.class, payload.wire_len());
+        self.peers[usize::from(to)]
+            .send(Incoming { from: self.id, payload })
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Incoming, NetError> {
+        let before = self.now();
+        let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+        self.metrics.record_blocked(self.now().saturating_since(before));
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        Ok(msg)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                Ok(Some(msg))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn advance(&mut self, _dt: SimSpan) {
+        // Local computation already consumed real wall time.
+    }
+
+    fn now(&self) -> SimInstant {
+        SimInstant::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn metrics(&self) -> NetMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgClass;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, Payload::data(vec![1, 2, 3])).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got.from, 0);
+        assert_eq!(&got.payload.bytes[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_self() {
+        let mut eps = MemoryHub::new(4).into_endpoints();
+        eps[0].broadcast(&Payload::control(vec![7])).unwrap();
+        for ep in eps.iter_mut().skip(1) {
+            let got = ep.recv().unwrap();
+            assert_eq!(got.from, 0);
+        }
+        assert!(eps[0].try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        assert!(matches!(
+            eps[0].send(0, Payload::control(vec![])),
+            Err(NetError::InvalidPeer { .. })
+        ));
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        for i in 0..10u8 {
+            eps[0].send(1, Payload::data(vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(eps[1].recv().unwrap().payload.bytes[0], i);
+        }
+    }
+
+    #[test]
+    fn metrics_count_sends_and_recvs() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        eps[0].send(1, Payload::data(vec![0; 16]).with_wire_len(2048)).unwrap();
+        eps[0].send(1, Payload::control(vec![0; 4])).unwrap();
+        let s = eps[0].metrics();
+        assert_eq!(s.data_sent.msgs, 1);
+        assert_eq!(s.data_sent.bytes, 2048);
+        assert_eq!(s.control_sent.msgs, 1);
+        let _ = eps[1].recv().unwrap();
+        let _ = eps[1].recv().unwrap();
+        let r = eps[1].metrics();
+        assert_eq!(r.total_recv(), 2);
+        assert_eq!(r.data_recv.bytes, 2048);
+        let _ = MsgClass::Data; // silence unused import lint in some cfgs
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let got = b.recv().unwrap();
+            assert_eq!(&got.payload.bytes[..], b"ping");
+            b.send(0, Payload::control(b"pong".as_ref())).unwrap();
+        });
+        a.send(1, Payload::control(b"ping".as_ref())).unwrap();
+        assert_eq!(&a.recv().unwrap().payload.bytes[..], b"pong");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::message::MsgClass;
+use crate::time::SimSpan;
+
+/// Message/byte counters for one [`MsgClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounters {
+    /// Messages counted.
+    pub msgs: u64,
+    /// Modelled wire bytes counted.
+    pub bytes: u64,
+}
+
+/// A point-in-time snapshot of one endpoint's traffic counters.
+///
+/// The evaluation harness aggregates these across nodes to regenerate the
+/// paper's Figure 6 (total messages) and Figure 7 (data messages only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetMetricsSnapshot {
+    /// Control messages sent.
+    pub control_sent: ClassCounters,
+    /// Data messages sent.
+    pub data_sent: ClassCounters,
+    /// Control messages received.
+    pub control_recv: ClassCounters,
+    /// Data messages received.
+    pub data_recv: ClassCounters,
+    /// Time this endpoint spent blocked inside `recv`, in microseconds.
+    pub blocked_micros: u64,
+}
+
+impl NetMetricsSnapshot {
+    /// All messages sent, regardless of class.
+    pub fn total_sent(&self) -> u64 {
+        self.control_sent.msgs + self.data_sent.msgs
+    }
+
+    /// All messages received, regardless of class.
+    pub fn total_recv(&self) -> u64 {
+        self.control_recv.msgs + self.data_recv.msgs
+    }
+
+    /// Total modelled bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.control_sent.bytes + self.data_sent.bytes
+    }
+
+    /// Time blocked in `recv` as a [`SimSpan`].
+    pub fn blocked(&self) -> SimSpan {
+        SimSpan::from_micros(self.blocked_micros)
+    }
+
+    /// Element-wise sum of two snapshots (for cluster-wide aggregation).
+    pub fn merged(&self, other: &NetMetricsSnapshot) -> NetMetricsSnapshot {
+        fn add(a: ClassCounters, b: ClassCounters) -> ClassCounters {
+            ClassCounters { msgs: a.msgs + b.msgs, bytes: a.bytes + b.bytes }
+        }
+        NetMetricsSnapshot {
+            control_sent: add(self.control_sent, other.control_sent),
+            data_sent: add(self.data_sent, other.data_sent),
+            control_recv: add(self.control_recv, other.control_recv),
+            data_recv: add(self.data_recv, other.data_recv),
+            blocked_micros: self.blocked_micros + other.blocked_micros,
+        }
+    }
+}
+
+/// Thread-safe live traffic counters attached to an endpoint.
+///
+/// Cloning shares the underlying counters; use [`NetMetrics::snapshot`] to
+/// read them.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    control_sent_msgs: AtomicU64,
+    control_sent_bytes: AtomicU64,
+    data_sent_msgs: AtomicU64,
+    data_sent_bytes: AtomicU64,
+    control_recv_msgs: AtomicU64,
+    control_recv_bytes: AtomicU64,
+    data_recv_msgs: AtomicU64,
+    data_recv_bytes: AtomicU64,
+    blocked_micros: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    /// Records one sent message of `class` occupying `wire_len` bytes.
+    pub fn record_send(&self, class: MsgClass, wire_len: u32) {
+        let (msgs, bytes) = match class {
+            MsgClass::Control => (&self.inner.control_sent_msgs, &self.inner.control_sent_bytes),
+            MsgClass::Data => (&self.inner.data_sent_msgs, &self.inner.data_sent_bytes),
+        };
+        msgs.fetch_add(1, Ordering::Relaxed);
+        bytes.fetch_add(u64::from(wire_len), Ordering::Relaxed);
+    }
+
+    /// Records one received message of `class` occupying `wire_len` bytes.
+    pub fn record_recv(&self, class: MsgClass, wire_len: u32) {
+        let (msgs, bytes) = match class {
+            MsgClass::Control => (&self.inner.control_recv_msgs, &self.inner.control_recv_bytes),
+            MsgClass::Data => (&self.inner.data_recv_msgs, &self.inner.data_recv_bytes),
+        };
+        msgs.fetch_add(1, Ordering::Relaxed);
+        bytes.fetch_add(u64::from(wire_len), Ordering::Relaxed);
+    }
+
+    /// Adds `span` to the time-blocked-in-`recv` counter.
+    pub fn record_blocked(&self, span: SimSpan) {
+        self.inner.blocked_micros.fetch_add(span.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Reads the current counter values.
+    pub fn snapshot(&self) -> NetMetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        NetMetricsSnapshot {
+            control_sent: ClassCounters {
+                msgs: load(&self.inner.control_sent_msgs),
+                bytes: load(&self.inner.control_sent_bytes),
+            },
+            data_sent: ClassCounters {
+                msgs: load(&self.inner.data_sent_msgs),
+                bytes: load(&self.inner.data_sent_bytes),
+            },
+            control_recv: ClassCounters {
+                msgs: load(&self.inner.control_recv_msgs),
+                bytes: load(&self.inner.control_recv_bytes),
+            },
+            data_recv: ClassCounters {
+                msgs: load(&self.inner.data_recv_msgs),
+                bytes: load(&self.inner.data_recv_bytes),
+            },
+            blocked_micros: load(&self.inner.blocked_micros),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_counters_split_by_class() {
+        let m = NetMetrics::new();
+        m.record_send(MsgClass::Control, 100);
+        m.record_send(MsgClass::Data, 2048);
+        m.record_send(MsgClass::Data, 2048);
+        m.record_recv(MsgClass::Control, 64);
+        let s = m.snapshot();
+        assert_eq!(s.control_sent, ClassCounters { msgs: 1, bytes: 100 });
+        assert_eq!(s.data_sent, ClassCounters { msgs: 2, bytes: 4096 });
+        assert_eq!(s.control_recv.msgs, 1);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.bytes_sent(), 4196);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let m = NetMetrics::new();
+        let m2 = m.clone();
+        m2.record_send(MsgClass::Data, 10);
+        assert_eq!(m.snapshot().data_sent.msgs, 1);
+    }
+
+    #[test]
+    fn merged_adds_elementwise() {
+        let a = NetMetrics::new();
+        a.record_send(MsgClass::Data, 5);
+        let b = NetMetrics::new();
+        b.record_send(MsgClass::Data, 7);
+        b.record_blocked(SimSpan::from_micros(11));
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.data_sent, ClassCounters { msgs: 2, bytes: 12 });
+        assert_eq!(merged.blocked_micros, 11);
+    }
+}

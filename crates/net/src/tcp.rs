@@ -1,0 +1,335 @@
+//! Real TCP mesh transport.
+//!
+//! The original S-DSO implementation was "directly layered onto sockets,
+//! eliminating the overhead of the PVM library used in Indigo"; this module
+//! is that layer. Every pair of nodes shares one TCP connection carrying
+//! [`frame`](crate::frame)-encoded messages; per-peer reader threads funnel
+//! decoded messages into a single channel per endpoint.
+//!
+//! For tests and single-machine experiments, [`TcpMesh::local`] builds a full
+//! mesh over loopback in one call. For genuinely distributed deployments,
+//! [`TcpMesh::join`] performs the listen/connect/handshake dance against a
+//! list of peer addresses.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::endpoint::{check_peer, Endpoint, NodeId};
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame};
+use crate::message::{Incoming, Payload};
+use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::time::{SimInstant, SimSpan};
+
+/// Constructors for TCP-connected clusters.
+#[derive(Debug)]
+pub struct TcpMesh;
+
+impl TcpMesh {
+    /// Builds an `n`-node full mesh over loopback, returning one endpoint per
+    /// node (indexed by node id). Endpoints may be moved to other threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/connect/accept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `NodeId::MAX`.
+    pub fn local(n: usize) -> Result<Vec<TcpEndpoint>, NetError> {
+        assert!(n > 0, "cluster must have at least one node");
+        assert!(n <= usize::from(NodeId::MAX), "cluster too large");
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+            .collect::<Result<_, _>>()?;
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
+
+        // streams[i][j] = node i's stream to node j (i != j).
+        let mut streams: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // j dials i; i accepts. Backlog makes the sequential
+                // connect-then-accept ordering safe.
+                let out = TcpStream::connect(addrs[i])?;
+                let (inc, _) = listeners[i].accept()?;
+                out.set_nodelay(true)?;
+                inc.set_nodelay(true)?;
+                streams[j][i] = Some(out);
+                streams[i][j] = Some(inc);
+            }
+        }
+
+        streams
+            .into_iter()
+            .enumerate()
+            .map(|(id, peers)| TcpEndpoint::from_streams(id as NodeId, n, peers))
+            .collect()
+    }
+
+    /// Joins a distributed mesh as node `id`, given every node's listen
+    /// address (`addrs[id]` must be this node's own bind address).
+    ///
+    /// The protocol: this node listens on `addrs[id]`; it dials every peer
+    /// with a lower id (sending its own id as a 2-byte handshake) and accepts
+    /// one connection from every peer with a higher id (reading the peer's id
+    /// from the handshake).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and rejects malformed handshakes.
+    pub fn join(id: NodeId, addrs: &[SocketAddr]) -> Result<TcpEndpoint, NetError> {
+        let n = addrs.len();
+        if usize::from(id) >= n {
+            return Err(NetError::InvalidPeer { peer: id, cluster: n });
+        }
+        let listener = TcpListener::bind(addrs[usize::from(id)])?;
+        let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial lower-id peers (retrying briefly while they come up).
+        for peer in 0..id {
+            let stream = connect_with_retry(addrs[usize::from(peer)])?;
+            stream.set_nodelay(true)?;
+            let mut s = stream.try_clone()?;
+            s.write_all(&id.to_le_bytes())?;
+            peers[usize::from(peer)] = Some(stream);
+        }
+        // Accept higher-id peers.
+        for _ in (u16::from(id) + 1)..n as u16 {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut idbuf = [0u8; 2];
+            stream.read_exact(&mut idbuf)?;
+            let peer = NodeId::from_le_bytes(idbuf);
+            if usize::from(peer) >= n || peer <= id || peers[usize::from(peer)].is_some() {
+                return Err(NetError::Codec(format!("bad handshake id {peer}")));
+            }
+            peers[usize::from(peer)] = Some(stream);
+        }
+
+        TcpEndpoint::from_streams(id, n, peers)
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, NetError> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// One node's endpoint in a TCP mesh.
+///
+/// Dropping the endpoint closes all connections and joins the reader
+/// threads.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    id: NodeId,
+    num_nodes: usize,
+    writers: Vec<Option<BufWriter<TcpStream>>>,
+    rx: Receiver<Result<Incoming, NetError>>,
+    readers: Vec<JoinHandle<()>>,
+    start: Instant,
+    metrics: NetMetrics,
+}
+
+impl TcpEndpoint {
+    fn from_streams(
+        id: NodeId,
+        num_nodes: usize,
+        peers: Vec<Option<TcpStream>>,
+    ) -> Result<TcpEndpoint, NetError> {
+        let (tx, rx): (Sender<Result<Incoming, NetError>>, Receiver<Result<Incoming, NetError>>) =
+            unbounded();
+        let mut writers = Vec::with_capacity(num_nodes);
+        let mut readers = Vec::new();
+        for stream in peers {
+            match stream {
+                None => writers.push(None),
+                Some(stream) => {
+                    let read_half = stream.try_clone()?;
+                    writers.push(Some(BufWriter::new(stream)));
+                    let tx = tx.clone();
+                    readers.push(std::thread::spawn(move || {
+                        let mut r = BufReader::new(read_half);
+                        loop {
+                            match read_frame(&mut r) {
+                                Ok(incoming) => {
+                                    if tx.send(Ok(incoming)).is_err() {
+                                        return; // endpoint dropped
+                                    }
+                                }
+                                // Clean EOF at a frame boundary: the peer
+                                // closed; ending this reader is enough.
+                                Err(NetError::Disconnected) => return,
+                                // A corrupt frame or I/O failure must reach
+                                // the application — swallowing it would turn
+                                // a wire error into a silent hang whenever
+                                // other peers keep the channel alive.
+                                Err(e) => {
+                                    let _ = tx.send(Err(e));
+                                    return;
+                                }
+                            }
+                        }
+                    }));
+                }
+            }
+        }
+        Ok(TcpEndpoint { id, num_nodes, writers, rx, readers, start: Instant::now(), metrics: NetMetrics::new() })
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
+        check_peer(self.id, to, self.num_nodes)?;
+        let writer =
+            self.writers[usize::from(to)].as_mut().ok_or(NetError::Disconnected)?;
+        write_frame(writer, self.id, &payload)?;
+        self.metrics.record_send(payload.class, payload.wire_len());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Incoming, NetError> {
+        let before = self.now();
+        let msg = self.rx.recv().map_err(|_| NetError::Disconnected)??;
+        self.metrics.record_blocked(self.now().saturating_since(before));
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        Ok(msg)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
+        match self.rx.try_recv() {
+            Ok(Ok(msg)) => {
+                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                Ok(Some(msg))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn advance(&mut self, _dt: SimSpan) {
+        // Real computation already consumed wall time.
+    }
+
+    fn now(&self) -> SimInstant {
+        SimInstant::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn metrics(&self) -> NetMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Closing the write halves causes peer readers to see EOF; dropping
+        // our writers' underlying streams also unblocks our own readers.
+        for w in &mut self.writers {
+            if let Some(w) = w {
+                let _ = w.flush();
+                let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+            }
+        }
+        self.writers.clear();
+        for t in self.readers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_mesh_ping_pong() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, Payload::data(b"ping".as_ref())).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got.from, 0);
+        assert_eq!(&got.payload.bytes[..], b"ping");
+        b.send(0, Payload::control(b"pong".as_ref())).unwrap();
+        assert_eq!(&a.recv().unwrap().payload.bytes[..], b"pong");
+    }
+
+    #[test]
+    fn four_node_broadcast_across_threads() {
+        let eps = TcpMesh::local(4).unwrap();
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                std::thread::spawn(move || {
+                    ep.broadcast(&Payload::control(vec![ep.node_id() as u8])).unwrap();
+                    let mut seen = Vec::new();
+                    for _ in 0..3 {
+                        seen.push(ep.recv().unwrap().from);
+                    }
+                    seen.sort_unstable();
+                    let expected: Vec<NodeId> =
+                        (0..4).filter(|&i| i != ep.node_id()).collect();
+                    assert_eq!(seen, expected);
+                    ep.metrics()
+                })
+            })
+            .collect();
+        for h in handles {
+            let m = h.join().unwrap();
+            assert_eq!(m.total_sent(), 3);
+            assert_eq!(m.total_recv(), 3);
+        }
+    }
+
+    #[test]
+    fn wire_len_travels_in_frame_header() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, Payload::data(vec![0u8; 10]).with_wire_len(2048)).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got.payload.wire_len(), 2048);
+        assert_eq!(b.metrics().data_recv.bytes, 2048);
+    }
+
+    #[test]
+    fn drop_disconnects_peers() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        // Eventually sends fail or recv reports disconnection.
+        let mut disconnected = false;
+        for _ in 0..100 {
+            if a.send(1, Payload::control(vec![0u8; 1024])).is_err() {
+                disconnected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(disconnected, "send to dropped peer should eventually fail");
+    }
+}

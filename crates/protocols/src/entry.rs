@@ -1,0 +1,668 @@
+//! Entry consistency (EC), the paper's lock-based baseline.
+//!
+//! Implemented "as efficiently as possible within the framework of S-DSO"
+//! (paper §4): each object is associated with one lock; lock managers are
+//! distributed evenly and statically across the processes (the manager of
+//! object *k* is process *k mod n*); each manager maintains the queue of
+//! pending requests and the identity of the owner of the most up-to-date
+//! object copy. Processes acquire exclusive write-locks or shared
+//! read-locks; acquiring a lock "ensures that updates to the locked object
+//! are pulled from the owner of the up-to-date copy" via `sync_get`.
+//!
+//! Deadlock prevention follows the enhancement the paper says lock-based
+//! protocols need: locksets are acquired in totally-ordered (object-id)
+//! order. While waiting for its own grants, a process keeps servicing other
+//! processes' lock traffic and object pulls, so managers never stall the
+//! cluster.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sdso_core::{DsoError, LogicalTime, ObjectId, SdsoRuntime, Version};
+use sdso_net::wire::{Wire, WireReader, WireWriter};
+use sdso_net::{Endpoint, MsgClass, NetError, NodeId, SimSpan};
+
+/// Lock acquisition modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// Shared read lock: any number of concurrent readers.
+    Read,
+    /// Exclusive write lock.
+    Write,
+}
+
+impl Wire for LockMode {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            LockMode::Read => 0,
+            LockMode::Write => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match r.get_u8()? {
+            0 => Ok(LockMode::Read),
+            1 => Ok(LockMode::Write),
+            b => Err(NetError::Codec(format!("invalid lock mode {b:#x}"))),
+        }
+    }
+}
+
+/// One entry of a lockset: which object, in which mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRequest {
+    /// The object to lock.
+    pub object: ObjectId,
+    /// Read or write.
+    pub mode: LockMode,
+}
+
+impl LockRequest {
+    /// A shared-read request.
+    pub fn read(object: ObjectId) -> Self {
+        LockRequest { object, mode: LockMode::Read }
+    }
+
+    /// An exclusive-write request.
+    pub fn write(object: ObjectId) -> Self {
+        LockRequest { object, mode: LockMode::Write }
+    }
+}
+
+/// EC's wire messages (all control class, per the paper's accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EcMessage {
+    Acquire { object: ObjectId, mode: LockMode },
+    Grant { object: ObjectId, owner: NodeId, version: Version },
+    Release { object: ObjectId, modified: bool, version: Version },
+    /// Fixed-length runs: "I have finished my iterations but keep serving".
+    Done,
+}
+
+const TAG_ACQUIRE: u8 = 1;
+const TAG_GRANT: u8 = 2;
+const TAG_RELEASE: u8 = 3;
+const TAG_DONE: u8 = 4;
+
+impl Wire for EcMessage {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            EcMessage::Acquire { object, mode } => {
+                w.put_u8(TAG_ACQUIRE);
+                object.encode(w);
+                mode.encode(w);
+            }
+            EcMessage::Grant { object, owner, version } => {
+                w.put_u8(TAG_GRANT);
+                object.encode(w);
+                w.put_u16(*owner);
+                version.encode(w);
+            }
+            EcMessage::Release { object, modified, version } => {
+                w.put_u8(TAG_RELEASE);
+                object.encode(w);
+                w.put_bool(*modified);
+                version.encode(w);
+            }
+            EcMessage::Done => w.put_u8(TAG_DONE),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match r.get_u8()? {
+            TAG_ACQUIRE => Ok(EcMessage::Acquire {
+                object: ObjectId::decode(r)?,
+                mode: LockMode::decode(r)?,
+            }),
+            TAG_GRANT => Ok(EcMessage::Grant {
+                object: ObjectId::decode(r)?,
+                owner: r.get_u16()?,
+                version: Version::decode(r)?,
+            }),
+            TAG_RELEASE => Ok(EcMessage::Release {
+                object: ObjectId::decode(r)?,
+                modified: r.get_bool()?,
+                version: Version::decode(r)?,
+            }),
+            TAG_DONE => Ok(EcMessage::Done),
+            tag => Err(NetError::Codec(format!("unknown EcMessage tag {tag:#x}"))),
+        }
+    }
+}
+
+/// Manager-side state of one lock.
+#[derive(Debug)]
+struct ManagedLock {
+    readers: BTreeSet<NodeId>,
+    writer: Option<NodeId>,
+    queue: VecDeque<(NodeId, LockMode)>,
+    /// The process holding the most up-to-date copy, and its version.
+    owner: NodeId,
+    version: Version,
+}
+
+impl ManagedLock {
+    fn new(manager: NodeId) -> Self {
+        ManagedLock {
+            readers: BTreeSet::new(),
+            writer: None,
+            queue: VecDeque::new(),
+            owner: manager,
+            version: Version::INITIAL,
+        }
+    }
+
+    fn compatible(&self, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Read => self.writer.is_none(),
+            LockMode::Write => self.writer.is_none() && self.readers.is_empty(),
+        }
+    }
+
+    fn add_holder(&mut self, who: NodeId, mode: LockMode) {
+        match mode {
+            LockMode::Read => {
+                self.readers.insert(who);
+            }
+            LockMode::Write => self.writer = Some(who),
+        }
+    }
+
+    fn remove_holder(&mut self, who: NodeId) {
+        if self.writer == Some(who) {
+            self.writer = None;
+        } else {
+            self.readers.remove(&who);
+        }
+    }
+}
+
+/// Entry-consistency protocol counters (the inputs to the paper's Fig. 8
+/// overhead breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EcMetrics {
+    /// Locks acquired in total.
+    pub acquires: u64,
+    /// Acquires satisfied by the manager-local fast path (no messages).
+    pub local_grants: u64,
+    /// Object bodies pulled from owners after grants.
+    pub pulls: u64,
+    /// Time from sending a lockset's first request until all its grants
+    /// arrived (excludes pull time).
+    pub lock_wait: SimSpan,
+    /// Time spent pulling object bodies from owners.
+    pub pull_time: SimSpan,
+}
+
+impl EcMetrics {
+    /// Element-wise sum for cluster-wide aggregation.
+    pub fn merged(&self, other: &EcMetrics) -> EcMetrics {
+        EcMetrics {
+            acquires: self.acquires + other.acquires,
+            local_grants: self.local_grants + other.local_grants,
+            pulls: self.pulls + other.pulls,
+            lock_wait: self.lock_wait + other.lock_wait,
+            pull_time: self.pull_time + other.pull_time,
+        }
+    }
+}
+
+/// One process of an entry-consistent application.
+///
+/// The typical iteration mirrors the paper's game loop:
+///
+/// 1. [`EntryConsistency::acquire`] a sorted lockset (reads for the visible
+///    range, writes for the cells a move may touch);
+/// 2. read replicas and decide;
+/// 3. [`EntryConsistency::write`] under the write locks;
+/// 4. [`EntryConsistency::release_all`] (owners recorded at the managers).
+#[derive(Debug)]
+pub struct EntryConsistency<E: Endpoint> {
+    runtime: SdsoRuntime<E>,
+    managed: BTreeMap<ObjectId, ManagedLock>,
+    /// Grants received but not yet consumed by `acquire`.
+    granted: BTreeMap<ObjectId, (NodeId, Version)>,
+    /// Locks currently held by this process.
+    held: BTreeMap<ObjectId, LockMode>,
+    /// Peers that have announced the end of their run.
+    dones_seen: usize,
+    metrics: EcMetrics,
+}
+
+impl<E: Endpoint> EntryConsistency<E> {
+    /// Wraps a runtime whose objects are already shared.
+    pub fn new(runtime: SdsoRuntime<E>) -> Self {
+        EntryConsistency {
+            runtime,
+            managed: BTreeMap::new(),
+            granted: BTreeMap::new(),
+            held: BTreeMap::new(),
+            dones_seen: 0,
+            metrics: EcMetrics::default(),
+        }
+    }
+
+    /// The manager of `object` in a cluster of `n`: process `object mod n`
+    /// ("the lock managers are distributed evenly and statically amongst
+    /// the processors").
+    pub fn manager_of(object: ObjectId, n: usize) -> NodeId {
+        (object.0 % n as u32) as NodeId
+    }
+
+    /// The underlying runtime (object reads, metrics).
+    pub fn runtime(&self) -> &SdsoRuntime<E> {
+        &self.runtime
+    }
+
+    /// Mutable runtime access.
+    pub fn runtime_mut(&mut self) -> &mut SdsoRuntime<E> {
+        &mut self.runtime
+    }
+
+    /// Protocol counters.
+    pub fn metrics(&self) -> EcMetrics {
+        self.metrics
+    }
+
+    /// Acquires every lock in `locks`, in ascending object-id order
+    /// (deadlock prevention by total ordering), pulling stale object copies
+    /// from their owners as grants arrive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; duplicate objects in one lockset are
+    /// a [`DsoError::ProtocolViolation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested lock is already held (locksets do not nest).
+    pub fn acquire(&mut self, locks: &[LockRequest]) -> Result<(), DsoError> {
+        let mut sorted = locks.to_vec();
+        sorted.sort_by_key(|l| l.object);
+        for pair in sorted.windows(2) {
+            if pair[0].object == pair[1].object {
+                return Err(DsoError::ProtocolViolation(format!(
+                    "lockset contains {} twice",
+                    pair[0].object
+                )));
+            }
+        }
+        let me = self.runtime.node_id();
+        let n = self.runtime.num_nodes();
+        for req in sorted {
+            assert!(
+                !self.held.contains_key(&req.object),
+                "lock {} already held; locksets do not nest",
+                req.object
+            );
+            let wait_start = self.runtime.now();
+            let manager = Self::manager_of(req.object, n);
+            if manager == me {
+                self.metrics.local_grants += 1;
+                self.local_acquire(req.object, req.mode)?;
+            } else {
+                self.send_ec(manager, EcMessage::Acquire { object: req.object, mode: req.mode })?;
+            }
+            // Wait for the grant (self-grants land in `granted` too).
+            while !self.granted.contains_key(&req.object) {
+                self.pump_one()?;
+            }
+            self.metrics.lock_wait += self.runtime.now().saturating_since(wait_start);
+            self.metrics.acquires += 1;
+
+            let (owner, version) = self.granted.remove(&req.object).expect("just checked");
+            self.held.insert(req.object, req.mode);
+            // Pull the up-to-date copy if ours is stale.
+            if owner != me && version > self.runtime.version_of(req.object)? {
+                let pull_start = self.runtime.now();
+                self.runtime.sync_get(owner, req.object)?;
+                self.metrics.pulls += 1;
+                self.metrics.pull_time += self.runtime.now().saturating_since(pull_start);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes under a held write lock, bumping the object's version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoError::ProtocolViolation`] if the write lock is not
+    /// held, plus any store error.
+    pub fn write(&mut self, object: ObjectId, offset: u32, bytes: &[u8]) -> Result<(), DsoError> {
+        if self.held.get(&object) != Some(&LockMode::Write) {
+            return Err(DsoError::ProtocolViolation(format!(
+                "write to {object} without an exclusive lock"
+            )));
+        }
+        let me = self.runtime.node_id();
+        let old = self.runtime.version_of(object)?;
+        let version = Version::new(LogicalTime::from_ticks(old.time.as_ticks() + 1), me);
+        self.runtime.write_local(object, offset, bytes, version)
+    }
+
+    /// Reads an object (valid for any held lock; EC only guarantees
+    /// freshness for objects in the current lockset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoError::UnknownObject`] for unshared objects.
+    pub fn read(&self, object: ObjectId) -> Result<&[u8], DsoError> {
+        self.runtime.read(object)
+    }
+
+    /// Releases every held lock, telling each manager whether the object
+    /// was modified (so it can update the owner pointer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn release_all(&mut self, modified: &BTreeSet<ObjectId>) -> Result<(), DsoError> {
+        let me = self.runtime.node_id();
+        let n = self.runtime.num_nodes();
+        let held = std::mem::take(&mut self.held);
+        for (object, _mode) in held {
+            let was_modified = modified.contains(&object);
+            let version = self.runtime.version_of(object)?;
+            let manager = Self::manager_of(object, n);
+            if manager == me {
+                self.local_release(object, me, was_modified, version)?;
+            } else {
+                self.send_ec(
+                    manager,
+                    EcMessage::Release { object, modified: was_modified, version },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Announces the end of this process's run, then keeps serving manager
+    /// duties (grants, releases, pulls) until every other process has
+    /// announced too. Required for fixed-length runs: a finished process
+    /// may still manage locks and own up-to-date copies that others need.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn finish(&mut self) -> Result<(), DsoError> {
+        let me = self.runtime.node_id();
+        for peer in 0..self.runtime.num_nodes() as NodeId {
+            if peer != me {
+                self.send_ec(peer, EcMessage::Done)?;
+            }
+        }
+        while self.dones_seen < self.runtime.num_nodes() - 1 {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+
+    /// Services any pending protocol traffic without blocking; call freely
+    /// between iterations so manager duties don't lag behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn service_pending(&mut self) -> Result<(), DsoError> {
+        while let Some((from, bytes)) = self.runtime.try_recv_app()? {
+            let msg = sdso_net::wire::decode(&bytes).map_err(DsoError::Net)?;
+            self.handle(from, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks on one message and services it.
+    fn pump_one(&mut self) -> Result<(), DsoError> {
+        let (from, bytes) = self.runtime.recv_app()?;
+        let msg = sdso_net::wire::decode(&bytes).map_err(DsoError::Net)?;
+        self.handle(from, msg)
+    }
+
+    /// Manager-side + client-side message dispatch.
+    fn handle(&mut self, from: NodeId, msg: EcMessage) -> Result<(), DsoError> {
+        match msg {
+            EcMessage::Acquire { object, mode } => {
+                let me = self.runtime.node_id();
+                let lock = self.managed.entry(object).or_insert_with(|| ManagedLock::new(me));
+                if lock.queue.is_empty() && lock.compatible(mode) {
+                    lock.add_holder(from, mode);
+                    let (owner, version) = (lock.owner, lock.version);
+                    self.deliver_grant(from, object, owner, version)?;
+                } else {
+                    lock.queue.push_back((from, mode));
+                }
+                Ok(())
+            }
+            EcMessage::Release { object, modified, version } => {
+                self.local_release(object, from, modified, version)
+            }
+            EcMessage::Grant { object, owner, version } => {
+                self.granted.insert(object, (owner, version));
+                Ok(())
+            }
+            EcMessage::Done => {
+                self.dones_seen += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Acquire when this process is the manager: grant immediately when
+    /// possible, otherwise enqueue self and wait via the pump.
+    fn local_acquire(&mut self, object: ObjectId, mode: LockMode) -> Result<(), DsoError> {
+        let me = self.runtime.node_id();
+        self.handle(me, EcMessage::Acquire { object, mode })
+    }
+
+    /// Release processing at the manager (local or remote requester).
+    fn local_release(
+        &mut self,
+        object: ObjectId,
+        who: NodeId,
+        modified: bool,
+        version: Version,
+    ) -> Result<(), DsoError> {
+        let me = self.runtime.node_id();
+        let lock = self.managed.entry(object).or_insert_with(|| ManagedLock::new(me));
+        lock.remove_holder(who);
+        if modified {
+            lock.owner = who;
+            lock.version = version;
+        }
+        // Grant queued requests in FIFO order, batching compatible heads.
+        loop {
+            let Some(&(next, mode)) = self.managed[&object].queue.front() else { break };
+            let lock = self.managed.get_mut(&object).expect("entry exists");
+            if !lock.compatible(mode) {
+                break;
+            }
+            lock.queue.pop_front();
+            lock.add_holder(next, mode);
+            let (owner, version) = (lock.owner, lock.version);
+            self.deliver_grant(next, object, owner, version)?;
+        }
+        Ok(())
+    }
+
+    fn deliver_grant(
+        &mut self,
+        to: NodeId,
+        object: ObjectId,
+        owner: NodeId,
+        version: Version,
+    ) -> Result<(), DsoError> {
+        if to == self.runtime.node_id() {
+            self.granted.insert(object, (owner, version));
+            Ok(())
+        } else {
+            self.send_ec(to, EcMessage::Grant { object, owner, version })
+        }
+    }
+
+    fn send_ec(&mut self, to: NodeId, msg: EcMessage) -> Result<(), DsoError> {
+        let bytes = sdso_net::wire::encode(&msg).to_vec();
+        self.runtime.send_app(to, MsgClass::Control, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdso_core::DsoConfig;
+    use sdso_net::memory::{MemoryEndpoint, MemoryHub};
+
+    fn cluster(n: usize, objects: u32) -> Vec<EntryConsistency<MemoryEndpoint>> {
+        MemoryHub::new(n)
+            .into_endpoints()
+            .into_iter()
+            .map(|ep| {
+                let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+                for id in 0..objects {
+                    rt.share(ObjectId(id), vec![0u8; 8]).unwrap();
+                }
+                EntryConsistency::new(rt)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for msg in [
+            EcMessage::Acquire { object: ObjectId(5), mode: LockMode::Write },
+            EcMessage::Grant {
+                object: ObjectId(5),
+                owner: 2,
+                version: Version::new(LogicalTime::from_ticks(9), 1),
+            },
+            EcMessage::Release {
+                object: ObjectId(5),
+                modified: true,
+                version: Version::new(LogicalTime::from_ticks(10), 0),
+            },
+        ] {
+            let decoded: EcMessage =
+                sdso_net::wire::decode(&sdso_net::wire::encode(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn manager_assignment_is_static_and_even() {
+        let counts = (0..32u32).fold([0usize; 4], |mut acc, id| {
+            acc[usize::from(EntryConsistency::<MemoryEndpoint>::manager_of(ObjectId(id), 4))] +=
+                1;
+            acc
+        });
+        assert_eq!(counts, [8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn local_lock_no_messages() {
+        // One node: every manager is local; no traffic at all.
+        let mut nodes = cluster(1, 4);
+        let node = &mut nodes[0];
+        node.acquire(&[LockRequest::write(ObjectId(0))]).unwrap();
+        node.write(ObjectId(0), 0, &[7]).unwrap();
+        node.release_all(&BTreeSet::from([ObjectId(0)])).unwrap();
+        assert_eq!(node.runtime().net_metrics().total_sent(), 0);
+        assert_eq!(node.metrics().local_grants, 1);
+    }
+
+    #[test]
+    fn write_without_lock_rejected() {
+        let mut nodes = cluster(1, 1);
+        assert!(matches!(
+            nodes[0].write(ObjectId(0), 0, &[1]),
+            Err(DsoError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn writes_propagate_through_pull() {
+        // Node 0 writes object 1 (managed by node 1); node 1 then reads it.
+        let mut nodes = cluster(2, 2);
+        let mut n1 = nodes.pop().unwrap();
+        let mut n0 = nodes.pop().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let t = std::thread::spawn(move || {
+            // Node 1: serve manager duties until n0's release lands (owner
+            // of object 1 becomes node 0), then acquire & read.
+            loop {
+                n1.service_pending().unwrap();
+                if n1.managed.get(&ObjectId(1)).is_some_and(|l| l.owner == 0) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            n1.acquire(&[LockRequest::read(ObjectId(1))]).unwrap();
+            assert_eq!(n1.read(ObjectId(1)).unwrap()[0], 42);
+            assert_eq!(n1.metrics().pulls, 1);
+            n1.release_all(&BTreeSet::new()).unwrap();
+            done_tx.send(()).unwrap();
+            n1
+        });
+        n0.acquire(&[LockRequest::write(ObjectId(1))]).unwrap();
+        n0.write(ObjectId(1), 0, &[42]).unwrap();
+        n0.release_all(&BTreeSet::from([ObjectId(1)])).unwrap();
+        // Keep servicing n1's pull (GetReq) until it finishes.
+        while done_rx.try_recv().is_err() {
+            n0.service_pending().unwrap();
+            std::thread::yield_now();
+        }
+        let n1 = t.join().unwrap();
+        let _ = (n0, n1);
+    }
+
+    #[test]
+    fn duplicate_lockset_rejected() {
+        let mut nodes = cluster(1, 2);
+        let err = nodes[0]
+            .acquire(&[LockRequest::read(ObjectId(0)), LockRequest::write(ObjectId(0))])
+            .unwrap_err();
+        assert!(matches!(err, DsoError::ProtocolViolation(_)));
+    }
+
+    #[test]
+    fn queued_writer_waits_for_reader_release() {
+        // Node 0 exercises its manager queueing logic directly through
+        // handle; the simulated contenders (9, …) are real cluster members
+        // whose endpoints simply never read their grants.
+        let mut nodes = cluster(10, 1);
+        let node = &mut nodes[0];
+        // A remote reader (fictitious node id 0 is us; use handle with from=0
+        // only for self) — instead simulate: we hold the read lock, then a
+        // queued self-write must wait. Single-node can't deadlock because
+        // release drains the queue.
+        node.acquire(&[LockRequest::read(ObjectId(0))]).unwrap();
+        // A (simulated) remote writer request goes into the queue.
+        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
+            .unwrap();
+        assert_eq!(node.managed[&ObjectId(0)].queue.len(), 1);
+        node.release_all(&BTreeSet::new()).unwrap();
+        // Release drained the queue: the writer got the lock.
+        assert_eq!(node.managed[&ObjectId(0)].queue.len(), 0);
+        assert_eq!(node.managed[&ObjectId(0)].writer, Some(9));
+    }
+
+    #[test]
+    fn fifo_prevents_queue_jumping() {
+        let mut nodes = cluster(10, 1);
+        let node = &mut nodes[0];
+        // Simulated remote writer holds the lock...
+        node.handle(7, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
+            .unwrap();
+        // ...a remote writer queues...
+        node.handle(8, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
+            .unwrap();
+        // ...then a compatible-looking reader must still queue behind it.
+        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Read })
+            .unwrap();
+        assert_eq!(node.managed[&ObjectId(0)].queue.len(), 2);
+        // First release grants the writer only; second grants the reader.
+        node.handle(
+            7,
+            EcMessage::Release { object: ObjectId(0), modified: false, version: Version::INITIAL },
+        )
+        .unwrap();
+        assert_eq!(node.managed[&ObjectId(0)].writer, Some(8));
+        assert_eq!(node.managed[&ObjectId(0)].queue.len(), 1);
+    }
+}

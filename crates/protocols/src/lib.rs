@@ -1,0 +1,37 @@
+//! Consistency protocols over the S-DSO runtime.
+//!
+//! The paper evaluates four protocols on its distributed game:
+//!
+//! * **BSYNC / MSYNC / MSYNC2** — the *lookahead* family: synchronous
+//!   rendezvous driven by application-supplied s-functions. All three share
+//!   one engine, [`Lookahead`]; they differ only in the s-function (BSYNC:
+//!   everyone every tick; MSYNC: row/column alignment lookahead; MSYNC2:
+//!   alignment **and** within sensing range — the game-specific functions
+//!   live in the `sdso-game` crate).
+//! * **Entry consistency** — the lock-based baseline
+//!   ([`EntryConsistency`]): per-object distributed locks with statically
+//!   placed lock managers and pull-based update retrieval, following the
+//!   Midway design as described in the paper.
+//!
+//! Two further protocols the paper discusses qualitatively are implemented
+//! as extensions for ablation studies:
+//!
+//! * **Lazy release consistency** ([`Lrc`]) — locks without object
+//!   association; updates travel as vector-timestamped write notices.
+//! * **Causal memory** ([`CausalMemory`]) — push-based causal broadcast.
+
+#![warn(missing_docs)]
+
+mod causal;
+mod entry;
+mod lookahead;
+mod lrc;
+mod race;
+mod vector_clock;
+
+pub use causal::{CausalMemory, CausalMetrics};
+pub use entry::{EcMetrics, EntryConsistency, LockMode, LockRequest};
+pub use lookahead::Lookahead;
+pub use lrc::{Lrc, LrcMetrics};
+pub use race::{contention_winner, yields_to};
+pub use vector_clock::{CausalOrder, VectorClock};

@@ -1,0 +1,68 @@
+//! Data-race arbitration without locks.
+//!
+//! The lookahead protocols "avoid using locks or serialized access to all
+//! shared objects": when two processes are in contention for one object in
+//! the same interval, "the process with the lowest ID is blocked, while the
+//! other process generates an event that potentially modifies the common
+//! object" (paper §3.2). Blocked processes still participate in the
+//! rendezvous, exchanging a bare SYNC control message.
+//!
+//! Because spatial consistency guarantees that contending processes have
+//! fresh copies of each other's relevant state, both sides evaluate these
+//! functions on identical inputs and reach the same verdict without any
+//! message exchange.
+
+use sdso_net::NodeId;
+
+/// Whether process `me` must yield (hold still) this interval given that it
+/// contends with `other` for the same object.
+///
+/// The paper's rule: the lowest ID blocks.
+pub fn yields_to(me: NodeId, other: NodeId) -> bool {
+    me < other
+}
+
+/// The process that may proceed out of a set of contenders (the highest
+/// id, per the lowest-ID-blocks rule). Returns `None` for an empty set.
+pub fn contention_winner(contenders: impl IntoIterator<Item = NodeId>) -> Option<NodeId> {
+    contenders.into_iter().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_id_yields() {
+        assert!(yields_to(0, 1));
+        assert!(!yields_to(1, 0));
+    }
+
+    #[test]
+    fn exactly_one_contender_proceeds() {
+        let group = [3u16, 7, 1];
+        let winner = contention_winner(group).unwrap();
+        assert_eq!(winner, 7);
+        let proceeding: Vec<_> = group
+            .iter()
+            .filter(|&&p| group.iter().all(|&q| q == p || !yields_to(p, q)))
+            .collect();
+        assert_eq!(proceeding, vec![&7]);
+    }
+
+    #[test]
+    fn empty_contention_has_no_winner() {
+        assert_eq!(contention_winner(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn verdicts_are_symmetric() {
+        for a in 0u16..5 {
+            for b in 0u16..5 {
+                if a != b {
+                    assert_ne!(yields_to(a, b), yields_to(b, a), "exactly one side yields");
+                }
+            }
+        }
+    }
+}

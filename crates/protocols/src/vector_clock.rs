@@ -1,0 +1,210 @@
+//! Vector clocks, the causality backbone of the LRC and causal-memory
+//! extensions.
+
+use sdso_net::wire::{Wire, WireReader, WireWriter};
+use sdso_net::{NetError, NodeId};
+
+/// The relationship between two vector timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalOrder {
+    /// Identical vectors.
+    Equal,
+    /// `self` happened strictly before the other.
+    Before,
+    /// `self` happened strictly after the other.
+    After,
+    /// Neither dominates: concurrent.
+    Concurrent,
+}
+
+/// A fixed-width vector clock over a cluster's processes.
+///
+/// # Example
+///
+/// ```
+/// use sdso_protocols::{CausalOrder, VectorClock};
+///
+/// let mut a = VectorClock::new(3);
+/// let mut b = VectorClock::new(3);
+/// a.increment(0);
+/// b.increment(1);
+/// assert_eq!(a.compare(&b), CausalOrder::Concurrent);
+/// b.merge(&a);
+/// b.increment(1);
+/// assert_eq!(a.compare(&b), CausalOrder::Before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    ticks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { ticks: vec![0; n] }
+    }
+
+    /// Number of processes this clock covers.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether the clock covers zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// The component for `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn get(&self, process: NodeId) -> u64 {
+        self.ticks[usize::from(process)]
+    }
+
+    /// Advances `process`'s component by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn increment(&mut self, process: NodeId) {
+        self.ticks[usize::from(process)] += 1;
+    }
+
+    /// Component-wise maximum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different widths.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.ticks.len(), other.ticks.len(), "clock width mismatch");
+        for (mine, theirs) in self.ticks.iter_mut().zip(&other.ticks) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The causal relationship between `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different widths.
+    pub fn compare(&self, other: &VectorClock) -> CausalOrder {
+        assert_eq!(self.ticks.len(), other.ticks.len(), "clock width mismatch");
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.ticks.iter().zip(&other.ticks) {
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (true, true) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// Whether a message stamped `msg` from `sender` is the causally next
+    /// deliverable event at a process whose knowledge is `self`:
+    /// `msg[sender] == self[sender] + 1` and `msg[k] <= self[k]` elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or `sender` is out of range.
+    pub fn is_next_from(&self, msg: &VectorClock, sender: NodeId) -> bool {
+        assert_eq!(self.ticks.len(), msg.ticks.len(), "clock width mismatch");
+        for (i, (&mine, &theirs)) in self.ticks.iter().zip(&msg.ticks).enumerate() {
+            if i == usize::from(sender) {
+                if theirs != mine + 1 {
+                    return false;
+                }
+            } else if theirs > mine {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Wire for VectorClock {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_seq(&self.ticks, |w, &t| w.put_u64(t));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(VectorClock { ticks: r.get_seq(|r| r.get_u64())? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        let a = VectorClock::new(4);
+        assert_eq!(a.compare(&VectorClock::new(4)), CausalOrder::Equal);
+    }
+
+    #[test]
+    fn increment_makes_after() {
+        let a = VectorClock::new(2);
+        let mut b = a.clone();
+        b.increment(1);
+        assert_eq!(b.compare(&a), CausalOrder::After);
+        assert_eq!(a.compare(&b), CausalOrder::Before);
+    }
+
+    #[test]
+    fn divergent_clocks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.increment(0);
+        b.increment(1);
+        assert_eq!(a.compare(&b), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.increment(0);
+        a.increment(0);
+        let mut b = VectorClock::new(3);
+        b.increment(2);
+        a.merge(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn delivery_condition() {
+        // Receiver knows (1, 0); next from sender 0 is (2, 0).
+        let mut known = VectorClock::new(2);
+        known.increment(0);
+        let mut msg = known.clone();
+        msg.increment(0);
+        assert!(known.is_next_from(&msg, 0));
+        // A gap (3, 0) is not deliverable.
+        let mut gap = msg.clone();
+        gap.increment(0);
+        assert!(!known.is_next_from(&gap, 0));
+        // A message depending on undelivered third-party state isn't either.
+        let mut dep = msg.clone();
+        dep.increment(1);
+        assert!(!known.is_next_from(&dep, 0));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut v = VectorClock::new(3);
+        v.increment(1);
+        v.increment(1);
+        v.increment(2);
+        let decoded: VectorClock = sdso_net::wire::decode(&sdso_net::wire::encode(&v)).unwrap();
+        assert_eq!(decoded, v);
+    }
+}

@@ -1,0 +1,80 @@
+use std::sync::Arc;
+
+use sdso_net::{
+    Endpoint, Incoming, NetError, NetMetrics, NetMetricsSnapshot, NodeId, Payload, SimInstant,
+    SimSpan,
+};
+
+use crate::scheduler::Scheduler;
+
+/// One simulated node's endpoint.
+///
+/// Implements [`sdso_net::Endpoint`] over the virtual-time scheduler, so the
+/// exact protocol code that runs on real transports runs — deterministically
+/// and with modelled timing — inside the simulator.
+#[derive(Debug)]
+pub struct SimEndpoint {
+    id: NodeId,
+    num_nodes: usize,
+    scheduler: Arc<Scheduler>,
+    metrics: NetMetrics,
+}
+
+impl SimEndpoint {
+    pub(crate) fn new(id: NodeId, num_nodes: usize, scheduler: Arc<Scheduler>) -> Self {
+        SimEndpoint { id, num_nodes, scheduler, metrics: NetMetrics::new() }
+    }
+
+    /// Shared handle to this endpoint's live metrics (the cluster keeps one
+    /// to report per-node counters after the run).
+    pub(crate) fn metrics_handle(&self) -> NetMetrics {
+        self.metrics.clone()
+    }
+}
+
+impl Endpoint for SimEndpoint {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
+        if to == self.id || usize::from(to) >= self.num_nodes {
+            return Err(NetError::InvalidPeer { peer: to, cluster: self.num_nodes });
+        }
+        self.metrics.record_send(payload.class, payload.wire_len());
+        self.scheduler.send(usize::from(self.id), usize::from(to), payload)
+    }
+
+    fn recv(&mut self) -> Result<Incoming, NetError> {
+        let (msg, blocked) = self.scheduler.recv(usize::from(self.id))?;
+        self.metrics.record_blocked(blocked);
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        Ok(msg)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
+        let msg = self.scheduler.try_recv(usize::from(self.id))?;
+        if let Some(msg) = &msg {
+            self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        }
+        Ok(msg)
+    }
+
+    fn advance(&mut self, dt: SimSpan) {
+        // An advance can only fail after a declared deadlock, at which point
+        // the node will discover the error at its next recv.
+        let _ = self.scheduler.advance(usize::from(self.id), dt);
+    }
+
+    fn now(&self) -> SimInstant {
+        SimInstant::from_micros(self.scheduler.now(usize::from(self.id)))
+    }
+
+    fn metrics(&self) -> NetMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}

@@ -1,0 +1,119 @@
+use sdso_net::SimSpan;
+
+/// Timing model of the simulated network and protocol stack.
+///
+/// A message of modelled size `w` bytes sent from node `a` to node `b` at
+/// sender-time `t` is handled as follows:
+///
+/// 1. the sender's clock advances by [`send_cpu`](Self::send_cpu) (protocol
+///    stack, syscall, copy costs);
+/// 2. transmission starts when the `a→b` link is free, i.e. at
+///    `max(sender clock, link-busy time)`, and occupies the link for
+///    `w ⋅ 8 / bandwidth` seconds;
+/// 3. the message arrives [`latency`](Self::latency) after transmission ends
+///    (propagation plus switch forwarding);
+/// 4. when the receiver dequeues it, the receiver's clock advances by
+///    [`recv_cpu`](Self::recv_cpu).
+///
+/// Links are full-duplex and per-destination (a switched network): `a→b`,
+/// `a→c` and `b→a` are independent, but back-to-back sends on `a→b`
+/// serialise. This mirrors the paper's switched 10 Mbps Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Sender-side per-message CPU cost.
+    pub send_cpu: SimSpan,
+    /// Receiver-side per-message CPU cost.
+    pub recv_cpu: SimSpan,
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation + switching latency per message.
+    pub latency: SimSpan,
+}
+
+impl NetworkModel {
+    /// Calibrated to the paper's testbed: SGI Indy workstations (MIPS R4400)
+    /// on switched 10 Mbps Ethernet over TCP.
+    ///
+    /// * 10 Mbps ⇒ a 2048-byte frame occupies the link for ≈ 1.64 ms;
+    /// * ≈ 1 ms propagation + store-and-forward switch latency;
+    /// * ≈ 700 µs per-message TCP/IP stack cost on a mid-90s RISC host
+    ///   (send and receive sides each).
+    pub fn paper_testbed() -> Self {
+        NetworkModel {
+            send_cpu: SimSpan::from_micros(700),
+            recv_cpu: SimSpan::from_micros(700),
+            bandwidth_bps: 10_000_000,
+            latency: SimSpan::from_micros(1_000),
+        }
+    }
+
+    /// A modern-LAN model (1 Gbps, 50 µs latency, 5 µs stacks) for
+    /// sensitivity studies.
+    pub fn modern_lan() -> Self {
+        NetworkModel {
+            send_cpu: SimSpan::from_micros(5),
+            recv_cpu: SimSpan::from_micros(5),
+            bandwidth_bps: 1_000_000_000,
+            latency: SimSpan::from_micros(50),
+        }
+    }
+
+    /// An idealised zero-cost network: useful to isolate protocol-logic
+    /// effects (message counts) from timing effects in tests.
+    pub fn instant() -> Self {
+        NetworkModel {
+            send_cpu: SimSpan::ZERO,
+            recv_cpu: SimSpan::ZERO,
+            bandwidth_bps: u64::MAX,
+            latency: SimSpan::ZERO,
+        }
+    }
+
+    /// Time a message of `wire_len` bytes occupies a link.
+    pub fn transmission(&self, wire_len: u32) -> SimSpan {
+        if self.bandwidth_bps == u64::MAX {
+            return SimSpan::ZERO;
+        }
+        let bits = u64::from(wire_len) * 8;
+        // micros = bits / (bps / 1e6), rounded up so a nonzero message never
+        // transmits in zero time on a finite link.
+        let micros = (bits * 1_000_000).div_ceil(self.bandwidth_bps);
+        SimSpan::from_micros(micros)
+    }
+}
+
+impl Default for NetworkModel {
+    /// The paper-testbed calibration.
+    fn default() -> Self {
+        NetworkModel::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_transmission_of_2048_bytes_is_about_1_64_ms() {
+        let m = NetworkModel::paper_testbed();
+        let t = m.transmission(2048);
+        assert!((1_600..1_700).contains(&t.as_micros()), "got {t}");
+    }
+
+    #[test]
+    fn instant_model_is_free() {
+        let m = NetworkModel::instant();
+        assert_eq!(m.transmission(1 << 20), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn nonzero_message_takes_nonzero_time_on_finite_link() {
+        let m = NetworkModel::paper_testbed();
+        assert!(m.transmission(1).as_micros() >= 1);
+    }
+
+    #[test]
+    fn default_is_paper_testbed() {
+        assert_eq!(NetworkModel::default(), NetworkModel::paper_testbed());
+    }
+}

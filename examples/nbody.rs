@@ -1,0 +1,185 @@
+//! An n-body simulation with a cut-off radius, built on S-DSO lookahead
+//! consistency.
+//!
+//! The paper (§2.1) points out that "even scientific applications exhibit
+//! such spatial consistency constraints, as is evident in n-body
+//! simulations, where the gravitational effects of bodies on each other are
+//! considered only when two bodies are within minimum distance d of each
+//! other. Likewise, molecular dynamics simulations tend to consider only
+//! those interactions of molecules within some known cut-off radius."
+//!
+//! Each process owns one body (an S-DSO object holding position and
+//! velocity). The s-function bounds when two bodies could come within the
+//! cut-off radius given the global speed limit, so processes exchange state
+//! only when an interaction is imminent — instead of broadcasting every
+//! step.
+//!
+//! Run with: `cargo run -p sdso-harness --example nbody -- [BODIES] [STEPS]`
+
+use sdso_core::{DsoConfig, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime};
+use sdso_net::{Endpoint, NodeId};
+use sdso_protocols::Lookahead;
+use sdso_sim::{NetworkModel, SimCluster};
+
+/// World is a square of this side length.
+const WORLD: f64 = 1000.0;
+/// Interaction cut-off radius.
+const CUTOFF: f64 = 60.0;
+/// Hard speed limit per step (the bound the s-function exploits).
+const VMAX: f64 = 4.0;
+/// Attraction strength inside the cut-off.
+const G: f64 = 3.0;
+
+#[derive(Debug, Clone, Copy)]
+struct Body {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+}
+
+impl Body {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        for v in [self.x, self.y, self.vx, self.vy] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Body {
+        let f = |i: usize| {
+            f64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
+        };
+        Body { x: f(0), y: f(1), vx: f(2), vy: f(3) }
+    }
+
+    fn distance(&self, other: &Body) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+fn body_object(owner: NodeId) -> ObjectId {
+    ObjectId(u32::from(owner))
+}
+
+fn initial_body(owner: NodeId, n: usize) -> Body {
+    // A ring of bodies falling toward the centre with a slight tangential
+    // component: they repeatedly converge (close encounters inside the
+    // cut-off), sling past each other, bounce off the walls and return —
+    // exercising the lookahead schedule's tighten/relax cycle.
+    let angle = (f64::from(owner) / n as f64) * std::f64::consts::TAU;
+    Body {
+        x: WORLD / 2.0 + (WORLD / 3.0) * angle.cos(),
+        y: WORLD / 2.0 + (WORLD / 3.0) * angle.sin(),
+        vx: -VMAX * 0.85 * angle.cos() - VMAX * 0.15 * angle.sin(),
+        vy: -VMAX * 0.85 * angle.sin() + VMAX * 0.15 * angle.cos(),
+    }
+}
+
+/// Rendezvous when two bodies could have closed to the cut-off radius:
+/// with both moving at most `VMAX` per step toward each other, that takes
+/// at least `(dist - CUTOFF) / (2 VMAX)` steps.
+struct CutoffLookahead {
+    me: NodeId,
+}
+
+impl SFunction for CutoffLookahead {
+    fn next_exchange(
+        &mut self,
+        peer: NodeId,
+        now: LogicalTime,
+        view: &ObjectStore,
+    ) -> Option<LogicalTime> {
+        let mine = Body::decode(view.read(body_object(self.me)).expect("body shared"));
+        let theirs = Body::decode(view.read(body_object(peer)).expect("body shared"));
+        let gap = (mine.distance(&theirs) - CUTOFF).max(0.0);
+        let steps = (gap / (2.0 * VMAX)).floor() as u64;
+        Some(now.plus(steps.max(1)))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bodies: usize = args.first().map(|a| a.parse()).transpose()?.unwrap_or(8);
+    let steps: u64 = args.get(1).map(|a| a.parse()).transpose()?.unwrap_or(500);
+
+    let outcome = SimCluster::new(bodies, NetworkModel::modern_lan()).run(move |ep| {
+        let me = ep.node_id();
+        let n = ep.num_nodes();
+        let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+        for owner in 0..n as NodeId {
+            rt.share(body_object(owner), initial_body(owner, n).encode())
+                .map_err(stringify)?;
+        }
+        let mut node = Lookahead::new(rt, CutoffLookahead { me }).map_err(stringify)?;
+
+        let mut interactions = 0u64;
+        for _ in 0..steps {
+            let store_read = |rt: &SdsoRuntime<_>, o: NodeId| {
+                Body::decode(rt.read(body_object(o)).expect("body shared"))
+            };
+            let mut mine = store_read(node.runtime(), me);
+            // Accumulate attraction from every body inside the cut-off
+            // (replicas of distant bodies may be stale — by construction
+            // they cannot be inside the cut-off for real).
+            let (mut ax, mut ay) = (0.0f64, 0.0f64);
+            for other in 0..node.runtime().num_nodes() as NodeId {
+                if other == me {
+                    continue;
+                }
+                let theirs = store_read(node.runtime(), other);
+                let dist = mine.distance(&theirs);
+                if dist < CUTOFF && dist > 1e-6 {
+                    ax += G * (theirs.x - mine.x) / (dist * dist);
+                    ay += G * (theirs.y - mine.y) / (dist * dist);
+                    interactions += 1;
+                }
+            }
+            mine.vx = (mine.vx + ax).clamp(-VMAX, VMAX);
+            mine.vy = (mine.vy + ay).clamp(-VMAX, VMAX);
+            // Bounce off the walls rather than wrapping: a wrap would
+            // teleport the body and break the speed bound the s-function's
+            // prediction relies on.
+            mine.x += mine.vx;
+            mine.y += mine.vy;
+            if !(0.0..=WORLD).contains(&mine.x) {
+                mine.vx = -mine.vx;
+                mine.x = mine.x.clamp(0.0, WORLD);
+            }
+            if !(0.0..=WORLD).contains(&mine.y) {
+                mine.vy = -mine.vy;
+                mine.y = mine.y.clamp(0.0, WORLD);
+            }
+            node.runtime_mut()
+                .write(body_object(me), 0, &mine.encode())
+                .map_err(stringify)?;
+            node.step().map_err(stringify)?;
+        }
+        let rt = node.into_runtime();
+        Ok((interactions, rt.metrics(), rt.net_metrics()))
+    })?;
+
+    let mut msgs = 0u64;
+    let mut rendezvous = 0u64;
+    let mut interactions = 0u64;
+    for node in &outcome.nodes {
+        let (i, dso, net) = node.result.as_ref().map_err(|e| format!("body failed: {e}"))?;
+        msgs += net.total_sent();
+        rendezvous += dso.rendezvous_peers;
+        interactions += i;
+    }
+    let every_step = bodies as u64 * (bodies as u64 - 1) * steps * 2;
+    println!("{bodies} bodies, {steps} steps, cut-off {CUTOFF}: {interactions} interactions");
+    println!("cut-off lookahead: {msgs} messages, {rendezvous} rendezvous");
+    println!(
+        "an every-step broadcast would have sent ~{every_step} messages ({:.1}x more)",
+        every_step as f64 / msgs.max(1) as f64
+    );
+    println!("virtual makespan: {}", outcome.makespan());
+    Ok(())
+}
+
+fn stringify(e: sdso_core::DsoError) -> sdso_net::NetError {
+    e.into()
+}

@@ -1,0 +1,194 @@
+//! Lookahead consistency on *non-game* applications: the paper argues
+//! s-functions generalise beyond the tank game (§2.1 names collaborative
+//! documents and n-body/molecular dynamics). These tests run miniature
+//! versions of both patterns end-to-end and check the protocol-level
+//! guarantees the examples rely on.
+
+use sdso_core::{DsoConfig, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime};
+use sdso_net::{Endpoint, NodeId};
+use sdso_protocols::Lookahead;
+use sdso_sim::{NetworkModel, SimCluster};
+
+/// A 1D "cursor proximity" s-function over per-editor presence objects:
+/// the whiteboard example's schedule, reduced to its core.
+struct CursorProximity {
+    me: NodeId,
+    num_cells: u64,
+}
+
+fn presence(editor: NodeId, num_cells: u64) -> ObjectId {
+    ObjectId(num_cells as u32 + u32::from(editor))
+}
+
+fn cursor_of(store: &ObjectStore, editor: NodeId, num_cells: u64) -> u64 {
+    let bytes = store.read(presence(editor, num_cells)).expect("presence shared");
+    u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+}
+
+impl SFunction for CursorProximity {
+    fn next_exchange(
+        &mut self,
+        peer: NodeId,
+        now: LogicalTime,
+        view: &ObjectStore,
+    ) -> Option<LogicalTime> {
+        let mine = cursor_of(view, self.me, self.num_cells);
+        let theirs = cursor_of(view, peer, self.num_cells);
+        // Cursors move ≤ 1 cell/tick; they can touch the same cell only
+        // after closing the gap minus a 1-cell margin.
+        let gap = mine.abs_diff(theirs).saturating_sub(1);
+        Some(now.plus(gap.div_ceil(2).max(1)))
+    }
+}
+
+/// Runs `editors` cursor processes for `ticks`; editor e sweeps right from
+/// cell `e * spread`, writing its id into each visited cell.
+fn run_cursor_app(editors: usize, ticks: u64) -> Vec<(u64, Vec<u8>)> {
+    const CELLS: u64 = 48;
+    let outcome = SimCluster::new(editors, NetworkModel::paper_testbed())
+        .run(move |ep| {
+            let me = ep.node_id();
+            let n = ep.num_nodes() as u64;
+            let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+            for c in 0..CELLS as u32 {
+                rt.share(ObjectId(c), vec![0xFF; 2]).map_err(to_net)?;
+            }
+            for e in 0..n as NodeId {
+                let start = u64::from(e) * (CELLS / n);
+                rt.share(presence(e, CELLS), start.to_le_bytes().to_vec())
+                    .map_err(to_net)?;
+            }
+            let mut node = Lookahead::new(rt, CursorProximity { me, num_cells: CELLS })
+                .map_err(to_net)?;
+            for tick in 0..ticks {
+                // Sweep right, bouncing at the end (1 cell per tick).
+                let period = 2 * (CELLS - 1);
+                let phase = (u64::from(me) * (CELLS / n) + tick) % period;
+                let cursor = if phase < CELLS { phase } else { period - phase };
+                node.runtime_mut()
+                    .write(ObjectId(cursor as u32), 0, &[me as u8, tick as u8])
+                    .map_err(to_net)?;
+                node.runtime_mut()
+                    .write(presence(me, CELLS), 0, &cursor.to_le_bytes())
+                    .map_err(to_net)?;
+                node.step().map_err(to_net)?;
+            }
+            let rt = node.into_runtime();
+            let msgs = rt.net_metrics().total_sent();
+            let cells: Vec<u8> =
+                (0..CELLS as u32).map(|c| rt.read(ObjectId(c)).unwrap()[0]).collect();
+            Ok((msgs, cells))
+        })
+        .unwrap();
+    outcome.into_results().unwrap()
+}
+
+fn to_net(e: sdso_core::DsoError) -> sdso_net::NetError {
+    e.into()
+}
+
+#[test]
+fn cursor_app_completes_with_proximity_schedule() {
+    // The schedule is symmetric (both sides compute from exchanged
+    // presence objects), so the run must complete without protocol
+    // violations — that is the load-bearing assertion.
+    let results = run_cursor_app(3, 60);
+    assert_eq!(results.len(), 3);
+    for (msgs, _) in &results {
+        assert!(*msgs > 0, "editors must have rendezvoused at least once");
+    }
+}
+
+#[test]
+fn cursor_app_saves_messages_versus_every_tick() {
+    let proximity: u64 = run_cursor_app(4, 80).iter().map(|(m, _)| m).sum();
+    // BSYNC equivalent: n(n-1) pairs × ticks × ≥1 msg each way.
+    let bsync_floor = 4 * 3 * 80;
+    assert!(
+        proximity < bsync_floor,
+        "proximity schedule ({proximity}) must beat the every-tick floor ({bsync_floor})"
+    );
+}
+
+#[test]
+fn cursor_app_is_deterministic() {
+    let a = run_cursor_app(3, 50);
+    let b = run_cursor_app(3, 50);
+    assert_eq!(a, b);
+}
+
+/// The n-body pattern reduced to a protocol test: bodies on a line with a
+/// speed bound, cut-off lookahead, convergence check on final positions.
+#[test]
+fn cutoff_lookahead_agrees_on_interacting_pairs() {
+    const BODIES: usize = 4;
+    let outcome = SimCluster::new(BODIES, NetworkModel::modern_lan())
+        .run(|ep| {
+            let me = ep.node_id();
+            let n = ep.num_nodes();
+            let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+            for b in 0..n as u32 {
+                // Position object: i64 LE, bodies start spread 40 apart.
+                let x = i64::from(b) * 40;
+                rt.share(ObjectId(b), x.to_le_bytes().to_vec()).map_err(to_net)?;
+            }
+            struct Cutoff {
+                me: NodeId,
+            }
+            impl SFunction for Cutoff {
+                fn next_exchange(
+                    &mut self,
+                    peer: NodeId,
+                    now: LogicalTime,
+                    view: &ObjectStore,
+                ) -> Option<LogicalTime> {
+                    let read = |o: NodeId| {
+                        i64::from_le_bytes(
+                            view.read(ObjectId(u32::from(o))).unwrap()[..8].try_into().unwrap(),
+                        )
+                    };
+                    let gap = (read(self.me) - read(peer)).unsigned_abs().saturating_sub(10);
+                    // Speed bound 1/tick each → close at ≤ 2/tick.
+                    Some(now.plus((gap / 2).max(1)))
+                }
+            }
+            let mut node = Lookahead::new(rt, Cutoff { me }).map_err(to_net)?;
+            // Everyone drifts toward the centre of mass at speed 1.
+            for _ in 0..100 {
+                let x = i64::from_le_bytes(
+                    node.runtime().read(ObjectId(u32::from(me))).unwrap()[..8]
+                        .try_into()
+                        .unwrap(),
+                );
+                let target = i64::from(BODIES as u32 - 1) * 40 / 2;
+                let step = (target - x).signum();
+                node.runtime_mut()
+                    .write(ObjectId(u32::from(me)), 0, &(x + step).to_le_bytes())
+                    .map_err(to_net)?;
+                node.step().map_err(to_net)?;
+            }
+            let rt = node.into_runtime();
+            let positions: Vec<i64> = (0..n as u32)
+                .map(|b| {
+                    i64::from_le_bytes(rt.read(ObjectId(b)).unwrap()[..8].try_into().unwrap())
+                })
+                .collect();
+            Ok(positions)
+        })
+        .unwrap();
+    let all: Vec<Vec<i64>> = outcome.into_results().unwrap();
+    // All bodies converged on the centre: every replica must know every
+    // body is within the cut-off of its own (they all ended interacting).
+    for (node, positions) in all.iter().enumerate() {
+        let own = positions[node];
+        for (other, &p) in positions.iter().enumerate() {
+            if other != node {
+                assert!(
+                    (own - p).abs() <= 12,
+                    "node {node} thinks body {other} is at {p}, own at {own} — \
+                     cut-off freshness violated"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Transport-equivalence tests: the same protocol code must behave
+//! identically (at the logical level) over in-process channels, a real TCP
+//! mesh, and the virtual-time simulator.
+
+use sdso_core::{DsoConfig, EveryTick, ObjectId, SdsoRuntime};
+use sdso_game::{run_node, Protocol, Scenario};
+use sdso_net::memory::MemoryHub;
+use sdso_net::tcp::TcpMesh;
+use sdso_net::{Endpoint, NetMetricsSnapshot};
+use sdso_protocols::Lookahead;
+use sdso_sim::{NetworkModel, SimCluster};
+
+/// Runs a small BSYNC game over any set of endpoints, returning per-node
+/// (score, modifications, messages-sent).
+fn play_game<E: Endpoint + 'static>(
+    endpoints: Vec<E>,
+    scenario: &Scenario,
+) -> Vec<(i64, u64, u64)> {
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|ep| {
+            let s = scenario.clone();
+            std::thread::spawn(move || {
+                let stats = run_node(ep, &s, Protocol::Bsync).expect("game run");
+                (stats.score, stats.modifications, stats.net.total_sent())
+            })
+        })
+        .collect();
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.sort_by_key(|&(score, mods, _)| (score, mods));
+    results
+}
+
+#[test]
+fn game_outcome_is_identical_across_all_three_transports() {
+    // The lookahead rendezvous are logically synchronous, so the *game*
+    // (scores, modifications, message counts) must not depend on the
+    // transport's timing at all.
+    let scenario = Scenario::paper(3, 1).with_ticks(40);
+
+    let memory = play_game(MemoryHub::new(3).into_endpoints(), &scenario);
+    let tcp = play_game(TcpMesh::local(3).unwrap(), &scenario);
+
+    let sim_scenario = scenario.clone();
+    let sim_outcome = SimCluster::new(3, NetworkModel::paper_testbed())
+        .run(move |ep| {
+            run_node(ep, &sim_scenario, Protocol::Bsync).map_err(sdso_net::NetError::from)
+        })
+        .unwrap();
+    let mut sim: Vec<(i64, u64, u64)> = sim_outcome
+        .into_results()
+        .unwrap()
+        .into_iter()
+        .map(|s| (s.score, s.modifications, s.net.total_sent()))
+        .collect();
+    sim.sort_by_key(|&(score, mods, _)| (score, mods));
+
+    assert_eq!(memory, tcp, "memory vs TCP");
+    assert_eq!(memory, sim, "memory vs simulator");
+}
+
+#[test]
+fn tcp_mesh_supports_the_full_exchange_protocol() {
+    let scenario = Scenario::paper(2, 1).with_ticks(25);
+    let results = play_game(TcpMesh::local(2).unwrap(), &scenario);
+    assert_eq!(results.len(), 2);
+    for (_, mods, msgs) in results {
+        assert!(mods > 0);
+        assert!(msgs > 0);
+    }
+}
+
+#[test]
+fn runtime_works_over_tcp_for_puts_and_gets() {
+    let mut endpoints = TcpMesh::local(2).unwrap();
+    let b = endpoints.pop().unwrap();
+    let a = endpoints.pop().unwrap();
+
+    let tb = std::thread::spawn(move || {
+        let mut rt = SdsoRuntime::new(b, DsoConfig::compact());
+        rt.share(ObjectId(0), vec![0u8; 8]).unwrap();
+        // Service A's put, then answer its app message.
+        let (_, bytes) = rt.recv_app().unwrap();
+        assert_eq!(bytes, b"check");
+        assert_eq!(rt.read(ObjectId(0)).unwrap(), &[7u8; 8]);
+    });
+
+    let mut rt = SdsoRuntime::new(a, DsoConfig::compact());
+    rt.share(ObjectId(0), vec![0u8; 8]).unwrap();
+    rt.write(ObjectId(0), 0, &[7u8; 8]).unwrap();
+    rt.sync_put(1, ObjectId(0)).unwrap();
+    rt.send_app(1, sdso_net::MsgClass::Control, b"check".to_vec()).unwrap();
+    tb.join().unwrap();
+}
+
+#[test]
+fn metrics_agree_between_transports_for_identical_traffic() {
+    // Send the same frames over memory and TCP: counters must agree.
+    let run = |snapshotter: &dyn Fn() -> (NetMetricsSnapshot, NetMetricsSnapshot)| {
+        snapshotter()
+    };
+
+    let memory = run(&|| {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, sdso_net::Payload::data(vec![0u8; 100]).with_wire_len(2048)).unwrap();
+        a.send(1, sdso_net::Payload::control(vec![0u8; 10])).unwrap();
+        let _ = b.recv().unwrap();
+        let _ = b.recv().unwrap();
+        (a.metrics(), b.metrics())
+    });
+    let tcp = run(&|| {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, sdso_net::Payload::data(vec![0u8; 100]).with_wire_len(2048)).unwrap();
+        a.send(1, sdso_net::Payload::control(vec![0u8; 10])).unwrap();
+        let _ = b.recv().unwrap();
+        let _ = b.recv().unwrap();
+        (a.metrics(), b.metrics())
+    });
+
+    assert_eq!(memory.0.data_sent, tcp.0.data_sent);
+    assert_eq!(memory.0.control_sent, tcp.0.control_sent);
+    assert_eq!(memory.1.data_recv, tcp.1.data_recv);
+    assert_eq!(memory.1.control_recv, tcp.1.control_recv);
+}
+
+#[test]
+fn lookahead_over_tcp_matches_memory_visibility() {
+    // Writes exchanged over TCP land exactly as over channels.
+    fn game(eps: Vec<Box<dyn Endpoint + Send>>) -> Vec<Vec<u8>> {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    let me = ep.node_id();
+                    let mut rt = SdsoRuntime::new(BoxedEndpoint(ep), DsoConfig::paper());
+                    for id in 0..2u32 {
+                        rt.share(ObjectId(id), vec![0u8; 4]).unwrap();
+                    }
+                    let mut node = Lookahead::new(rt, EveryTick).unwrap();
+                    node.runtime_mut()
+                        .write(ObjectId(u32::from(me)), 0, &[me as u8 + 1])
+                        .unwrap();
+                    node.step().unwrap();
+                    let rt = node.into_runtime();
+                    (0..2u32)
+                        .flat_map(|id| rt.read(ObjectId(id)).unwrap().to_vec())
+                        .collect::<Vec<u8>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    let mem: Vec<Box<dyn Endpoint + Send>> = MemoryHub::new(2)
+        .into_endpoints()
+        .into_iter()
+        .map(|e| Box::new(e) as Box<dyn Endpoint + Send>)
+        .collect();
+    let tcp: Vec<Box<dyn Endpoint + Send>> = TcpMesh::local(2)
+        .unwrap()
+        .into_iter()
+        .map(|e| Box::new(e) as Box<dyn Endpoint + Send>)
+        .collect();
+
+    let mut via_mem = game(mem);
+    let mut via_tcp = game(tcp);
+    via_mem.sort();
+    via_tcp.sort();
+    assert_eq!(via_mem, via_tcp);
+}
+
+/// Adapter: `Box<dyn Endpoint + Send>` as an owned `Endpoint`.
+struct BoxedEndpoint(Box<dyn Endpoint + Send>);
+
+impl Endpoint for BoxedEndpoint {
+    fn node_id(&self) -> sdso_net::NodeId {
+        self.0.node_id()
+    }
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+    fn send(&mut self, to: sdso_net::NodeId, payload: sdso_net::Payload) -> Result<(), sdso_net::NetError> {
+        self.0.send(to, payload)
+    }
+    fn recv(&mut self) -> Result<sdso_net::Incoming, sdso_net::NetError> {
+        self.0.recv()
+    }
+    fn try_recv(&mut self) -> Result<Option<sdso_net::Incoming>, sdso_net::NetError> {
+        self.0.try_recv()
+    }
+    fn advance(&mut self, dt: sdso_net::SimSpan) {
+        self.0.advance(dt);
+    }
+    fn now(&self) -> sdso_net::SimInstant {
+        self.0.now()
+    }
+    fn metrics(&self) -> NetMetricsSnapshot {
+        self.0.metrics()
+    }
+}
