@@ -1,3 +1,23 @@
+use sdso_net::SimSpan;
+
+/// Retransmission tuning for the runtime's optional reliability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// How long a blocking wait lasts before unacknowledged traffic is
+    /// retransmitted (the paper's `resync` path, triggered by a timeout
+    /// instead of hanging on a lost rendezvous message).
+    pub rto: SimSpan,
+    /// Consecutive silent timeout rounds tolerated before a blocking wait
+    /// fails with [`crate::DsoError::Timeout`].
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { rto: SimSpan::from_millis(20), max_retries: 50 }
+    }
+}
+
 /// Tunables of the S-DSO runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsoConfig {
@@ -9,17 +29,23 @@ pub struct DsoConfig {
     /// Merge multiple diffs to one object into a single diff per slot (the
     /// paper's optimisation). Disable only for the ablation study.
     pub merge_diffs: bool,
+    /// When set, every message is sequenced per link and retransmitted on
+    /// timeout until acknowledged, giving in-order exactly-once delivery
+    /// over lossy transports. `None` (the paper's configuration — its
+    /// testbed network did not lose messages) adds zero wire or metric
+    /// overhead.
+    pub reliability: Option<RetryConfig>,
 }
 
 impl DsoConfig {
     /// The paper's configuration: 2048-byte frames, diff merging on.
     pub fn paper() -> Self {
-        DsoConfig { frame_wire_len: Some(2048), merge_diffs: true }
+        DsoConfig { frame_wire_len: Some(2048), merge_diffs: true, reliability: None }
     }
 
     /// Compact frames (wire size = encoded size), diff merging on.
     pub fn compact() -> Self {
-        DsoConfig { frame_wire_len: None, merge_diffs: true }
+        DsoConfig { frame_wire_len: None, merge_diffs: true, reliability: None }
     }
 
     /// Returns a copy with a different frame size.
@@ -31,6 +57,12 @@ impl DsoConfig {
     /// Returns a copy with diff merging switched.
     pub fn with_merge_diffs(mut self, merge: bool) -> Self {
         self.merge_diffs = merge;
+        self
+    }
+
+    /// Returns a copy with the reliability layer switched.
+    pub fn with_reliability(mut self, reliability: Option<RetryConfig>) -> Self {
+        self.reliability = reliability;
         self
     }
 }
@@ -58,5 +90,8 @@ mod tests {
         let c = DsoConfig::paper().with_frame_wire_len(None).with_merge_diffs(false);
         assert_eq!(c.frame_wire_len, None);
         assert!(!c.merge_diffs);
+        assert_eq!(c.reliability, None);
+        let r = c.with_reliability(Some(RetryConfig::default()));
+        assert_eq!(r.reliability.unwrap().max_retries, 50);
     }
 }

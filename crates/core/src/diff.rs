@@ -101,10 +101,7 @@ impl Diff {
                     break;
                 }
             }
-            runs.push(Run {
-                offset: start as u32,
-                bytes: new[start..=last_dirty].to_vec(),
-            });
+            runs.push(Run { offset: start as u32, bytes: new[start..=last_dirty].to_vec() });
             i = last_dirty + 1;
         }
         Diff { runs }

@@ -28,6 +28,12 @@ pub enum DsoError {
     /// A peer violated the exchange protocol (e.g. a message stamped in the
     /// logical past, or an unexpected message kind during a rendezvous).
     ProtocolViolation(String),
+    /// A reliability-layer blocking wait exhausted its retry budget without
+    /// hearing anything from the network.
+    Timeout {
+        /// Retransmission rounds performed before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for DsoError {
@@ -41,6 +47,9 @@ impl fmt::Display for DsoError {
                 "write of {len} bytes at offset {offset} exceeds object {object} of {size} bytes"
             ),
             DsoError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            DsoError::Timeout { retries } => {
+                write!(f, "gave up after {retries} retransmission rounds with no incoming traffic")
+            }
         }
     }
 }

@@ -53,11 +53,8 @@ impl ExchangeList {
     /// removing them — the exchange engine removes and reschedules each peer
     /// after a successful rendezvous).
     pub fn due(&self, now: LogicalTime) -> Vec<NodeId> {
-        let mut peers: Vec<NodeId> = self
-            .by_time
-            .range(..=(now, NodeId::MAX))
-            .map(|(&(_, peer), ())| peer)
-            .collect();
+        let mut peers: Vec<NodeId> =
+            self.by_time.range(..=(now, NodeId::MAX)).map(|(&(_, peer), ())| peer).collect();
         peers.sort_unstable();
         peers
     }

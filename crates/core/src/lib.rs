@@ -81,7 +81,7 @@ mod store;
 pub mod wire;
 
 pub use clock::{LogicalClock, LogicalTime};
-pub use config::DsoConfig;
+pub use config::{DsoConfig, RetryConfig};
 pub use diff::Diff;
 pub use error::DsoError;
 pub use exchange_list::ExchangeList;

@@ -21,6 +21,14 @@ pub struct DsoMetrics {
     /// Messages that arrived stamped in the logical future and were
     /// buffered until their tick.
     pub early_buffered: u64,
+    /// Blocking waits that timed out and triggered the resync path
+    /// (retransmission of all unacknowledged traffic).
+    pub resyncs: u64,
+    /// Individual messages retransmitted by the reliability layer.
+    pub retransmits: u64,
+    /// Received messages discarded as duplicates by the reliability
+    /// layer's per-link sequencing.
+    pub duplicates_dropped: u64,
     /// Virtual/wall time spent inside `exchange` (sending, waiting and
     /// applying) — the lookahead protocols' entire overhead.
     pub exchange_time: SimSpan,
@@ -39,6 +47,9 @@ impl DsoMetrics {
             updates_applied: self.updates_applied + other.updates_applied,
             updates_stale: self.updates_stale + other.updates_stale,
             early_buffered: self.early_buffered + other.early_buffered,
+            resyncs: self.resyncs + other.resyncs,
+            retransmits: self.retransmits + other.retransmits,
+            duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
             exchange_time: self.exchange_time + other.exchange_time,
             exchange_wait: self.exchange_wait + other.exchange_wait,
         }

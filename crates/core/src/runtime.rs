@@ -1,9 +1,9 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use sdso_net::{Endpoint, MsgClass, NodeId, Payload, SimSpan};
+use sdso_net::{Endpoint, MsgClass, NetError, NodeId, Payload, SimSpan};
 
 use crate::clock::{LogicalClock, LogicalTime};
-use crate::config::DsoConfig;
+use crate::config::{DsoConfig, RetryConfig};
 use crate::diff::Diff;
 use crate::error::DsoError;
 use crate::exchange_list::ExchangeList;
@@ -72,6 +72,37 @@ struct EarlyEntry {
     sync: bool,
 }
 
+/// Per-link ARQ state of the optional reliability layer: sequenced
+/// envelopes, cumulative acks, retransmit-on-timeout. Gives in-order
+/// exactly-once delivery over transports that drop, duplicate, or reorder.
+#[derive(Debug)]
+struct ArqState {
+    cfg: RetryConfig,
+    /// Next sequence number to assign, per destination.
+    tx_seq: Vec<u64>,
+    /// Sent but unacknowledged messages, per destination, by sequence.
+    unacked: Vec<BTreeMap<u64, DsoMessage>>,
+    /// Next sequence number expected, per source.
+    rx_next: Vec<u64>,
+    /// Out-of-order arrivals waiting for their predecessors, per source.
+    ooo: Vec<BTreeMap<u64, DsoMessage>>,
+    /// In-order messages delivered by the ARQ but not yet consumed.
+    ready: VecDeque<(NodeId, DsoMessage)>,
+}
+
+impl ArqState {
+    fn new(cfg: RetryConfig, n: usize) -> Self {
+        ArqState {
+            cfg,
+            tx_seq: vec![0; n],
+            unacked: (0..n).map(|_| BTreeMap::new()).collect(),
+            rx_next: vec![0; n],
+            ooo: (0..n).map(|_| BTreeMap::new()).collect(),
+            ready: VecDeque::new(),
+        }
+    }
+}
+
 /// The S-DSO runtime: one per process.
 ///
 /// Owns the process's object replicas, logical clock, exchange list and
@@ -106,6 +137,8 @@ pub struct SdsoRuntime<E: Endpoint> {
     app_inbox: VecDeque<(NodeId, MsgClass, Vec<u8>)>,
     /// `sync_put` acknowledgements received so far.
     acks_received: u64,
+    /// Reliability layer state, present iff `config.reliability` is set.
+    arq: Option<ArqState>,
     metrics: DsoMetrics,
 }
 
@@ -126,6 +159,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
             early: BTreeMap::new(),
             app_inbox: VecDeque::new(),
             acks_received: 0,
+            arq: config.reliability.map(|cfg| ArqState::new(cfg, n)),
             metrics: DsoMetrics::default(),
         }
     }
@@ -210,6 +244,11 @@ impl<E: Endpoint> SdsoRuntime<E> {
         Ok(self.store.replica(id)?.version())
     }
 
+    /// Every shared object's id, in ascending order.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.store.iter().map(|(id, _)| id).collect()
+    }
+
     /// Writes `bytes` at `offset` into the local replica and records the
     /// change for distribution at the next `exchange`.
     ///
@@ -226,10 +265,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let stamp = Version::new(LogicalTime::from_ticks(self.lamport), self.node_id());
         self.store.write(id, offset, bytes, stamp)?;
         let diff = Diff::single(offset, bytes.to_vec());
-        let entry = self
-            .current_mods
-            .entry(id)
-            .or_insert_with(|| (Diff::empty(), stamp));
+        let entry = self.current_mods.entry(id).or_insert_with(|| (Diff::empty(), stamp));
         entry.0 = entry.0.merge(&diff);
         entry.1 = entry.1.max(stamp);
         Ok(())
@@ -341,9 +377,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let me = self.node_id();
 
         let due: Vec<NodeId> = match how {
-            SendMode::Broadcast => {
-                (0..self.num_nodes() as NodeId).filter(|&p| p != me).collect()
-            }
+            SendMode::Broadcast => (0..self.num_nodes() as NodeId).filter(|&p| p != me).collect(),
             SendMode::Multicast => self.exchange_list.due(t),
         };
 
@@ -414,10 +448,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// discards `SYNC` markers (push mode has no rendezvous to complete).
     fn drain_pushed(&mut self) -> Result<usize, DsoError> {
         let mut applied = 0usize;
-        while let Some(incoming) = self.endpoint.try_recv()? {
-            let from = incoming.from;
-            let msg: DsoMessage =
-                sdso_net::wire::decode(&incoming.payload.bytes).map_err(DsoError::Net)?;
+        while let Some((from, msg)) = self.next_msg_try()? {
             match msg {
                 DsoMessage::Data { updates, .. } => {
                     applied += self.apply_updates(&updates)?;
@@ -451,10 +482,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
 
         let wait_start = self.endpoint.now();
         while !outstanding.is_empty() {
-            let incoming = self.endpoint.recv()?;
-            let from = incoming.from;
-            let msg: DsoMessage = sdso_net::wire::decode(&incoming.payload.bytes)
-                .map_err(DsoError::Net)?;
+            let (from, msg) = self.next_msg_blocking()?;
             match msg {
                 DsoMessage::Data { time, updates } => {
                     if time == t && due.contains(&from) {
@@ -505,6 +533,201 @@ impl<E: Endpoint> SdsoRuntime<E> {
             }
         }
         Ok(applied)
+    }
+
+    // ------------------------------------------------------------------
+    // The reliability layer (sequencing, acks, retransmit-on-timeout)
+    // ------------------------------------------------------------------
+
+    /// Decodes one raw transport message and runs it through the
+    /// reliability layer, returning the next in-order logical message if
+    /// this delivery produced one. Without a reliability config, every
+    /// message passes straight through.
+    fn admit_raw(
+        &mut self,
+        from: NodeId,
+        bytes: &[u8],
+    ) -> Result<Option<(NodeId, DsoMessage)>, DsoError> {
+        let msg: DsoMessage = sdso_net::wire::decode(bytes).map_err(DsoError::Net)?;
+        let Some(arq) = &mut self.arq else {
+            return Ok(Some((from, msg)));
+        };
+        let p = usize::from(from);
+        match msg {
+            DsoMessage::Env { seq, inner } => {
+                let mut delivered = None;
+                if seq == arq.rx_next[p] {
+                    arq.rx_next[p] += 1;
+                    delivered = Some((from, *inner));
+                    // Successors that arrived out of order are now in
+                    // order: queue them for consumption.
+                    while let Some(next) = arq.ooo[p].remove(&arq.rx_next[p]) {
+                        arq.ready.push_back((from, next));
+                        arq.rx_next[p] += 1;
+                    }
+                } else if seq > arq.rx_next[p] {
+                    arq.ooo[p].entry(seq).or_insert(*inner);
+                } else {
+                    self.metrics.duplicates_dropped += 1;
+                }
+                // Cumulative ack; doubles as a gap report when `seq` ran
+                // ahead of `rx_next`.
+                let ack =
+                    DsoMessage::SeqAck { next: self.arq.as_ref().expect("set above").rx_next[p] };
+                self.send_msg(from, ack)?;
+                Ok(delivered)
+            }
+            DsoMessage::SeqAck { next } => {
+                arq.unacked[p].retain(|&s, _| s >= next);
+                Ok(None)
+            }
+            // A plain message from a peer running without the layer (or a
+            // legacy ack) is delivered as-is.
+            other => Ok(Some((from, other))),
+        }
+    }
+
+    /// Blocking receive of the next logical message. With reliability
+    /// enabled, waits are bounded by the retransmission timeout: each
+    /// timeout resends everything unacknowledged (the `resync` path) until
+    /// traffic flows again or the retry budget runs out.
+    fn next_msg_blocking(&mut self) -> Result<(NodeId, DsoMessage), DsoError> {
+        let Some(arq) = &mut self.arq else {
+            let incoming = self.endpoint.recv().map_err(DsoError::Net)?;
+            let msg = sdso_net::wire::decode(&incoming.payload.bytes).map_err(DsoError::Net)?;
+            return Ok((incoming.from, msg));
+        };
+        if let Some(m) = arq.ready.pop_front() {
+            return Ok(m);
+        }
+        let cfg = arq.cfg;
+        let mut silent = 0u32;
+        loop {
+            match self.endpoint.recv_deadline(cfg.rto).map_err(DsoError::Net)? {
+                Some(incoming) => {
+                    silent = 0;
+                    if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+                        return Ok(m);
+                    }
+                }
+                None => {
+                    if silent >= cfg.max_retries {
+                        return Err(DsoError::Timeout { retries: silent });
+                    }
+                    silent += 1;
+                    self.metrics.resyncs += 1;
+                    self.retransmit_unacked()?;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive of the next logical message.
+    fn next_msg_try(&mut self) -> Result<Option<(NodeId, DsoMessage)>, DsoError> {
+        if let Some(arq) = &mut self.arq {
+            if let Some(m) = arq.ready.pop_front() {
+                return Ok(Some(m));
+            }
+        }
+        while let Some(incoming) = self.endpoint.try_recv().map_err(DsoError::Net)? {
+            if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Resends every unacknowledged message on every link, oldest first.
+    fn retransmit_unacked(&mut self) -> Result<(), DsoError> {
+        let Some(arq) = &self.arq else { return Ok(()) };
+        let pending: Vec<(NodeId, u64, DsoMessage)> = arq
+            .unacked
+            .iter()
+            .enumerate()
+            .flat_map(|(p, q)| q.iter().map(move |(&s, m)| (p as NodeId, s, m.clone())))
+            .collect();
+        for (peer, seq, inner) in pending {
+            self.metrics.retransmits += 1;
+            let payload = DsoMessage::Env { seq, inner: Box::new(inner) }
+                .into_payload(self.config.frame_wire_len);
+            self.endpoint.send(peer, payload).map_err(DsoError::Net)?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort tail flush of the reliability layer: keeps receiving
+    /// (and retransmitting on timeout) until every peer has acknowledged
+    /// everything this process sent, then returns `true`. Returns `false`
+    /// when the retry budget runs out or all peers have already exited —
+    /// whatever was still unacknowledged is then undeliverable.
+    ///
+    /// Call this at the end of a run so that peers still waiting on lost
+    /// traffic can recover; a no-op without a reliability config.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors other than end-of-run conditions.
+    pub fn settle(&mut self) -> Result<bool, DsoError> {
+        let Some(arq) = &self.arq else {
+            return Ok(true);
+        };
+        let cfg = arq.cfg;
+        let mut silent = 0u32;
+        loop {
+            let all_acked =
+                self.arq.as_ref().expect("checked above").unacked.iter().all(|q| q.is_empty());
+            if all_acked {
+                return Ok(true);
+            }
+            if silent >= cfg.max_retries {
+                return Ok(false);
+            }
+            match self.endpoint.recv_deadline(cfg.rto) {
+                Ok(Some(incoming)) => {
+                    silent = 0;
+                    let (from, bytes) = (incoming.from, incoming.payload.bytes);
+                    if let Some((from, msg)) = self.admit_raw(from, &bytes)? {
+                        self.absorb_settled(from, msg)?;
+                    }
+                    while let Some((from, msg)) =
+                        self.arq.as_mut().expect("checked above").ready.pop_front()
+                    {
+                        self.absorb_settled(from, msg)?;
+                    }
+                }
+                Ok(None) => {
+                    silent += 1;
+                    self.metrics.resyncs += 1;
+                    self.retransmit_unacked()?;
+                }
+                // Every other node finished: nobody is left to ack.
+                Err(NetError::Deadlock(_)) | Err(NetError::Disconnected) => return Ok(false),
+                Err(e) => return Err(DsoError::Net(e)),
+            }
+        }
+    }
+
+    /// Files a logical message that arrived during [`SdsoRuntime::settle`]:
+    /// object traffic is serviced, app messages are queued, late rendezvous
+    /// traffic is buffered (future) or ignored (already satisfied).
+    fn absorb_settled(&mut self, from: NodeId, msg: DsoMessage) -> Result<(), DsoError> {
+        match msg {
+            DsoMessage::Data { time, updates } if time > self.clock.now() => {
+                self.metrics.early_buffered += 1;
+                self.early.entry((from, time)).or_default().updates.extend(updates);
+            }
+            DsoMessage::Sync { time } if time > self.clock.now() => {
+                self.metrics.early_buffered += 1;
+                self.early.entry((from, time)).or_default().sync = true;
+            }
+            DsoMessage::Data { .. } | DsoMessage::Sync { .. } => {}
+            other => {
+                if let Some(Event::App { from, class, bytes }) = self.dispatch(from, other)? {
+                    self.app_inbox.push_back((from, class, bytes));
+                }
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -650,8 +873,8 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// traffic.
     pub fn recv_event(&mut self) -> Result<Event, DsoError> {
         loop {
-            let incoming = self.endpoint.recv()?;
-            if let Some(event) = self.dispatch(incoming.from, &incoming.payload.bytes)? {
+            let (from, msg) = self.next_msg_blocking()?;
+            if let Some(event) = self.dispatch(from, msg)? {
                 return Ok(event);
             }
         }
@@ -664,18 +887,17 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// Returns transport errors or a protocol violation on rendezvous
     /// traffic.
     pub fn try_recv_event(&mut self) -> Result<Option<Event>, DsoError> {
-        while let Some(incoming) = self.endpoint.try_recv()? {
-            if let Some(event) = self.dispatch(incoming.from, &incoming.payload.bytes)? {
+        while let Some((from, msg)) = self.next_msg_try()? {
+            if let Some(event) = self.dispatch(from, msg)? {
                 return Ok(Some(event));
             }
         }
         Ok(None)
     }
 
-    /// Decodes and services one message; returns an event if it must
-    /// surface to the caller.
-    fn dispatch(&mut self, from: NodeId, bytes: &[u8]) -> Result<Option<Event>, DsoError> {
-        let msg: DsoMessage = sdso_net::wire::decode(bytes).map_err(DsoError::Net)?;
+    /// Services one logical message; returns an event if it must surface
+    /// to the caller.
+    fn dispatch(&mut self, from: NodeId, msg: DsoMessage) -> Result<Option<Event>, DsoError> {
         match msg {
             DsoMessage::Put { object, version, body, wants_ack } => {
                 self.lamport = self.lamport.max(version.time.as_ticks());
@@ -705,15 +927,27 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 Ok(Some(Event::Ack { from }))
             }
             DsoMessage::App { class, bytes } => Ok(Some(Event::App { from, class, bytes })),
-            DsoMessage::Data { .. } | DsoMessage::Sync { .. } => {
-                Err(DsoError::ProtocolViolation(format!(
-                    "rendezvous message from {from} outside an exchange"
-                )))
-            }
+            DsoMessage::Data { .. } | DsoMessage::Sync { .. } => Err(DsoError::ProtocolViolation(
+                format!("rendezvous message from {from} outside an exchange"),
+            )),
+            DsoMessage::Env { .. } | DsoMessage::SeqAck { .. } => Err(DsoError::ProtocolViolation(
+                format!("reliability-layer message from {from} reached dispatch"),
+            )),
         }
     }
 
     fn send_msg(&mut self, peer: NodeId, msg: DsoMessage) -> Result<(), DsoError> {
+        let msg = match &mut self.arq {
+            // Acks police the sequenced stream and must not join it.
+            Some(arq) if !matches!(msg, DsoMessage::SeqAck { .. }) => {
+                let p = usize::from(peer);
+                let seq = arq.tx_seq[p];
+                arq.tx_seq[p] += 1;
+                arq.unacked[p].insert(seq, msg.clone());
+                DsoMessage::Env { seq, inner: Box::new(msg) }
+            }
+            _ => msg,
+        };
         let payload: Payload = msg.into_payload(self.config.frame_wire_len);
         self.endpoint.send(peer, payload).map_err(DsoError::Net)
     }
@@ -740,9 +974,10 @@ mod tests {
     }
 
     /// Runs both runtimes' closures on separate threads (exchange blocks).
-    fn run_pair<F>(mut runtimes: Vec<SdsoRuntime<MemoryEndpoint>>, f: F) -> Vec<SdsoRuntime<MemoryEndpoint>>
+    fn run_pair<E, F>(mut runtimes: Vec<SdsoRuntime<E>>, f: F) -> Vec<SdsoRuntime<E>>
     where
-        F: Fn(&mut SdsoRuntime<MemoryEndpoint>) + Send + Sync + 'static + Copy,
+        E: Endpoint + 'static,
+        F: Fn(&mut SdsoRuntime<E>) + Send + Sync + 'static + Copy,
     {
         let handles: Vec<_> = runtimes
             .drain(..)
@@ -919,12 +1154,60 @@ mod tests {
     }
 
     #[test]
+    fn lossy_exchange_recovers_via_resync() {
+        use sdso_net::{FaultPlan, FaultyEndpoint};
+        let plan = FaultPlan::new(7).with_drop(0.3).with_dup(0.1);
+        let retry = RetryConfig { rto: SimSpan::from_millis(5), max_retries: 400 };
+        let cfg = DsoConfig::compact().with_reliability(Some(retry));
+        let runtimes: Vec<_> = MemoryHub::new(2)
+            .into_endpoints()
+            .into_iter()
+            .map(|ep| {
+                let mut rt = SdsoRuntime::new(FaultyEndpoint::new(ep, plan.clone()), cfg);
+                rt.share(ObjectId(1), vec![0u8; 8]).unwrap();
+                rt.init_schedule(&mut EveryTick).unwrap();
+                rt
+            })
+            .collect();
+        let done = run_pair(runtimes, |rt| {
+            for i in 0..10u8 {
+                rt.write(ObjectId(1), 0, &[(rt.node_id() as u8 + 1) * 10 + i]).unwrap();
+                rt.exchange(true, SendMode::Multicast, &mut EveryTick).unwrap();
+            }
+            rt.settle().unwrap();
+        });
+        assert_eq!(
+            done[0].read(ObjectId(1)).unwrap(),
+            done[1].read(ObjectId(1)).unwrap(),
+            "replicas converge despite a 30% drop / 10% dup link"
+        );
+        let m = done[0].metrics().merged(&done[1].metrics());
+        let faults = done[0].net_metrics().merged(&done[1].net_metrics());
+        assert!(faults.drops_injected > 0, "the plan really dropped traffic");
+        assert!(
+            m.resyncs > 0 && m.retransmits > 0,
+            "lost rendezvous messages were recovered by timeout resync, got {m:?}"
+        );
+    }
+
+    #[test]
+    fn reliability_off_adds_no_wire_overhead() {
+        // The EC fast path and the paper-fidelity metrics depend on plain
+        // (unenveloped) traffic when reliability is off.
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = SdsoRuntime::new(eps.pop().unwrap(), DsoConfig::compact());
+        a.share(ObjectId(1), vec![0u8; 8]).unwrap();
+        a.async_put(1, ObjectId(1)).unwrap();
+        let sent = a.net_metrics();
+        assert_eq!(sent.data_sent.msgs, 1);
+        drop(b);
+    }
+
+    #[test]
     fn unknown_object_write_rejected() {
         let mut runtimes = pair();
         let a = &mut runtimes[0];
-        assert!(matches!(
-            a.write(ObjectId(99), 0, &[1]),
-            Err(DsoError::UnknownObject(_))
-        ));
+        assert!(matches!(a.write(ObjectId(99), 0, &[1]), Err(DsoError::UnknownObject(_))));
     }
 }

@@ -103,9 +103,7 @@ impl SlottedBuffer {
     ///
     /// Panics if `peer` is the local process or out of range.
     pub fn drain_slot(&mut self, peer: NodeId) -> Vec<PendingUpdate> {
-        let slot = self.slots[usize::from(peer)]
-            .as_mut()
-            .expect("drain_slot: peer must be remote");
+        let slot = self.slots[usize::from(peer)].as_mut().expect("drain_slot: peer must be remote");
         std::mem::take(slot).into_values().flatten().collect()
     }
 
@@ -131,12 +129,7 @@ impl SlottedBuffer {
 
     /// Total updates pending across all slots.
     pub fn total_pending(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .flat_map(BTreeMap::values)
-            .map(Vec::len)
-            .sum()
+        self.slots.iter().flatten().flat_map(BTreeMap::values).map(Vec::len).sum()
     }
 }
 

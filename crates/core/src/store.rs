@@ -110,12 +110,7 @@ impl ObjectStore {
     ///
     /// Returns [`DsoError::UnknownObject`], or [`DsoError::OutOfBounds`] if
     /// the body size does not match the registered size.
-    pub fn replace(
-        &mut self,
-        id: ObjectId,
-        body: &[u8],
-        version: Version,
-    ) -> Result<(), DsoError> {
+    pub fn replace(&mut self, id: ObjectId, body: &[u8], version: Version) -> Result<(), DsoError> {
         let replica = self.objects.get_mut(&id).ok_or(DsoError::UnknownObject(id))?;
         if body.len() != replica.data.len() {
             return Err(DsoError::OutOfBounds {

@@ -90,6 +90,22 @@ pub enum DsoMessage {
         /// The embedded encoding.
         bytes: Vec<u8>,
     },
+    /// A sequenced envelope added by the reliability layer: `inner` is the
+    /// `seq`-th message on this link. Envelopes never nest and never carry
+    /// a [`DsoMessage::SeqAck`] (the codec rejects both).
+    Env {
+        /// Per-link sequence number, starting at 0.
+        seq: u64,
+        /// The enveloped message.
+        inner: Box<DsoMessage>,
+    },
+    /// Cumulative acknowledgement of [`DsoMessage::Env`] traffic: every
+    /// sequence number below `next` has been delivered on this link. Sent
+    /// outside any envelope (loss is repaired by the next ack).
+    SeqAck {
+        /// The receiver's next expected sequence number.
+        next: u64,
+    },
 }
 
 const TAG_DATA: u8 = 1;
@@ -99,6 +115,8 @@ const TAG_GET_REQ: u8 = 4;
 const TAG_GET_REP: u8 = 5;
 const TAG_ACK: u8 = 6;
 const TAG_APP: u8 = 7;
+const TAG_ENV: u8 = 8;
+const TAG_SEQ_ACK: u8 = 9;
 
 impl DsoMessage {
     /// The accounting class of this message (data messages carry object
@@ -112,6 +130,8 @@ impl DsoMessage {
                 MsgClass::Control
             }
             DsoMessage::App { class, .. } => *class,
+            DsoMessage::Env { inner, .. } => inner.class(),
+            DsoMessage::SeqAck { .. } => MsgClass::Control,
         }
     }
 
@@ -164,6 +184,15 @@ impl Wire for DsoMessage {
                 w.put_u8(class.to_wire_u8());
                 w.put_bytes(bytes);
             }
+            DsoMessage::Env { seq, inner } => {
+                w.put_u8(TAG_ENV);
+                w.put_u64(*seq);
+                inner.encode(w);
+            }
+            DsoMessage::SeqAck { next } => {
+                w.put_u8(TAG_SEQ_ACK);
+                w.put_u64(*next);
+            }
         }
     }
 
@@ -195,6 +224,18 @@ impl Wire for DsoMessage {
                 let bytes = r.get_bytes()?.to_vec();
                 Ok(DsoMessage::App { class, bytes })
             }
+            TAG_ENV => {
+                let seq = r.get_u64()?;
+                let inner = DsoMessage::decode(r)?;
+                // Legitimate senders wrap exactly once and never envelope
+                // acks; rejecting the alternatives here bounds decoder
+                // recursion against adversarial input.
+                if matches!(inner, DsoMessage::Env { .. } | DsoMessage::SeqAck { .. }) {
+                    return Err(NetError::Codec("nested or ack-bearing envelope".into()));
+                }
+                Ok(DsoMessage::Env { seq, inner: Box::new(inner) })
+            }
+            TAG_SEQ_ACK => Ok(DsoMessage::SeqAck { next: r.get_u64()? }),
             tag => Err(NetError::Codec(format!("unknown DsoMessage tag {tag:#x}"))),
         }
     }
@@ -256,6 +297,35 @@ mod tests {
         roundtrip(DsoMessage::GetRep { object: ObjectId(8), version: v, body: vec![7; 4] });
         roundtrip(DsoMessage::Ack);
         roundtrip(DsoMessage::App { class: MsgClass::Control, bytes: vec![9, 9] });
+        roundtrip(DsoMessage::Env { seq: 17, inner: Box::new(DsoMessage::Ack) });
+        roundtrip(DsoMessage::SeqAck { next: 42 });
+    }
+
+    #[test]
+    fn envelope_class_follows_inner() {
+        let env = DsoMessage::Env {
+            seq: 0,
+            inner: Box::new(DsoMessage::Sync { time: LogicalTime::ZERO }),
+        };
+        assert_eq!(env.class(), MsgClass::Control);
+        let env = DsoMessage::Env {
+            seq: 0,
+            inner: Box::new(DsoMessage::Data { time: LogicalTime::ZERO, updates: vec![] }),
+        };
+        assert_eq!(env.class(), MsgClass::Data);
+        assert_eq!(DsoMessage::SeqAck { next: 0 }.class(), MsgClass::Control);
+    }
+
+    #[test]
+    fn nested_envelopes_rejected() {
+        let nested = DsoMessage::Env {
+            seq: 1,
+            inner: Box::new(DsoMessage::Env { seq: 2, inner: Box::new(DsoMessage::Ack) }),
+        };
+        let encoded = wire::encode(&nested);
+        assert!(wire::decode::<DsoMessage>(&encoded).is_err());
+        let acked = DsoMessage::Env { seq: 1, inner: Box::new(DsoMessage::SeqAck { next: 0 }) };
+        assert!(wire::decode::<DsoMessage>(&wire::encode(&acked)).is_err());
     }
 
     #[test]
@@ -292,5 +362,60 @@ mod tests {
     fn unknown_tag_rejected() {
         let res: Result<DsoMessage, _> = wire::decode(&[0xEE]);
         assert!(res.is_err());
+    }
+
+    fn sample_messages() -> Vec<DsoMessage> {
+        let v = Version::new(LogicalTime::from_ticks(4), 2);
+        vec![
+            DsoMessage::Data {
+                time: LogicalTime::from_ticks(9),
+                updates: vec![WireUpdate {
+                    object: ObjectId(3),
+                    diff: Diff::single(2, vec![1, 2, 3]),
+                    version: v,
+                }],
+            },
+            DsoMessage::Sync { time: LogicalTime::from_ticks(1) },
+            DsoMessage::Put { object: ObjectId(1), version: v, body: vec![0; 16], wants_ack: true },
+            DsoMessage::GetReq { object: ObjectId(8) },
+            DsoMessage::GetRep { object: ObjectId(8), version: v, body: vec![7; 4] },
+            DsoMessage::App { class: MsgClass::Data, bytes: vec![9, 9, 9] },
+            DsoMessage::Env { seq: 17, inner: Box::new(DsoMessage::Ack) },
+            DsoMessage::SeqAck { next: 42 },
+        ]
+    }
+
+    #[test]
+    fn every_truncated_payload_errors_and_never_panics() {
+        for msg in sample_messages() {
+            let encoded = wire::encode(&msg).to_vec();
+            for cut in 0..encoded.len() {
+                let res: Result<DsoMessage, _> = wire::decode(&encoded[..cut]);
+                assert!(res.is_err(), "strict prefix of {cut} bytes decoded as {msg:?}");
+            }
+            assert_eq!(wire::decode::<DsoMessage>(&encoded).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_bytes_error_and_never_panic() {
+        // Smash each byte of each encoding to 0xFF in turn: decoding must
+        // either fail cleanly or yield some *other* well-formed message —
+        // it must never panic on hostile input.
+        for msg in sample_messages() {
+            let encoded = wire::encode(&msg).to_vec();
+            for i in 0..encoded.len() {
+                let mut bad = encoded.clone();
+                bad[i] = 0xFF;
+                let _ = wire::decode::<DsoMessage>(&bad);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut encoded = wire::encode(&DsoMessage::Ack).to_vec();
+        encoded.push(0x00);
+        assert!(wire::decode::<DsoMessage>(&encoded).is_err());
     }
 }

@@ -80,7 +80,9 @@ pub fn decide(
     for dir in Direction::ALL {
         let mut cursor = pos;
         for _ in 0..scenario.fire_range {
-            let Some(next) = cursor.step(dir, grid) else { break };
+            let Some(next) = cursor.step(dir, grid) else {
+                break;
+            };
             cursor = next;
             match view.block_at(cursor) {
                 Block::Tank { team, .. } if team != me => {
@@ -95,7 +97,9 @@ pub fn decide(
     // 2. Move toward the target: try the larger-delta axis first, then the
     //    other axis, then the two perpendicular detours.
     for dir in preferred_directions(pos, target) {
-        let Some(to) = pos.step(dir, grid) else { continue };
+        let Some(to) = pos.step(dir, grid) else {
+            continue;
+        };
         if !passable_for(scenario, view, me, to) {
             continue;
         }
@@ -138,19 +142,12 @@ fn passable_for(scenario: &Scenario, view: &impl WorldView, me: NodeId, to: Pos)
     if !view.block_at(to).passable() {
         return false;
     }
-    (0..scenario.teams)
-        .filter(|&t| t != me)
-        .all(|t| scenario.start_of(t) != to)
+    (0..scenario.teams).filter(|&t| t != me).all(|t| scenario.start_of(t) != to)
 }
 
 /// The highest-id enemy tank adjacent to `cell` (a potential same-interval
 /// contender for it), if any.
-fn adjacent_enemy(
-    view: &impl WorldView,
-    grid: Grid,
-    me: NodeId,
-    cell: Pos,
-) -> Option<NodeId> {
+fn adjacent_enemy(view: &impl WorldView, grid: Grid, me: NodeId, cell: Pos) -> Option<NodeId> {
     Direction::ALL
         .iter()
         .filter_map(|&d| cell.step(d, grid))
@@ -184,16 +181,10 @@ mod tests {
         let view = view_of(BTreeMap::new());
         // Tank west of goal must head east.
         let action = decide(&s, &view, 0, Pos::new(2, 12), s.goal(), true);
-        assert_eq!(
-            action,
-            Action::Move { to: Pos::new(3, 12), dir: Direction::East }
-        );
+        assert_eq!(action, Action::Move { to: Pos::new(3, 12), dir: Direction::East });
         // Tank north of goal must head south.
         let action = decide(&s, &view, 0, Pos::new(16, 2), s.goal(), true);
-        assert_eq!(
-            action,
-            Action::Move { to: Pos::new(16, 3), dir: Direction::South }
-        );
+        assert_eq!(action, Action::Move { to: Pos::new(16, 3), dir: Direction::South });
     }
 
     #[test]
@@ -240,10 +231,7 @@ mod tests {
         let from = Pos::new(10, 10);
         let view = view_of(BTreeMap::from([(Pos::new(11, 10), Block::Obstacle)]));
         let action = decide(&s, &view, 0, from, s.goal(), true);
-        assert_eq!(
-            action,
-            Action::Move { to: Pos::new(10, 11), dir: Direction::South }
-        );
+        assert_eq!(action, Action::Move { to: Pos::new(10, 11), dir: Direction::South });
     }
 
     #[test]

@@ -175,13 +175,7 @@ mod tests {
         roundtrip(Block::Bonus { points: 25 });
         roundtrip(Block::Bomb);
         roundtrip(Block::Obstacle);
-        roundtrip(Block::Tank {
-            team: 7,
-            tank: 2,
-            hp: 3,
-            facing: Direction::East,
-            fired: None,
-        });
+        roundtrip(Block::Tank { team: 7, tank: 2, hp: 3, facing: Direction::East, fired: None });
         roundtrip(Block::Tank {
             team: 300,
             tank: 0,
@@ -197,28 +191,17 @@ mod tests {
         assert!(Block::Goal.passable());
         assert!(Block::Bomb.passable(), "bombs are traps, not walls");
         assert!(!Block::Obstacle.passable());
-        assert!(!Block::Tank {
-            team: 0,
-            tank: 0,
-            hp: 1,
-            facing: Direction::North,
-            fired: None
-        }
-        .passable());
+        assert!(!Block::Tank { team: 0, tank: 0, hp: 1, facing: Direction::North, fired: None }
+            .passable());
     }
 
     #[test]
     fn malformed_input_is_none_not_panic() {
         assert_eq!(Block::decode(&[]), None);
         assert_eq!(Block::decode(&[99; 16]), None);
-        let mut bad_facing = Block::Tank {
-            team: 0,
-            tank: 0,
-            hp: 1,
-            facing: Direction::North,
-            fired: None,
-        }
-        .encode(16);
+        let mut bad_facing =
+            Block::Tank { team: 0, tank: 0, hp: 1, facing: Direction::North, fired: None }
+                .encode(16);
         bad_facing[5] = 77;
         assert_eq!(Block::decode(&bad_facing), None);
     }

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sdso_core::{
-    DsoConfig, DsoError, DsoMetrics, EveryTick, ObjectId, SFunction, SdsoRuntime,
+    DsoConfig, DsoError, DsoMetrics, EveryTick, ObjectId, SFunction, SdsoRuntime, SendMode,
 };
 use sdso_net::{Endpoint, NetMetricsSnapshot, NodeId, SimSpan};
 use sdso_protocols::{
@@ -118,10 +118,9 @@ impl NodeStats {
     /// metric ("average execution time per process normalized by average
     /// number of object modifications").
     pub fn time_per_modification(&self) -> SimSpan {
-        if self.modifications == 0 {
-            SimSpan::ZERO
-        } else {
-            SimSpan::from_micros(self.exec_time.as_micros() / self.modifications)
+        match self.exec_time.as_micros().checked_div(self.modifications) {
+            None => SimSpan::ZERO,
+            Some(per_mod) => SimSpan::from_micros(per_mod),
         }
     }
 }
@@ -253,13 +252,7 @@ impl GameCore {
     }
 
     fn my_tank_block(&self, fired: Option<FireRecord>) -> Block {
-        Block::Tank {
-            team: self.me,
-            tank: 0,
-            hp: self.tank.hp,
-            facing: self.tank.facing,
-            fired,
-        }
+        Block::Tank { team: self.me, tank: 0, hp: self.tank.hp, facing: self.tank.facing, fired }
     }
 
     /// Runs one game iteration: respawn if pending, absorb incoming fire,
@@ -333,7 +326,8 @@ impl GameCore {
         // whole grid at a fraction of the cost.
         let radius = i32::from(self.scenario.fire_range) + 3;
         let (cx, cy) = (i32::from(self.tank.pos.x), i32::from(self.tank.pos.y));
-        let xs = (cx - radius).max(0) as u16..=((cx + radius).min(i32::from(grid.width) - 1)) as u16;
+        let xs =
+            (cx - radius).max(0) as u16..=((cx + radius).min(i32::from(grid.width) - 1)) as u16;
         for pos in xs.flat_map(|x| {
             let ys = (cy - radius).max(0) as u16
                 ..=((cy + radius).min(i32::from(grid.height) - 1)) as u16;
@@ -441,9 +435,8 @@ struct RuntimePort<'a, E: Endpoint> {
 impl<E: Endpoint> BlockPort for RuntimePort<'_, E> {
     fn read_block(&self, pos: Pos) -> Result<Block, DsoError> {
         let bytes = self.runtime.read(self.scenario.grid.object_at(pos))?;
-        Block::decode(bytes).ok_or_else(|| {
-            DsoError::ProtocolViolation(format!("corrupt block at {pos:?}"))
-        })
+        Block::decode(bytes)
+            .ok_or_else(|| DsoError::ProtocolViolation(format!("corrupt block at {pos:?}")))
     }
     fn write_block(&mut self, pos: Pos, block: Block) -> Result<(), DsoError> {
         let object = self.scenario.grid.object_at(pos);
@@ -462,9 +455,8 @@ struct EcPort<'a, E: Endpoint> {
 impl<E: Endpoint> BlockPort for EcPort<'_, E> {
     fn read_block(&self, pos: Pos) -> Result<Block, DsoError> {
         let bytes = self.ec.read(self.scenario.grid.object_at(pos))?;
-        Block::decode(bytes).ok_or_else(|| {
-            DsoError::ProtocolViolation(format!("corrupt block at {pos:?}"))
-        })
+        Block::decode(bytes)
+            .ok_or_else(|| DsoError::ProtocolViolation(format!("corrupt block at {pos:?}")))
     }
     fn write_block(&mut self, pos: Pos, block: Block) -> Result<(), DsoError> {
         let object = self.scenario.grid.object_at(pos);
@@ -483,9 +475,8 @@ struct LrcPort<'a, E: Endpoint> {
 impl<E: Endpoint> BlockPort for LrcPort<'_, E> {
     fn read_block(&self, pos: Pos) -> Result<Block, DsoError> {
         let bytes = self.lrc.read(self.scenario.grid.object_at(pos))?;
-        Block::decode(bytes).ok_or_else(|| {
-            DsoError::ProtocolViolation(format!("corrupt block at {pos:?}"))
-        })
+        Block::decode(bytes)
+            .ok_or_else(|| DsoError::ProtocolViolation(format!("corrupt block at {pos:?}")))
     }
     fn write_block(&mut self, pos: Pos, block: Block) -> Result<(), DsoError> {
         let object = self.scenario.grid.object_at(pos);
@@ -502,9 +493,8 @@ struct CausalPort<'a, E: Endpoint> {
 impl<E: Endpoint> BlockPort for CausalPort<'_, E> {
     fn read_block(&self, pos: Pos) -> Result<Block, DsoError> {
         let bytes = self.causal.read(self.scenario.grid.object_at(pos))?;
-        Block::decode(bytes).ok_or_else(|| {
-            DsoError::ProtocolViolation(format!("corrupt block at {pos:?}"))
-        })
+        Block::decode(bytes)
+            .ok_or_else(|| DsoError::ProtocolViolation(format!("corrupt block at {pos:?}")))
     }
     fn write_block(&mut self, pos: Pos, block: Block) -> Result<(), DsoError> {
         let object = self.scenario.grid.object_at(pos);
@@ -516,10 +506,14 @@ impl<E: Endpoint> BlockPort for CausalPort<'_, E> {
 // Runners
 // ---------------------------------------------------------------------
 
-fn build_runtime<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<SdsoRuntime<E>, DsoError> {
+fn build_runtime<E: Endpoint>(
+    endpoint: E,
+    scenario: &Scenario,
+) -> Result<SdsoRuntime<E>, DsoError> {
     let config = DsoConfig {
         frame_wire_len: scenario.frame_wire_len,
         merge_diffs: scenario.merge_diffs,
+        reliability: scenario.reliability,
     };
     let mut rt = SdsoRuntime::new(endpoint, config);
     for (idx, block) in scenario.initial_world().iter().enumerate() {
@@ -545,8 +539,7 @@ fn snapshot_world<E: Endpoint>(rt: &SdsoRuntime<E>, scenario: &Scenario) -> Vec<
 /// Per-tick modelled compute: the look phase plus the decision.
 fn think_cost(scenario: &Scenario) -> SimSpan {
     let blocks_looked = 4 * u64::from(scenario.range);
-    SimSpan::from_micros(scenario.look_cost.as_micros() * blocks_looked)
-        + scenario.decide_cost
+    SimSpan::from_micros(scenario.look_cost.as_micros() * blocks_looked) + scenario.decide_cost
 }
 
 fn write_cost(scenario: &Scenario, mods: u64) -> SimSpan {
@@ -614,7 +607,14 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
         node.step()?;
     }
 
-    let rt = node.into_runtime();
+    let mut rt = node.into_runtime();
+    // Terminal full synchronisation: one broadcast rendezvous flushes every
+    // buffered slot (MSYNC-family slots for non-due peers would otherwise
+    // stay pending forever), then the reliability layer — when on —
+    // retransmits until the tail is acknowledged. After this, every replica
+    // holds the globally newest version of every object.
+    rt.exchange(true, SendMode::Broadcast, &mut sdso_core::Never)?;
+    rt.settle()?;
     Ok(NodeStats {
         node: me,
         ticks: core.tick,
@@ -643,7 +643,9 @@ pub fn ec_lockset(scenario: &Scenario, pos: Pos) -> Vec<LockRequest> {
     for dir in Direction::ALL {
         let mut cursor = pos;
         for step in 1..=scenario.range {
-            let Some(next) = cursor.step(dir, grid) else { break };
+            let Some(next) = cursor.step(dir, grid) else {
+                break;
+            };
             cursor = next;
             let mode = if step == 1 { LockMode::Write } else { LockMode::Read };
             locks.push(LockRequest { object: grid.object_at(cursor), mode });
@@ -680,6 +682,14 @@ fn run_entry<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats,
         ec.release_all(&modified)?;
     }
     ec.finish()?;
+    // Pull-based EC leaves replicas stale wherever this process never
+    // locked; the final-sync barrier disseminates every object's newest
+    // version so snapshots agree across processes. The settle pass then
+    // keeps retransmitting (and acknowledging) until the tail of the
+    // barrier itself is delivered — without it, a process whose last
+    // SyncDone was dropped would exit and leave its peers starving.
+    ec.final_sync()?;
+    ec.runtime_mut().settle()?;
 
     Ok(NodeStats {
         node: me,

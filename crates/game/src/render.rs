@@ -104,11 +104,7 @@ pub fn scoreboard(scenario: &Scenario, view: &impl WorldView) -> String {
     entries.join("  ")
 }
 
-fn find_team(
-    scenario: &Scenario,
-    view: &impl WorldView,
-    team: NodeId,
-) -> Option<(Pos, u8)> {
+fn find_team(scenario: &Scenario, view: &impl WorldView, team: NodeId) -> Option<(Pos, u8)> {
     scenario.grid.iter().find_map(|pos| match view.block_at(pos) {
         Block::Tank { team: t, hp, .. } if t == team => Some((pos, hp)),
         _ => None,
@@ -147,13 +143,7 @@ mod tests {
         assert_eq!(glyph(Block::Bonus { points: 5 }, opts), '$');
         assert_eq!(glyph(Block::Bomb, opts), '*');
         assert_eq!(glyph(Block::Obstacle, opts), '#');
-        let tank = Block::Tank {
-            team: 11,
-            tank: 0,
-            hp: 2,
-            facing: Direction::West,
-            fired: None,
-        };
+        let tank = Block::Tank { team: 11, tank: 0, hp: 2, facing: Direction::West, fired: None };
         assert_eq!(glyph(tank, opts), 'b', "team 11 renders base-36");
         let arrows = RenderOptions { facing_markers: true, border: false };
         assert_eq!(glyph(tank, arrows), '<');
@@ -162,11 +152,10 @@ mod tests {
     #[test]
     fn render_places_blocks_at_their_positions() {
         let s = tiny_scenario();
-        let map = BTreeMap::from([
-            (Pos::new(1, 0), Block::Goal),
-            (Pos::new(2, 2), Block::Obstacle),
-        ]);
-        let text = render(&s, &view_of(map), RenderOptions { facing_markers: false, border: false });
+        let map =
+            BTreeMap::from([(Pos::new(1, 0), Block::Goal), (Pos::new(2, 2), Block::Obstacle)]);
+        let text =
+            render(&s, &view_of(map), RenderOptions { facing_markers: false, border: false });
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(&lines[0][1..2], "G");
         assert_eq!(&lines[2][2..3], "#");

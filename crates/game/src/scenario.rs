@@ -7,8 +7,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sdso_core::RetryConfig;
 use sdso_net::{NodeId, SimSpan};
-use serde::{Deserialize, Serialize};
 
 use crate::block::{Block, MIN_BLOCK_BYTES};
 use crate::world::{Grid, Pos};
@@ -17,7 +17,7 @@ use crate::world::{Grid, Pos};
 pub const GOAL_POINTS: i64 = 50;
 
 /// Full description of one game run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     /// Grid dimensions (the paper: 32×24).
     pub grid: Grid,
@@ -40,6 +40,10 @@ pub struct Scenario {
     pub frame_wire_len: Option<u32>,
     /// Whether the slotted buffer merges per-object diffs.
     pub merge_diffs: bool,
+    /// Per-link retransmission tuning. `None` (the paper's lossless
+    /// testbed) adds zero overhead; chaos runs set it so drops and
+    /// reordering are recovered via the resync path.
+    pub reliability: Option<RetryConfig>,
     /// Number of bonus pick-ups scattered on the map.
     pub bonuses: usize,
     /// Number of bombs.
@@ -77,6 +81,7 @@ impl Scenario {
             block_bytes: 64,
             frame_wire_len: Some(2048),
             merge_diffs: true,
+            reliability: None,
             bonuses: 20,
             bombs: 10,
             obstacles: 24,
@@ -96,6 +101,12 @@ impl Scenario {
     /// Returns a copy with a different tick count.
     pub fn with_ticks(mut self, ticks: u64) -> Self {
         self.ticks = ticks;
+        self
+    }
+
+    /// Returns a copy with the reliability layer switched on.
+    pub fn with_reliability(mut self, cfg: RetryConfig) -> Self {
+        self.reliability = Some(cfg);
         self
     }
 
@@ -170,10 +181,8 @@ impl Scenario {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let place = |world: &mut Vec<Block>, rng: &mut StdRng, block: Block| {
             for _ in 0..10_000 {
-                let pos = Pos::new(
-                    rng.gen_range(0..self.grid.width),
-                    rng.gen_range(0..self.grid.height),
-                );
+                let pos =
+                    Pos::new(rng.gen_range(0..self.grid.width), rng.gen_range(0..self.grid.height));
                 let idx = self.grid.object_at(pos).0 as usize;
                 if world[idx] == Block::Empty && !reserved(pos) {
                     world[idx] = block;

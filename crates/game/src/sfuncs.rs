@@ -58,12 +58,7 @@ fn candidate_positions(store: &ObjectStore, scenario: &Scenario, team: NodeId) -
 
 /// Ticks until *any* cross-team tank pair could reach row/column alignment
 /// (the MSYNC trigger), minimised over pairs and ghost positions.
-fn ticks_to_any_alignment(
-    store: &ObjectStore,
-    scenario: &Scenario,
-    a: NodeId,
-    b: NodeId,
-) -> u64 {
+fn ticks_to_any_alignment(store: &ObjectStore, scenario: &Scenario, a: NodeId, b: NodeId) -> u64 {
     let ours = candidate_positions(store, scenario, a);
     let theirs = candidate_positions(store, scenario, b);
     ours.iter()
@@ -85,9 +80,7 @@ fn ticks_to_any_interaction(
     let theirs = candidate_positions(store, scenario, b);
     ours.iter()
         .flat_map(|&m| {
-            theirs
-                .iter()
-                .map(move |&t| m.ticks_to_alignment(t).max(m.ticks_to_within(t, d)))
+            theirs.iter().map(move |&t| m.ticks_to_alignment(t).max(m.ticks_to_within(t, d)))
         })
         .min()
         .unwrap_or(u64::MAX)
@@ -168,9 +161,7 @@ mod tests {
                     fired: None,
                 })
                 .unwrap_or(Block::Empty);
-            store
-                .share(grid.object_at(pos), block.encode(scenario.block_bytes))
-                .unwrap();
+            store.share(grid.object_at(pos), block.encode(scenario.block_bytes)).unwrap();
         }
         store
     }
@@ -266,9 +257,6 @@ mod tests {
         let store = store_with_tanks(&s, &[(0, near_spawn), (1, far)]);
         let mut f = Msync2::new(0, s);
         let next = f.next_exchange(1, LogicalTime::from_ticks(0), &store).unwrap();
-        assert!(
-            next.as_ticks() <= 2,
-            "spawn ghost must keep the schedule tight, got {next}"
-        );
+        assert!(next.as_ticks() <= 2, "spawn ghost must keep the schedule tight, got {next}");
     }
 }

@@ -2,10 +2,9 @@
 //! grid blocks onto S-DSO objects.
 
 use sdso_core::ObjectId;
-use serde::{Deserialize, Serialize};
 
 /// A grid position (origin top-left).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pos {
     /// Column, `0..width`.
     pub x: u16,
@@ -55,13 +54,16 @@ impl Pos {
             Direction::East => (x + 1, y),
             Direction::West => (x - 1, y),
         };
-        (nx >= 0 && ny >= 0 && (nx as u32) < u32::from(grid.width) && (ny as u32) < u32::from(grid.height))
-            .then(|| Pos::new(nx as u16, ny as u16))
+        (nx >= 0
+            && ny >= 0
+            && (nx as u32) < u32::from(grid.width)
+            && (ny as u32) < u32::from(grid.height))
+        .then(|| Pos::new(nx as u16, ny as u16))
     }
 }
 
 /// The four movement/facing/firing directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Decreasing `y`.
     North,
@@ -95,7 +97,7 @@ impl Direction {
 }
 
 /// The grid dimensions. The paper's evaluation uses 32×24.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
     /// Number of columns.
     pub width: u16,
@@ -119,7 +121,10 @@ impl Grid {
 
     /// Inverse of [`Grid::object_at`].
     pub fn pos_of(self, object: ObjectId) -> Pos {
-        Pos::new((object.0 % u32::from(self.width)) as u16, (object.0 / u32::from(self.width)) as u16)
+        Pos::new(
+            (object.0 % u32::from(self.width)) as u16,
+            (object.0 / u32::from(self.width)) as u16,
+        )
     }
 
     /// Whether `pos` lies inside the grid.

@@ -56,10 +56,8 @@ fn wider_range_means_more_ec_traffic() {
     // The paper's 5-lock vs 13-lock effect, as a regression guard.
     let base = Scenario::paper(4, 1).with_ticks(80);
     let wide = Scenario::paper(4, 3).with_ticks(80);
-    let narrow_msgs: u64 =
-        play(&base, Protocol::Entry).iter().map(|s| s.net.total_sent()).sum();
-    let wide_msgs: u64 =
-        play(&wide, Protocol::Entry).iter().map(|s| s.net.total_sent()).sum();
+    let narrow_msgs: u64 = play(&base, Protocol::Entry).iter().map(|s| s.net.total_sent()).sum();
+    let wide_msgs: u64 = play(&wide, Protocol::Entry).iter().map(|s| s.net.total_sent()).sum();
     assert!(
         wide_msgs > narrow_msgs * 2,
         "range 3 EC ({wide_msgs}) should far exceed range 1 ({narrow_msgs})"
@@ -73,8 +71,7 @@ fn bsync_range_has_little_effect_on_traffic() {
     let base = Scenario::paper(4, 1).with_ticks(80);
     let wide = Scenario::paper(4, 3).with_ticks(80);
     let narrow: u64 = play(&base, Protocol::Bsync).iter().map(|s| s.net.total_sent()).sum();
-    let wide_msgs: u64 =
-        play(&wide, Protocol::Bsync).iter().map(|s| s.net.total_sent()).sum();
+    let wide_msgs: u64 = play(&wide, Protocol::Bsync).iter().map(|s| s.net.total_sent()).sum();
     let ratio = wide_msgs as f64 / narrow as f64;
     assert!(
         (0.9..1.1).contains(&ratio),

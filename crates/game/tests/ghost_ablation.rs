@@ -5,9 +5,7 @@
 //! silently. This test documents that the ghost positions in
 //! `sdso_game::sfuncs` are load-bearing, not decorative.
 
-use sdso_core::{
-    DsoConfig, DsoError, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime,
-};
+use sdso_core::{DsoConfig, DsoError, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime};
 use sdso_game::{team_positions, Block, GameCore, Pos, Scenario};
 use sdso_net::{Endpoint, NodeId};
 use sdso_protocols::Lookahead;
@@ -34,9 +32,7 @@ impl SFunction for Msync2NoGhosts {
         let delta = ours
             .iter()
             .flat_map(|&m| {
-                theirs
-                    .iter()
-                    .map(move |&t| m.ticks_to_alignment(t).max(m.ticks_to_within(t, d)))
+                theirs.iter().map(move |&t| m.ticks_to_alignment(t).max(m.ticks_to_within(t, d)))
             })
             .min()
             // A team in limbo is invisible: without ghosts the best this
@@ -52,12 +48,12 @@ fn run_no_ghosts(scenario: &Scenario) -> Vec<Result<(), DsoError>> {
         .run(move |ep| {
             let me = ep.node_id();
             let s = outer.clone();
-            let config =
-                DsoConfig { frame_wire_len: s.frame_wire_len, merge_diffs: s.merge_diffs };
+            let config = DsoConfig::paper()
+                .with_frame_wire_len(s.frame_wire_len)
+                .with_merge_diffs(s.merge_diffs);
             let mut rt = SdsoRuntime::new(ep, config);
             for (idx, block) in s.initial_world().iter().enumerate() {
-                rt.share(ObjectId(idx as u32), block.encode(s.block_bytes))
-                    .map_err(to_net)?;
+                rt.share(ObjectId(idx as u32), block.encode(s.block_bytes)).map_err(to_net)?;
             }
             let sfunc = Msync2NoGhosts { me, scenario: s.clone(), d: s.relevance_distance() };
             let mut node = Lookahead::new(rt, sfunc).map_err(to_net)?;
@@ -103,8 +99,10 @@ fn ghostless_schedule_fails_loudly_not_silently() {
     // guarantee under test is that the system *reports* the violation —
     // through the strict own-cell oracle, a stale-stamp rejection, or a
     // deadlock — on at least one node, rather than completing with
-    // silently divergent replicas.
-    let scenario = Scenario::paper(16, 3).with_ticks(200);
+    // silently divergent replicas. Placement seed 1: with the vendored
+    // RNG's stream this seed produces a map whose 200-tick run is
+    // respawn-heavy (the default placement seed happens not to be).
+    let scenario = Scenario::paper(16, 3).with_ticks(200).with_seed(1);
     let results = run_no_ghosts(&scenario);
     let failures = results.iter().filter(|r| r.is_err()).count();
     assert!(
@@ -119,12 +117,10 @@ fn ghostless_schedule_fails_loudly_not_silently() {
 fn ghosted_schedule_passes_the_same_configuration() {
     // Positive control: the shipped MSYNC2 (with ghosts) survives the
     // identical configuration.
-    let scenario = Scenario::paper(16, 3).with_ticks(200);
+    let scenario = Scenario::paper(16, 3).with_ticks(200).with_seed(1);
     let s = scenario.clone();
     let outcome = SimCluster::new(16, NetworkModel::paper_testbed())
-        .run(move |ep| {
-            sdso_game::run_node(ep, &s, sdso_game::Protocol::Msync2).map_err(to_net)
-        })
+        .run(move |ep| sdso_game::run_node(ep, &s, sdso_game::Protocol::Msync2).map_err(to_net))
         .unwrap();
     for node in outcome.nodes {
         assert!(node.result.is_ok(), "ghosted MSYNC2 must pass: {:?}", node.result.err());

@@ -1,0 +1,163 @@
+//! Chaos experiments: games on a faulty network.
+//!
+//! The paper's testbed network never lost messages, so its protocols could
+//! block on rendezvous forever. This module runs the same evaluation games
+//! under a deterministic [`FaultPlan`] — seeded drops, duplication,
+//! reordering and healing partitions — with the runtime's reliability
+//! layer switched on, and reports per-protocol recovery statistics: how
+//! often the resync path fired, how much was retransmitted, and whether
+//! every replica still converged to the identical final world.
+
+use sdso_core::RetryConfig;
+use sdso_game::{run_node, Protocol, Scenario};
+use sdso_net::{FaultPlan, NetError, SimSpan};
+use sdso_sim::{NetworkModel, SimCluster, SimError};
+
+use crate::experiment::RunSummary;
+use crate::table::Table;
+
+/// A retransmission tuning that recovers briskly on the simulated testbed:
+/// the timeout is a few node-to-node latencies, and the retry budget rides
+/// out a multi-millisecond partition.
+pub fn chaos_retry_config() -> RetryConfig {
+    RetryConfig { rto: SimSpan::from_millis(5), max_retries: 2_000 }
+}
+
+/// The default chaos fault plan for `seed`: 5% drops, 2% duplicates, 25%
+/// of messages held back by up to 2 ms (reordering), and one partition
+/// that isolates node 0 for `[2 ms, 8 ms)` and then heals.
+pub fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_drop(0.05)
+        .with_dup(0.02)
+        .with_reorder(0.25, SimSpan::from_millis(2))
+        .with_partition(
+            vec![0],
+            sdso_net::SimInstant::from_micros(2_000),
+            sdso_net::SimInstant::from_micros(8_000),
+        )
+}
+
+/// Runs `scenario` under `protocol` on a simulated cluster whose links
+/// misbehave per `plan`. The scenario's reliability layer must be on (use
+/// [`Scenario::with_reliability`]) or lost rendezvous traffic will turn
+/// into timeouts.
+///
+/// # Errors
+///
+/// Returns the first node's error if any process failed (including
+/// retry-budget exhaustion, surfaced as a timeout).
+pub fn run_chaos_experiment(
+    scenario: &Scenario,
+    protocol: Protocol,
+    model: NetworkModel,
+    plan: &FaultPlan,
+) -> Result<RunSummary, SimError> {
+    let nodes = usize::from(scenario.teams);
+    let scenario_for_nodes = scenario.clone();
+    let outcome = SimCluster::new(nodes, model)
+        .with_faults(plan.clone())
+        .run(move |ep| run_node(ep, &scenario_for_nodes, protocol).map_err(NetError::from))?;
+    let per_node = outcome.into_results()?;
+    Ok(RunSummary { protocol, nodes, range: scenario.range, per_node })
+}
+
+/// Whether every process's final replica of the world is identical.
+pub fn converged(summary: &RunSummary) -> bool {
+    let mut worlds = summary.per_node.iter().map(|s| &s.final_world);
+    let Some(reference) = worlds.next() else {
+        return true;
+    };
+    worlds.all(|w| w == reference)
+}
+
+/// Runs the chaos scenario for each protocol in `protocols` and renders
+/// the per-protocol recovery statistics as a table: faults injected,
+/// resyncs triggered, messages retransmitted, duplicates discarded, stale
+/// updates dropped by last-writer-wins, and whether the replicas
+/// converged.
+///
+/// # Errors
+///
+/// Fails on the first protocol whose run fails outright.
+pub fn chaos_table(
+    scenario: &Scenario,
+    model: NetworkModel,
+    plan: &FaultPlan,
+    protocols: &[Protocol],
+) -> Result<Table, SimError> {
+    let mut table = Table::new(
+        format!(
+            "Chaos ({} nodes, drop {:.0}%, seed {:#x})",
+            scenario.teams,
+            plan.drop_prob * 100.0,
+            plan.seed
+        ),
+        &[
+            "protocol",
+            "drops",
+            "dups",
+            "resyncs",
+            "retransmits",
+            "dup_dropped",
+            "stale",
+            "converged",
+        ],
+    );
+    for &protocol in protocols {
+        let summary = run_chaos_experiment(scenario, protocol, model, plan)?;
+        let drops: u64 = summary.per_node.iter().map(|s| s.net.drops_injected).sum();
+        let dups: u64 = summary.per_node.iter().map(|s| s.net.dups_injected).sum();
+        let resyncs: u64 = summary.per_node.iter().map(|s| s.dso.resyncs).sum();
+        let retransmits: u64 = summary.per_node.iter().map(|s| s.dso.retransmits).sum();
+        let dup_dropped: u64 = summary.per_node.iter().map(|s| s.dso.duplicates_dropped).sum();
+        let stale: u64 = summary.per_node.iter().map(|s| s.dso.updates_stale).sum();
+        table.push_row(vec![
+            protocol.name().to_owned(),
+            drops.to_string(),
+            dups.to_string(),
+            resyncs.to_string(),
+            retransmits.to_string(),
+            dup_dropped.to_string(),
+            stale.to_string(),
+            if converged(&summary) { "yes".to_owned() } else { "NO".to_owned() },
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_run_converges_and_reports_recovery() {
+        let scenario = Scenario::paper(3, 1).with_ticks(40).with_reliability(chaos_retry_config());
+        let plan = chaos_plan(0xC1A05);
+        let summary =
+            run_chaos_experiment(&scenario, Protocol::Bsync, NetworkModel::paper_testbed(), &plan)
+                .unwrap();
+        assert!(converged(&summary), "replicas must agree despite faults");
+        let drops: u64 = summary.per_node.iter().map(|s| s.net.drops_injected).sum();
+        assert!(drops > 0, "the plan must actually inject drops");
+        let resyncs: u64 = summary.per_node.iter().map(|s| s.dso.resyncs).sum();
+        assert!(resyncs > 0, "drops must trigger the resync path");
+    }
+
+    #[test]
+    fn chaos_table_lists_each_protocol() {
+        let scenario = Scenario::paper(2, 1).with_ticks(25).with_reliability(chaos_retry_config());
+        let plan = FaultPlan::new(11).with_drop(0.05);
+        let table = chaos_table(
+            &scenario,
+            NetworkModel::paper_testbed(),
+            &plan,
+            &[Protocol::Bsync, Protocol::Msync2],
+        )
+        .unwrap();
+        assert_eq!(table.rows.len(), 2);
+        let text = table.to_string();
+        assert!(text.contains("BSYNC") && text.contains("MSYNC2"));
+        assert!(text.contains("yes"), "both runs converge:\n{text}");
+    }
+}

@@ -28,10 +28,7 @@ impl RunSummary {
     /// The paper's Figure 5 metric: mean over processes of execution time
     /// divided by that process's object-modification count, in seconds.
     pub fn avg_time_per_modification_secs(&self) -> f64 {
-        self.per_node
-            .iter()
-            .map(|s| s.time_per_modification().as_secs_f64())
-            .sum::<f64>()
+        self.per_node.iter().map(|s| s.time_per_modification().as_secs_f64()).sum::<f64>()
             / self.per_node.len() as f64
     }
 
@@ -75,10 +72,7 @@ impl RunSummary {
     /// Mean per-process time blocked inside `recv` (the blocking component
     /// of the overhead; Ext. B).
     pub fn avg_blocked_secs(&self) -> f64 {
-        self.per_node
-            .iter()
-            .map(|s| s.net.blocked().as_secs_f64())
-            .sum::<f64>()
+        self.per_node.iter().map(|s| s.net.blocked().as_secs_f64()).sum::<f64>()
             / self.per_node.len() as f64
     }
 
@@ -115,9 +109,8 @@ pub fn run_experiment(
 ) -> Result<RunSummary, SimError> {
     let nodes = usize::from(scenario.teams);
     let scenario_for_nodes = scenario.clone();
-    let outcome = SimCluster::new(nodes, model).run(move |ep| {
-        run_node(ep, &scenario_for_nodes, protocol).map_err(NetError::from)
-    })?;
+    let outcome = SimCluster::new(nodes, model)
+        .run(move |ep| run_node(ep, &scenario_for_nodes, protocol).map_err(NetError::from))?;
     let per_node = outcome.into_results()?;
     Ok(RunSummary { protocol, nodes, range: scenario.range, per_node })
 }
@@ -186,9 +179,8 @@ mod tests {
     #[test]
     fn run_seeds_produces_one_summary_per_seed() {
         let scenario = Scenario::paper(2, 1).with_ticks(10);
-        let runs =
-            run_seeds(&scenario, Protocol::Bsync, NetworkModel::paper_testbed(), &[1, 2, 3])
-                .unwrap();
+        let runs = run_seeds(&scenario, Protocol::Bsync, NetworkModel::paper_testbed(), &[1, 2, 3])
+            .unwrap();
         assert_eq!(runs.len(), 3);
         let m = mean_of(&runs, |r| r.total_messages() as f64);
         assert!(m > 0.0);
@@ -197,10 +189,8 @@ mod tests {
     #[test]
     fn determinism_across_identical_runs() {
         let scenario = Scenario::paper(3, 1).with_ticks(25);
-        let a = run_experiment(&scenario, Protocol::Msync, NetworkModel::paper_testbed())
-            .unwrap();
-        let b = run_experiment(&scenario, Protocol::Msync, NetworkModel::paper_testbed())
-            .unwrap();
+        let a = run_experiment(&scenario, Protocol::Msync, NetworkModel::paper_testbed()).unwrap();
+        let b = run_experiment(&scenario, Protocol::Msync, NetworkModel::paper_testbed()).unwrap();
         assert_eq!(a.total_messages(), b.total_messages());
         assert_eq!(a.avg_exec_secs(), b.avg_exec_secs());
         for (x, y) in a.per_node.iter().zip(&b.per_node) {

@@ -295,10 +295,7 @@ mod tests {
         let value = |row: usize, col: usize| t.rows[row][col].parse::<f64>().unwrap();
         let ec = value(0, 1);
         let msync2 = value(3, 1);
-        assert!(
-            ec > msync2,
-            "EC ({ec}) should be slower per modification than MSYNC2 ({msync2})"
-        );
+        assert!(ec > msync2, "EC ({ec}) should be slower per modification than MSYNC2 ({msync2})");
     }
 
     #[test]

@@ -31,10 +31,12 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod experiment;
 mod figures;
 mod table;
 
+pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chaos_experiment};
 pub use experiment::{mean_of, run_experiment, run_seeds, RunSummary};
 pub use figures::Sweep;
 pub use table::Table;

@@ -57,6 +57,22 @@ pub trait Endpoint: Send {
     /// Returns [`NetError::Disconnected`] if no message can ever arrive again.
     fn try_recv(&mut self) -> Result<Option<Incoming>, NetError>;
 
+    /// Receives the next message, giving up after `timeout` (measured on
+    /// this node's clock) and returning `Ok(None)`.
+    ///
+    /// The default implementation blocks without a timeout — transports
+    /// that can bound their waits (all three in-tree transports do)
+    /// override this; resilience layers rely on it to turn lost messages
+    /// into retransmissions instead of hangs.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Endpoint::recv`].
+    fn recv_deadline(&mut self, timeout: SimSpan) -> Result<Option<Incoming>, NetError> {
+        let _ = timeout;
+        self.recv().map(Some)
+    }
+
     /// Models `dt` of local computation on this node.
     fn advance(&mut self, dt: SimSpan);
 

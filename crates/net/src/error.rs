@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error as _;
-        let e = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = NetError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

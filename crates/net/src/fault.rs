@@ -1,0 +1,314 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] describes how a transport should misbehave: per-link
+//! drop probability, duplication, reordering (extra per-message delay that
+//! lets later messages overtake), latency jitter, and timed network
+//! partitions that heal. Decisions are drawn from a seeded deterministic
+//! generator ([`DetRng`]), so a chaos run replays **bit-identically** from
+//! its seed: same plan + same traffic order ⇒ same faults.
+//!
+//! Two consumers share this module:
+//!
+//! * the virtual-time simulator (`sdso-sim`) consults a [`FaultInjector`]
+//!   inside its scheduler, where the total order of sends makes the fault
+//!   sequence a pure function of the seed;
+//! * [`FaultyEndpoint`](crate::faulty::FaultyEndpoint) wraps any real
+//!   [`Endpoint`](crate::Endpoint) with the same plan for wall-clock runs.
+
+use crate::endpoint::NodeId;
+use crate::time::{SimInstant, SimSpan};
+
+/// A deterministic 64-bit generator (SplitMix64) driving fault decisions.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Keep the stream position independent of the probability
+            // value: every decision consumes exactly one draw.
+            self.next_u64();
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform value in `[0, bound]`.
+    pub fn up_to(&mut self, bound: u64) -> u64 {
+        let draw = self.next_u64();
+        if bound == u64::MAX {
+            draw
+        } else {
+            draw % (bound + 1)
+        }
+    }
+}
+
+/// A timed network partition: during `[from, until)` the nodes in `split`
+/// cannot exchange messages with the nodes outside it (in either
+/// direction). The partition heals at `until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the partition; the other side is its complement.
+    pub split: Vec<NodeId>,
+    /// When the partition begins.
+    pub from: SimInstant,
+    /// When it heals.
+    pub until: SimInstant,
+}
+
+impl Partition {
+    /// Whether a message from `a` to `b` sent at `at` is severed.
+    pub fn severs(&self, a: NodeId, b: NodeId, at: SimInstant) -> bool {
+        if at < self.from || at >= self.until {
+            return false;
+        }
+        let a_in = self.split.contains(&a);
+        let b_in = self.split.contains(&b);
+        a_in != b_in
+    }
+}
+
+/// A declarative description of how links should misbehave.
+///
+/// All probabilities are per message. The zero plan (see
+/// [`FaultPlan::new`]) injects nothing; builder methods switch individual
+/// fault classes on. Identical plans with identical seeds produce
+/// identical fault sequences for identical traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a message is held back by up to `reorder_window`,
+    /// letting messages sent after it overtake it.
+    pub reorder_prob: f64,
+    /// Maximum hold-back applied to reordered messages.
+    pub reorder_window: SimSpan,
+    /// Uniform extra latency in `[0, jitter]` added to every delivery.
+    pub jitter: SimSpan,
+    /// Timed partitions; messages crossing an active partition are
+    /// dropped (and counted as injected drops).
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_window: SimSpan::ZERO,
+            jitter: SimSpan::ZERO,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn with_dup(mut self, prob: f64) -> Self {
+        self.dup_prob = prob;
+        self
+    }
+
+    /// Reorders messages: with probability `prob` a message is held back
+    /// by a uniform span in `[0, window]`.
+    pub fn with_reorder(mut self, prob: f64, window: SimSpan) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Adds uniform latency jitter in `[0, jitter]` to every message.
+    pub fn with_jitter(mut self, jitter: SimSpan) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds a partition separating `split` from everyone else during
+    /// `[from, until)`.
+    pub fn with_partition(
+        mut self,
+        split: impl Into<Vec<NodeId>>,
+        from: SimInstant,
+        until: SimInstant,
+    ) -> Self {
+        self.partitions.push(Partition { split: split.into(), from, until });
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.reorder_prob <= 0.0
+            && self.jitter == SimSpan::ZERO
+            && self.partitions.is_empty()
+    }
+
+    /// Whether `a → b` traffic at `at` crosses an active partition.
+    pub fn severed(&self, a: NodeId, b: NodeId, at: SimInstant) -> bool {
+        self.partitions.iter().any(|p| p.severs(a, b, at))
+    }
+}
+
+/// What the injector decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Verdict {
+    /// Deliver zero copies (random drop or active partition).
+    pub dropped: bool,
+    /// Deliver one extra copy (ignored when `dropped`).
+    pub duplicated: bool,
+    /// Extra delivery delay (reorder hold-back + jitter).
+    pub extra_delay: SimSpan,
+}
+
+/// A [`FaultPlan`] paired with its decision stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector drawing decisions from the plan's seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = DetRng::new(plan.seed);
+        FaultInjector { plan, rng }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Judges one message from `a` to `b` sent at `at`.
+    ///
+    /// Consumes a fixed number of draws per call regardless of outcome, so
+    /// the decision stream — and therefore the whole run — replays
+    /// identically from the seed.
+    pub fn judge(&mut self, a: NodeId, b: NodeId, at: SimInstant) -> Verdict {
+        let dropped_by_chance = self.rng.chance(self.plan.drop_prob);
+        let duplicated = self.rng.chance(self.plan.dup_prob);
+        let reordered = self.rng.chance(self.plan.reorder_prob);
+        let hold_back = self.rng.up_to(self.plan.reorder_window.as_micros());
+        let jitter = self.rng.up_to(self.plan.jitter.as_micros());
+        let dropped = dropped_by_chance || self.plan.severed(a, b, at);
+        Verdict {
+            dropped,
+            duplicated: duplicated && !dropped,
+            extra_delay: SimSpan::from_micros(if reordered { hold_back } else { 0 } + jitter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::new(7));
+        for i in 0..100u16 {
+            let v = inj.judge(0, 1, SimInstant::from_micros(u64::from(i)));
+            assert_eq!(v, Verdict::default());
+        }
+        assert!(FaultPlan::new(7).is_noop());
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let plan = FaultPlan::new(42)
+            .with_drop(0.3)
+            .with_dup(0.2)
+            .with_reorder(0.5, SimSpan::from_millis(5))
+            .with_jitter(SimSpan::from_micros(300));
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..1000u64 {
+            let at = SimInstant::from_micros(i);
+            assert_eq!(a.judge(0, 1, at), b.judge(0, 1, at));
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultPlan::new(9).with_drop(0.25));
+        let dropped =
+            (0..4000).filter(|&i| inj.judge(0, 1, SimInstant::from_micros(i)).dropped).count();
+        assert!((700..1300).contains(&dropped), "25% of 4000, got {dropped}");
+    }
+
+    #[test]
+    fn partitions_sever_both_directions_then_heal() {
+        let plan = FaultPlan::new(1).with_partition(
+            vec![0, 1],
+            SimInstant::from_micros(100),
+            SimInstant::from_micros(200),
+        );
+        // Inside the window: split ↔ complement severed, intra-side fine.
+        let at = SimInstant::from_micros(150);
+        assert!(plan.severed(0, 2, at));
+        assert!(plan.severed(2, 0, at));
+        assert!(!plan.severed(0, 1, at));
+        assert!(!plan.severed(2, 3, at));
+        // Outside the window: healed.
+        assert!(!plan.severed(0, 2, SimInstant::from_micros(99)));
+        assert!(!plan.severed(0, 2, SimInstant::from_micros(200)));
+    }
+
+    #[test]
+    fn partition_drops_count_as_drops() {
+        let plan = FaultPlan::new(3).with_partition(
+            vec![0],
+            SimInstant::ZERO,
+            SimInstant::from_micros(1_000_000),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let v = inj.judge(0, 1, SimInstant::from_micros(10));
+        assert!(v.dropped);
+        assert!(!v.duplicated);
+    }
+
+    #[test]
+    fn decision_stream_is_outcome_independent() {
+        // Two plans differing only in jitter must agree on every drop
+        // decision: each judge() call consumes a fixed number of draws, so
+        // changing one fault class never shifts the others' stream.
+        let base = FaultPlan::new(77).with_drop(0.4);
+        let mut plain = FaultInjector::new(base.clone());
+        let mut jittered = FaultInjector::new(base.with_jitter(SimSpan::from_micros(500)));
+        for i in 0..500u64 {
+            let at = SimInstant::from_micros(i);
+            assert_eq!(plain.judge(0, 1, at).dropped, jittered.judge(0, 1, at).dropped);
+        }
+    }
+}

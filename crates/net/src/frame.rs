@@ -53,15 +53,27 @@ pub fn write_frame<W: Write>(w: &mut W, from: NodeId, payload: &Payload) -> Resu
 /// Returns [`NetError::Disconnected`] on a clean EOF at a frame boundary,
 /// [`NetError::Codec`] on malformed frames, and [`NetError::Io`] otherwise.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Incoming, NetError> {
+    // Fill the length prefix byte by byte so that EOF *at* a frame boundary
+    // (a clean disconnect) is distinguishable from EOF *inside* the prefix
+    // (a torn frame, reported as an I/O error).
     let mut len_buf = [0u8; 4];
-    if let Err(e) = r.read_exact(&mut len_buf) {
-        return Err(match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => NetError::Disconnected,
-            _ => NetError::Io(e),
-        });
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(NetError::Disconnected),
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len < HEADER || len > MAX_FRAME {
+    if !(HEADER..=MAX_FRAME).contains(&len) {
         return Err(NetError::Codec(format!("invalid frame length {len}")));
     }
     let mut frame = vec![0u8; len];
@@ -131,6 +143,47 @@ mod tests {
         buf[6] = 0xFF; // corrupt the class byte
         let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, NetError::Codec(_)));
+    }
+
+    #[test]
+    fn short_length_prefix_is_io_error() {
+        // EOF strictly inside the 4-byte length prefix is a torn frame, not
+        // a clean disconnect.
+        for cut in 1..4usize {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, 0, &Payload::data(vec![7u8; 8])).unwrap();
+            buf.truncate(cut);
+            let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+            assert!(matches!(err, NetError::Io(_)), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn undersized_length_rejected() {
+        // A length smaller than the fixed header can never hold a frame.
+        for len in 0..HEADER as u32 {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(&vec![0u8; len as usize]);
+            let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+            assert!(matches!(err, NetError::Codec(_)), "len {len}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_and_never_panics() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 5, &Payload::data(vec![0xAB; 32]).with_wire_len(2048)).unwrap();
+        for cut in 0..buf.len() {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(
+                read_frame(&mut Cursor::new(short)).is_err(),
+                "prefix of {cut} bytes must not parse as a complete frame"
+            );
+        }
+        // The untruncated frame still parses.
+        assert!(read_frame(&mut Cursor::new(buf)).is_ok());
     }
 
     #[test]

@@ -48,6 +48,8 @@ mod message;
 mod metrics;
 mod time;
 
+pub mod fault;
+pub mod faulty;
 pub mod frame;
 pub mod memory;
 pub mod tcp;
@@ -55,6 +57,8 @@ pub mod wire;
 
 pub use endpoint::{Endpoint, NodeId};
 pub use error::NetError;
+pub use fault::{DetRng, FaultInjector, FaultPlan, Partition};
+pub use faulty::FaultyEndpoint;
 pub use message::{Incoming, MsgClass, Payload};
 pub use metrics::{ClassCounters, NetMetrics, NetMetricsSnapshot};
 pub use time::{SimInstant, SimSpan};

@@ -115,6 +115,23 @@ impl Endpoint for MemoryEndpoint {
         }
     }
 
+    fn recv_deadline(&mut self, timeout: SimSpan) -> Result<Option<Incoming>, NetError> {
+        use crossbeam::channel::RecvTimeoutError;
+        let before = self.now();
+        match self.rx.recv_timeout(std::time::Duration::from_micros(timeout.as_micros())) {
+            Ok(msg) => {
+                self.metrics.record_blocked(self.now().saturating_since(before));
+                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                Ok(Some(msg))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.metrics.record_blocked(self.now().saturating_since(before));
+                Ok(None)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
     fn advance(&mut self, _dt: SimSpan) {
         // Local computation already consumed real wall time.
     }

@@ -29,6 +29,16 @@ pub struct NetMetricsSnapshot {
     pub data_recv: ClassCounters,
     /// Time this endpoint spent blocked inside `recv`, in microseconds.
     pub blocked_micros: u64,
+    /// Messages the fault layer silently dropped (chaos testing).
+    pub drops_injected: u64,
+    /// Extra copies the fault layer delivered.
+    pub dups_injected: u64,
+    /// Messages the fault layer delayed (reorder hold-back or jitter).
+    pub delays_injected: u64,
+    /// Send attempts that were retried after a transport error.
+    pub retries: u64,
+    /// Connections re-established after a peer drop.
+    pub reconnects: u64,
 }
 
 impl NetMetricsSnapshot {
@@ -63,6 +73,11 @@ impl NetMetricsSnapshot {
             control_recv: add(self.control_recv, other.control_recv),
             data_recv: add(self.data_recv, other.data_recv),
             blocked_micros: self.blocked_micros + other.blocked_micros,
+            drops_injected: self.drops_injected + other.drops_injected,
+            dups_injected: self.dups_injected + other.dups_injected,
+            delays_injected: self.delays_injected + other.delays_injected,
+            retries: self.retries + other.retries,
+            reconnects: self.reconnects + other.reconnects,
         }
     }
 }
@@ -87,6 +102,11 @@ struct Inner {
     data_recv_msgs: AtomicU64,
     data_recv_bytes: AtomicU64,
     blocked_micros: AtomicU64,
+    drops_injected: AtomicU64,
+    dups_injected: AtomicU64,
+    delays_injected: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl NetMetrics {
@@ -120,6 +140,29 @@ impl NetMetrics {
         self.inner.blocked_micros.fetch_add(span.as_micros(), Ordering::Relaxed);
     }
 
+    /// Records the effects of one fault-injection verdict.
+    pub fn record_fault(&self, verdict: &crate::fault::Verdict) {
+        if verdict.dropped {
+            self.inner.drops_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        if verdict.duplicated {
+            self.inner.dups_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        if verdict.extra_delay > SimSpan::ZERO {
+            self.inner.delays_injected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one retried send attempt.
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one re-established connection.
+    pub fn record_reconnect(&self) {
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads the current counter values.
     pub fn snapshot(&self) -> NetMetricsSnapshot {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -141,6 +184,11 @@ impl NetMetrics {
                 bytes: load(&self.inner.data_recv_bytes),
             },
             blocked_micros: load(&self.inner.blocked_micros),
+            drops_injected: load(&self.inner.drops_injected),
+            dups_injected: load(&self.inner.dups_injected),
+            delays_injected: load(&self.inner.delays_injected),
+            retries: load(&self.inner.retries),
+            reconnects: load(&self.inner.reconnects),
         }
     }
 }

@@ -6,17 +6,27 @@
 //! [`frame`](crate::frame)-encoded messages; per-peer reader threads funnel
 //! decoded messages into a single channel per endpoint.
 //!
+//! The mesh is resilient: every endpoint keeps its listener alive after
+//! setup, so a torn connection can be re-established at any time. The
+//! higher-numbered node of a pair re-dials (with bounded exponential
+//! backoff, tuned via [`TcpTuning`]); the lower-numbered node's acceptor
+//! thread swaps the fresh connection in. Retries and reconnections are
+//! counted in [`NetMetricsSnapshot`](crate::NetMetricsSnapshot).
+//!
 //! For tests and single-machine experiments, [`TcpMesh::local`] builds a full
 //! mesh over loopback in one call. For genuinely distributed deployments,
 //! [`TcpMesh::join`] performs the listen/connect/handshake dance against a
 //! list of peer addresses.
 
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
 
 use crate::endpoint::{check_peer, Endpoint, NodeId};
 use crate::error::NetError;
@@ -24,6 +34,36 @@ use crate::frame::{read_frame, write_frame};
 use crate::message::{Incoming, Payload};
 use crate::metrics::{NetMetrics, NetMetricsSnapshot};
 use crate::time::{SimInstant, SimSpan};
+
+/// Handshake id a closing endpoint sends to its own acceptor to unblock it.
+const SHUTDOWN_HANDSHAKE: NodeId = NodeId::MAX;
+
+/// Timeouts and backoff tuning for a [`TcpEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTuning {
+    /// Per-peer socket write timeout (a send can never hang longer).
+    pub write_timeout: Duration,
+    /// Timeout for each (re)connection attempt.
+    pub connect_timeout: Duration,
+    /// First reconnect backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff growth cap.
+    pub backoff_max: Duration,
+    /// Reconnection attempts before a send fails for good.
+    pub max_reconnect_attempts: u32,
+}
+
+impl Default for TcpTuning {
+    fn default() -> Self {
+        TcpTuning {
+            write_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            max_reconnect_attempts: 8,
+        }
+    }
+}
 
 /// Constructors for TCP-connected clusters.
 #[derive(Debug)]
@@ -39,19 +79,32 @@ impl TcpMesh {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or exceeds `NodeId::MAX`.
+    /// Panics if `n` is zero or exceeds `NodeId::MAX - 1`.
     pub fn local(n: usize) -> Result<Vec<TcpEndpoint>, NetError> {
+        TcpMesh::local_with(n, TcpTuning::default())
+    }
+
+    /// [`TcpMesh::local`] with explicit timeout/backoff tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/connect/accept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `NodeId::MAX - 1`.
+    pub fn local_with(n: usize, tuning: TcpTuning) -> Result<Vec<TcpEndpoint>, NetError> {
         assert!(n > 0, "cluster must have at least one node");
-        assert!(n <= usize::from(NodeId::MAX), "cluster too large");
-        let listeners: Vec<TcpListener> = (0..n)
-            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
-            .collect::<Result<_, _>>()?;
+        assert!(n < usize::from(NodeId::MAX), "cluster too large");
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<Result<_, _>>()?;
         let addrs: Vec<SocketAddr> =
             listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
 
         // streams[i][j] = node i's stream to node j (i != j).
         let mut streams: Vec<Vec<Option<TcpStream>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 // j dials i; i accepts. Backlog makes the sequential
@@ -67,8 +120,11 @@ impl TcpMesh {
 
         streams
             .into_iter()
+            .zip(listeners)
             .enumerate()
-            .map(|(id, peers)| TcpEndpoint::from_streams(id as NodeId, n, peers))
+            .map(|(id, (peers, listener))| {
+                TcpEndpoint::from_streams(id as NodeId, n, peers, listener, addrs.clone(), tuning)
+            })
             .collect()
     }
 
@@ -84,6 +140,19 @@ impl TcpMesh {
     ///
     /// Propagates socket errors and rejects malformed handshakes.
     pub fn join(id: NodeId, addrs: &[SocketAddr]) -> Result<TcpEndpoint, NetError> {
+        TcpMesh::join_with(id, addrs, TcpTuning::default())
+    }
+
+    /// [`TcpMesh::join`] with explicit timeout/backoff tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and rejects malformed handshakes.
+    pub fn join_with(
+        id: NodeId,
+        addrs: &[SocketAddr],
+        tuning: TcpTuning,
+    ) -> Result<TcpEndpoint, NetError> {
         let n = addrs.len();
         if usize::from(id) >= n {
             return Err(NetError::InvalidPeer { peer: id, cluster: n });
@@ -100,7 +169,7 @@ impl TcpMesh {
             peers[usize::from(peer)] = Some(stream);
         }
         // Accept higher-id peers.
-        for _ in (u16::from(id) + 1)..n as u16 {
+        for _ in (id + 1)..n as u16 {
             let (mut stream, _) = listener.accept()?;
             stream.set_nodelay(true)?;
             let mut idbuf = [0u8; 2];
@@ -112,7 +181,7 @@ impl TcpMesh {
             peers[usize::from(peer)] = Some(stream);
         }
 
-        TcpEndpoint::from_streams(id, n, peers)
+        TcpEndpoint::from_streams(id, n, peers, listener, addrs.to_vec(), tuning)
     }
 }
 
@@ -130,17 +199,60 @@ fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, NetError> {
     }
 }
 
+/// Spawns the per-connection reader thread: frames go into `tx` until the
+/// connection ends. Tear-down conditions (EOF, reset, abort) end the thread
+/// silently — the connection may come back; genuine wire corruption is
+/// forwarded to the application.
+fn spawn_reader(stream: TcpStream, tx: Sender<Result<Incoming, NetError>>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut r = BufReader::new(stream);
+        loop {
+            match read_frame(&mut r) {
+                Ok(incoming) => {
+                    if tx.send(Ok(incoming)).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                Err(NetError::Disconnected) => return,
+                Err(NetError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::BrokenPipe
+                    ) =>
+                {
+                    return
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    })
+}
+
 /// One node's endpoint in a TCP mesh.
 ///
-/// Dropping the endpoint closes all connections and joins the reader
-/// threads.
+/// Dropping the endpoint closes all connections and joins the reader and
+/// acceptor threads.
 #[derive(Debug)]
 pub struct TcpEndpoint {
     id: NodeId,
     num_nodes: usize,
-    writers: Vec<Option<BufWriter<TcpStream>>>,
+    /// Peers' listener addresses, for re-dialling.
+    addrs: Vec<Option<SocketAddr>>,
+    /// Per-peer write halves. Shared with the acceptor thread, which swaps
+    /// re-established connections in.
+    writers: Arc<Vec<Mutex<Option<BufWriter<TcpStream>>>>>,
+    tx: Sender<Result<Incoming, NetError>>,
     rx: Receiver<Result<Incoming, NetError>>,
-    readers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+    listen_addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    tuning: TcpTuning,
     start: Instant,
     metrics: NetMetrics,
 }
@@ -150,46 +262,179 @@ impl TcpEndpoint {
         id: NodeId,
         num_nodes: usize,
         peers: Vec<Option<TcpStream>>,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        tuning: TcpTuning,
     ) -> Result<TcpEndpoint, NetError> {
-        let (tx, rx): (Sender<Result<Incoming, NetError>>, Receiver<Result<Incoming, NetError>>) =
-            unbounded();
-        let mut writers = Vec::with_capacity(num_nodes);
-        let mut readers = Vec::new();
+        let (tx, rx) = unbounded::<Result<Incoming, NetError>>();
+        let mut writer_slots = Vec::with_capacity(num_nodes);
+        let readers = Arc::new(Mutex::new(Vec::new()));
         for stream in peers {
             match stream {
-                None => writers.push(None),
+                None => writer_slots.push(Mutex::new(None)),
                 Some(stream) => {
+                    stream.set_write_timeout(Some(tuning.write_timeout))?;
                     let read_half = stream.try_clone()?;
-                    writers.push(Some(BufWriter::new(stream)));
-                    let tx = tx.clone();
-                    readers.push(std::thread::spawn(move || {
-                        let mut r = BufReader::new(read_half);
-                        loop {
-                            match read_frame(&mut r) {
-                                Ok(incoming) => {
-                                    if tx.send(Ok(incoming)).is_err() {
-                                        return; // endpoint dropped
-                                    }
-                                }
-                                // Clean EOF at a frame boundary: the peer
-                                // closed; ending this reader is enough.
-                                Err(NetError::Disconnected) => return,
-                                // A corrupt frame or I/O failure must reach
-                                // the application — swallowing it would turn
-                                // a wire error into a silent hang whenever
-                                // other peers keep the channel alive.
-                                Err(e) => {
-                                    let _ = tx.send(Err(e));
-                                    return;
-                                }
-                            }
-                        }
-                    }));
+                    writer_slots.push(Mutex::new(Some(BufWriter::new(stream))));
+                    readers.lock().push(spawn_reader(read_half, tx.clone()));
                 }
             }
         }
-        Ok(TcpEndpoint { id, num_nodes, writers, rx, readers, start: Instant::now(), metrics: NetMetrics::new() })
+        let writers = Arc::new(writer_slots);
+        let listen_addr = listener.local_addr()?;
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let metrics = NetMetrics::new();
+        let acceptor = Some(spawn_acceptor(
+            listener,
+            id,
+            num_nodes,
+            Arc::clone(&writers),
+            tx.clone(),
+            Arc::clone(&readers),
+            Arc::clone(&shutting_down),
+            tuning,
+            metrics.clone(),
+        ));
+        Ok(TcpEndpoint {
+            id,
+            num_nodes,
+            addrs: addrs.into_iter().map(Some).collect(),
+            writers,
+            tx,
+            rx,
+            readers,
+            acceptor,
+            listen_addr,
+            shutting_down,
+            tuning,
+            start: Instant::now(),
+            metrics,
+        })
     }
+
+    /// Test hook: forcibly tears down the connection to `peer`, as if the
+    /// network dropped it. The next send to that peer goes through the
+    /// reconnect path (on the dialling side) or waits for the peer to
+    /// re-dial (on the accepting side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPeer`] for out-of-range peers.
+    pub fn inject_disconnect(&mut self, peer: NodeId) -> Result<(), NetError> {
+        check_peer(self.id, peer, self.num_nodes)?;
+        let mut slot = self.writers[usize::from(peer)].lock();
+        if let Some(w) = slot.take() {
+            let _ = w.get_ref().shutdown(Shutdown::Both);
+        }
+        Ok(())
+    }
+
+    /// Writes one frame to `peer`'s current connection; poisons the slot on
+    /// failure so the reconnect path takes over.
+    fn write_to(&self, to: NodeId, payload: &Payload) -> Result<(), NetError> {
+        let mut slot = self.writers[usize::from(to)].lock();
+        let w = slot.as_mut().ok_or(NetError::Disconnected)?;
+        match write_frame(w, self.id, payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if let Some(w) = slot.take() {
+                    let _ = w.get_ref().shutdown(Shutdown::Both);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-dials `peer` with exponential backoff and retries the write.
+    /// Only valid on the dialling side of the pair (`self.id > peer`).
+    fn redial_and_send(&mut self, to: NodeId, payload: &Payload) -> Result<(), NetError> {
+        let addr = self.addrs[usize::from(to)].ok_or(NetError::Disconnected)?;
+        let mut backoff = self.tuning.backoff_base;
+        let mut last_err = NetError::Disconnected;
+        for _ in 0..self.tuning.max_reconnect_attempts {
+            self.metrics.record_retry();
+            match TcpStream::connect_timeout(&addr, self.tuning.connect_timeout) {
+                Ok(mut stream) => {
+                    let fresh = (|| -> Result<TcpStream, NetError> {
+                        stream.set_nodelay(true)?;
+                        stream.set_write_timeout(Some(self.tuning.write_timeout))?;
+                        stream.write_all(&self.id.to_le_bytes())?;
+                        Ok(stream.try_clone()?)
+                    })();
+                    match fresh {
+                        Ok(read_half) => {
+                            *self.writers[usize::from(to)].lock() = Some(BufWriter::new(stream));
+                            self.readers.lock().push(spawn_reader(read_half, self.tx.clone()));
+                            self.metrics.record_reconnect();
+                            match self.write_to(to, payload) {
+                                Ok(()) => return Ok(()),
+                                Err(e) => last_err = e,
+                            }
+                        }
+                        Err(e) => last_err = e,
+                    }
+                }
+                Err(e) => last_err = NetError::Io(e),
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.tuning.backoff_max);
+        }
+        Err(last_err)
+    }
+}
+
+/// The listener thread: accepts replacement connections for torn links and
+/// swaps them into the shared writer table. Exits on the shutdown
+/// handshake sent by [`TcpEndpoint`]'s `Drop`.
+#[allow(clippy::too_many_arguments)]
+fn spawn_acceptor(
+    listener: TcpListener,
+    my_id: NodeId,
+    num_nodes: usize,
+    writers: Arc<Vec<Mutex<Option<BufWriter<TcpStream>>>>>,
+    tx: Sender<Result<Incoming, NetError>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutting_down: Arc<AtomicBool>,
+    tuning: TcpTuning,
+    metrics: NetMetrics,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        if shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut idbuf = [0u8; 2];
+        if stream.read_exact(&mut idbuf).is_err() {
+            continue;
+        }
+        let peer = NodeId::from_le_bytes(idbuf);
+        if peer == SHUTDOWN_HANDSHAKE {
+            return;
+        }
+        // Reconnections always come from the dialling (higher-id) side.
+        if usize::from(peer) >= num_nodes || peer <= my_id {
+            continue;
+        }
+        if stream.set_nodelay(true).is_err()
+            || stream.set_write_timeout(Some(tuning.write_timeout)).is_err()
+        {
+            continue;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        {
+            let mut slot = writers[usize::from(peer)].lock();
+            if let Some(old) = slot.take() {
+                let _ = old.get_ref().shutdown(Shutdown::Both);
+            }
+            *slot = Some(BufWriter::new(stream));
+        }
+        metrics.record_reconnect();
+        readers.lock().push(spawn_reader(read_half, tx.clone()));
+    })
 }
 
 impl Endpoint for TcpEndpoint {
@@ -203,11 +448,21 @@ impl Endpoint for TcpEndpoint {
 
     fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
         check_peer(self.id, to, self.num_nodes)?;
-        let writer =
-            self.writers[usize::from(to)].as_mut().ok_or(NetError::Disconnected)?;
-        write_frame(writer, self.id, &payload)?;
-        self.metrics.record_send(payload.class, payload.wire_len());
-        Ok(())
+        match self.write_to(to, &payload) {
+            Ok(()) => {
+                self.metrics.record_send(payload.class, payload.wire_len());
+                Ok(())
+            }
+            // The higher-numbered side of a pair owns re-dialling; the
+            // lower-numbered side reports the failure and waits to be
+            // re-dialled.
+            Err(_) if self.id > to => {
+                self.redial_and_send(to, &payload)?;
+                self.metrics.record_send(payload.class, payload.wire_len());
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn recv(&mut self) -> Result<Incoming, NetError> {
@@ -230,6 +485,23 @@ impl Endpoint for TcpEndpoint {
         }
     }
 
+    fn recv_deadline(&mut self, timeout: SimSpan) -> Result<Option<Incoming>, NetError> {
+        let before = self.now();
+        match self.rx.recv_timeout(Duration::from_micros(timeout.as_micros())) {
+            Ok(Ok(msg)) => {
+                self.metrics.record_blocked(self.now().saturating_since(before));
+                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                Ok(Some(msg))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                self.metrics.record_blocked(self.now().saturating_since(before));
+                Ok(None)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
     fn advance(&mut self, _dt: SimSpan) {
         // Real computation already consumed wall time.
     }
@@ -245,16 +517,24 @@ impl Endpoint for TcpEndpoint {
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with the shutdown handshake.
+        if let Ok(mut s) = TcpStream::connect(self.listen_addr) {
+            let _ = s.write_all(&SHUTDOWN_HANDSHAKE.to_le_bytes());
+        }
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
         // Closing the write halves causes peer readers to see EOF; dropping
         // our writers' underlying streams also unblocks our own readers.
-        for w in &mut self.writers {
-            if let Some(w) = w {
-                let _ = w.flush();
-                let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+        for slot in self.writers.iter() {
+            if let Some(w) = slot.lock().take() {
+                let _ = w.get_ref().flush();
+                let _ = w.get_ref().shutdown(Shutdown::Both);
             }
         }
-        self.writers.clear();
-        for t in self.readers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.readers.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -290,8 +570,7 @@ mod tests {
                         seen.push(ep.recv().unwrap().from);
                     }
                     seen.sort_unstable();
-                    let expected: Vec<NodeId> =
-                        (0..4).filter(|&i| i != ep.node_id()).collect();
+                    let expected: Vec<NodeId> = (0..4).filter(|&i| i != ep.node_id()).collect();
                     assert_eq!(seen, expected);
                     ep.metrics()
                 })
@@ -321,7 +600,8 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         drop(b);
-        // Eventually sends fail or recv reports disconnection.
+        // Node 0 is the accepting side of the pair (it never re-dials), so
+        // its sends must eventually fail.
         let mut disconnected = false;
         for _ in 0..100 {
             if a.send(1, Payload::control(vec![0u8; 1024])).is_err() {
@@ -331,5 +611,42 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert!(disconnected, "send to dropped peer should eventually fail");
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        assert!(b.recv_deadline(SimSpan::from_millis(30)).unwrap().is_none());
+        a.send(1, Payload::data(b"late".as_ref())).unwrap();
+        let got = b
+            .recv_deadline(SimSpan::from_millis(2_000))
+            .unwrap()
+            .expect("message arrives within the deadline");
+        assert_eq!(&got.payload.bytes[..], b"late");
+    }
+
+    #[test]
+    fn reconnect_with_backoff_after_forced_drop() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap(); // id 1: the dialling side
+        let mut a = eps.pop().unwrap(); // id 0: the accepting side
+        b.send(0, Payload::data(b"one".as_ref())).unwrap();
+        assert_eq!(&a.recv().unwrap().payload.bytes[..], b"one");
+
+        // Tear the connection down; the next send transparently re-dials.
+        b.inject_disconnect(0).unwrap();
+        b.send(0, Payload::data(b"two".as_ref())).unwrap();
+        let got = a.recv().unwrap();
+        assert_eq!(got.from, 1);
+        assert_eq!(&got.payload.bytes[..], b"two");
+
+        let m = b.metrics();
+        assert!(m.retries >= 1, "reconnect attempts are counted, got {m:?}");
+        assert_eq!(m.reconnects, 1, "exactly one re-established connection");
+        // Traffic keeps flowing both ways on the fresh connection.
+        a.send(1, Payload::control(b"ack".as_ref())).unwrap();
+        assert_eq!(&b.recv().unwrap().payload.bytes[..], b"ack");
     }
 }

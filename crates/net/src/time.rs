@@ -10,12 +10,10 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// written against this single type so the same code measures identically in
 /// both worlds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimInstant(u64);
 
 /// A span of (virtual or wall) time, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimSpan(u64);
 
 impl SimInstant {

@@ -194,7 +194,7 @@ impl<'a> WireReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
-        let end = self.pos.checked_add(n).ok_or_else(|| overflow())?;
+        let end = self.pos.checked_add(n).ok_or_else(overflow)?;
         if end > self.buf.len() {
             return Err(NetError::Codec(format!(
                 "truncated input: wanted {n} bytes at offset {}, only {} available",

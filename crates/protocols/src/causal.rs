@@ -179,10 +179,8 @@ impl<E: Endpoint> CausalMemory<E> {
         self.delay_queue.push((from, msg));
         let mut delivered = 0usize;
         loop {
-            let next = self
-                .delay_queue
-                .iter()
-                .position(|(p, m)| self.known.is_next_from(&m.vc, *p));
+            let next =
+                self.delay_queue.iter().position(|(p, m)| self.known.is_next_from(&m.vc, *p));
             let Some(idx) = next else { break };
             let (p, m) = self.delay_queue.swap_remove(idx);
             // Version-gated application: two concurrent writes to one

@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use sdso_core::{DsoError, LogicalTime, ObjectId, SdsoRuntime, Version};
+use sdso_core::{Diff, DsoError, LogicalTime, ObjectId, SdsoRuntime, Version};
 use sdso_net::wire::{Wire, WireReader, WireWriter};
 use sdso_net::{Endpoint, MsgClass, NetError, NodeId, SimSpan};
 
@@ -70,17 +70,39 @@ impl LockRequest {
 /// EC's wire messages (all control class, per the paper's accounting).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EcMessage {
-    Acquire { object: ObjectId, mode: LockMode },
-    Grant { object: ObjectId, owner: NodeId, version: Version },
-    Release { object: ObjectId, modified: bool, version: Version },
+    Acquire {
+        object: ObjectId,
+        mode: LockMode,
+    },
+    Grant {
+        object: ObjectId,
+        owner: NodeId,
+        version: Version,
+    },
+    Release {
+        object: ObjectId,
+        modified: bool,
+        version: Version,
+    },
     /// Fixed-length runs: "I have finished my iterations but keep serving".
     Done,
+    /// Final-sync push: the full body of an object this process wrote
+    /// last, so every replica converges before the final snapshot.
+    State {
+        object: ObjectId,
+        version: Version,
+        bytes: Vec<u8>,
+    },
+    /// Final-sync barrier: "I have pushed all my owned state".
+    SyncDone,
 }
 
 const TAG_ACQUIRE: u8 = 1;
 const TAG_GRANT: u8 = 2;
 const TAG_RELEASE: u8 = 3;
 const TAG_DONE: u8 = 4;
+const TAG_STATE: u8 = 5;
+const TAG_SYNC_DONE: u8 = 6;
 
 impl Wire for EcMessage {
     fn encode(&self, w: &mut WireWriter) {
@@ -103,14 +125,20 @@ impl Wire for EcMessage {
                 version.encode(w);
             }
             EcMessage::Done => w.put_u8(TAG_DONE),
+            EcMessage::State { object, version, bytes } => {
+                w.put_u8(TAG_STATE);
+                object.encode(w);
+                version.encode(w);
+                w.put_bytes(bytes);
+            }
+            EcMessage::SyncDone => w.put_u8(TAG_SYNC_DONE),
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         match r.get_u8()? {
-            TAG_ACQUIRE => Ok(EcMessage::Acquire {
-                object: ObjectId::decode(r)?,
-                mode: LockMode::decode(r)?,
-            }),
+            TAG_ACQUIRE => {
+                Ok(EcMessage::Acquire { object: ObjectId::decode(r)?, mode: LockMode::decode(r)? })
+            }
             TAG_GRANT => Ok(EcMessage::Grant {
                 object: ObjectId::decode(r)?,
                 owner: r.get_u16()?,
@@ -122,6 +150,12 @@ impl Wire for EcMessage {
                 version: Version::decode(r)?,
             }),
             TAG_DONE => Ok(EcMessage::Done),
+            TAG_STATE => Ok(EcMessage::State {
+                object: ObjectId::decode(r)?,
+                version: Version::decode(r)?,
+                bytes: r.get_bytes()?.to_vec(),
+            }),
+            TAG_SYNC_DONE => Ok(EcMessage::SyncDone),
             tag => Err(NetError::Codec(format!("unknown EcMessage tag {tag:#x}"))),
         }
     }
@@ -223,6 +257,8 @@ pub struct EntryConsistency<E: Endpoint> {
     held: BTreeMap<ObjectId, LockMode>,
     /// Peers that have announced the end of their run.
     dones_seen: usize,
+    /// Peers that have completed their final-sync state pushes.
+    sync_dones_seen: usize,
     metrics: EcMetrics,
 }
 
@@ -235,6 +271,7 @@ impl<E: Endpoint> EntryConsistency<E> {
             granted: BTreeMap::new(),
             held: BTreeMap::new(),
             dones_seen: 0,
+            sync_dones_seen: 0,
             metrics: EcMetrics::default(),
         }
     }
@@ -395,6 +432,46 @@ impl<E: Endpoint> EntryConsistency<E> {
         Ok(())
     }
 
+    /// Disseminates final object state so every replica converges before
+    /// its terminal snapshot. Must be called after [`EntryConsistency::finish`]
+    /// (every process has stopped iterating).
+    ///
+    /// Each process pushes the full body of every object whose replica it
+    /// wrote last — by construction the globally newest version of an
+    /// object lives at its writer — and receivers apply it version-gated.
+    /// A second barrier (`SyncDone`) keeps everyone serving until all
+    /// pushes have landed. The pushes are control-class termination
+    /// traffic, not part of the paper's measured data exchange.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn final_sync(&mut self) -> Result<(), DsoError> {
+        let me = self.runtime.node_id();
+        let n = self.runtime.num_nodes();
+        for object in self.runtime.object_ids() {
+            let version = self.runtime.version_of(object)?;
+            if version.writer != me || version.time == LogicalTime::ZERO {
+                continue;
+            }
+            let bytes = self.runtime.read(object)?.to_vec();
+            for peer in 0..n as NodeId {
+                if peer != me {
+                    self.send_ec(peer, EcMessage::State { object, version, bytes: bytes.clone() })?;
+                }
+            }
+        }
+        for peer in 0..n as NodeId {
+            if peer != me {
+                self.send_ec(peer, EcMessage::SyncDone)?;
+            }
+        }
+        while self.sync_dones_seen < n - 1 {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+
     /// Services any pending protocol traffic without blocking; call freely
     /// between iterations so manager duties don't lag behind.
     ///
@@ -442,6 +519,15 @@ impl<E: Endpoint> EntryConsistency<E> {
                 self.dones_seen += 1;
                 Ok(())
             }
+            EcMessage::State { object, version, bytes } => {
+                let diff = Diff::single(0, bytes);
+                self.runtime.apply_remote(object, &diff, version)?;
+                Ok(())
+            }
+            EcMessage::SyncDone => {
+                self.sync_dones_seen += 1;
+                Ok(())
+            }
         }
     }
 
@@ -468,8 +554,7 @@ impl<E: Endpoint> EntryConsistency<E> {
             lock.version = version;
         }
         // Grant queued requests in FIFO order, batching compatible heads.
-        loop {
-            let Some(&(next, mode)) = self.managed[&object].queue.front() else { break };
+        while let Some(&(next, mode)) = self.managed[&object].queue.front() {
             let lock = self.managed.get_mut(&object).expect("entry exists");
             if !lock.compatible(mode) {
                 break;
@@ -538,8 +623,7 @@ mod tests {
                 version: Version::new(LogicalTime::from_ticks(10), 0),
             },
         ] {
-            let decoded: EcMessage =
-                sdso_net::wire::decode(&sdso_net::wire::encode(&msg)).unwrap();
+            let decoded: EcMessage = sdso_net::wire::decode(&sdso_net::wire::encode(&msg)).unwrap();
             assert_eq!(decoded, msg);
         }
     }
@@ -547,8 +631,7 @@ mod tests {
     #[test]
     fn manager_assignment_is_static_and_even() {
         let counts = (0..32u32).fold([0usize; 4], |mut acc, id| {
-            acc[usize::from(EntryConsistency::<MemoryEndpoint>::manager_of(ObjectId(id), 4))] +=
-                1;
+            acc[usize::from(EntryConsistency::<MemoryEndpoint>::manager_of(ObjectId(id), 4))] += 1;
             acc
         });
         assert_eq!(counts, [8, 8, 8, 8]);
@@ -633,8 +716,7 @@ mod tests {
         // release drains the queue.
         node.acquire(&[LockRequest::read(ObjectId(0))]).unwrap();
         // A (simulated) remote writer request goes into the queue.
-        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
-            .unwrap();
+        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
         assert_eq!(node.managed[&ObjectId(0)].queue.len(), 1);
         node.release_all(&BTreeSet::new()).unwrap();
         // Release drained the queue: the writer got the lock.
@@ -647,14 +729,11 @@ mod tests {
         let mut nodes = cluster(10, 1);
         let node = &mut nodes[0];
         // Simulated remote writer holds the lock...
-        node.handle(7, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
-            .unwrap();
+        node.handle(7, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
         // ...a remote writer queues...
-        node.handle(8, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write })
-            .unwrap();
+        node.handle(8, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
         // ...then a compatible-looking reader must still queue behind it.
-        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Read })
-            .unwrap();
+        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Read }).unwrap();
         assert_eq!(node.managed[&ObjectId(0)].queue.len(), 2);
         // First release grants the writer only; second grants the reader.
         node.handle(

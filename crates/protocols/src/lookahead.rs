@@ -150,9 +150,7 @@ mod tests {
                     let mut node = Lookahead::new(rt, EveryTick).unwrap();
                     let me = node.runtime().node_id();
                     for tick in 0..3u8 {
-                        node.runtime_mut()
-                            .write(ObjectId(u32::from(me)), 0, &[tick + 1])
-                            .unwrap();
+                        node.runtime_mut().write(ObjectId(u32::from(me)), 0, &[tick + 1]).unwrap();
                         let report = node.step().unwrap();
                         assert_eq!(report.peers.len(), 2, "BSYNC meets everyone");
                     }
@@ -197,9 +195,7 @@ mod tests {
                     let me = node.runtime().node_id();
                     let mut rendezvous = 0;
                     for tick in 0..6u8 {
-                        node.runtime_mut()
-                            .write(ObjectId(u32::from(me)), 0, &[tick + 1])
-                            .unwrap();
+                        node.runtime_mut().write(ObjectId(u32::from(me)), 0, &[tick + 1]).unwrap();
                         rendezvous += node.step().unwrap().peers.len();
                     }
                     (node.into_runtime(), rendezvous)

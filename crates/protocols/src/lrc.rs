@@ -145,10 +145,7 @@ impl Wire for LrcMessage {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         match r.get_u8()? {
             TAG_ACQUIRE => Ok(LrcMessage::Acquire { lock: r.get_u32()? }),
-            TAG_GRANT => Ok(LrcMessage::Grant {
-                lock: r.get_u32()?,
-                last_releaser: r.get_u16()?,
-            }),
+            TAG_GRANT => Ok(LrcMessage::Grant { lock: r.get_u32()?, last_releaser: r.get_u16()? }),
             TAG_IREQ => Ok(LrcMessage::IntervalReq { vc: VectorClock::decode(r)? }),
             TAG_INTERVALS => Ok(LrcMessage::Intervals { intervals: r.get_seq(Interval::decode)? }),
             TAG_RELEASE => Ok(LrcMessage::Release { lock: r.get_u32()? }),
@@ -258,10 +255,7 @@ impl<E: Endpoint> Lrc<E> {
     /// Propagates store errors.
     pub fn write(&mut self, object: ObjectId, offset: u32, bytes: &[u8]) -> Result<(), DsoError> {
         let me = self.runtime.node_id();
-        let stamp = Version::new(
-            sdso_core::LogicalTime::from_ticks(self.vc.get(me) + 1),
-            me,
-        );
+        let stamp = Version::new(sdso_core::LogicalTime::from_ticks(self.vc.get(me) + 1), me);
         self.runtime.write_local(object, offset, bytes, stamp)?;
         let diff = Diff::single(offset, bytes.to_vec());
         let entry = self.open_writes.entry(object).or_default();
@@ -290,7 +284,11 @@ impl<E: Endpoint> Lrc<E> {
         }
         let releaser = self.grants.remove(&lock).expect("just checked");
         if releaser != u16::MAX && releaser != me {
-            self.send(releaser, MsgClass::Control, LrcMessage::IntervalReq { vc: self.vc.clone() })?;
+            self.send(
+                releaser,
+                MsgClass::Control,
+                LrcMessage::IntervalReq { vc: self.vc.clone() },
+            )?;
             while self.interval_replies.is_empty() {
                 self.pump_one()?;
             }
@@ -318,10 +316,7 @@ impl<E: Endpoint> Lrc<E> {
             .into_iter()
             .map(|(object, diff)| IntervalWrite { object, diff })
             .collect();
-        self.log.insert(
-            (me, index),
-            Interval { owner: me, index, vc: self.vc.clone(), writes },
-        );
+        self.log.insert((me, index), Interval { owner: me, index, vc: self.vc.clone(), writes });
 
         let manager = Self::manager_of(lock, n);
         if manager == me {
@@ -403,12 +398,8 @@ impl<E: Endpoint> Lrc<E> {
                 // order. LRC "must include information about changes to all
                 // shared data objects" — this is exactly the cost the paper
                 // calls out.
-                let missing: Vec<Interval> = self
-                    .log
-                    .values()
-                    .filter(|i| i.index > vc.get(i.owner))
-                    .cloned()
-                    .collect();
+                let missing: Vec<Interval> =
+                    self.log.values().filter(|i| i.index > vc.get(i.owner)).cloned().collect();
                 self.metrics.intervals_sent += missing.len() as u64;
                 self.send(from, MsgClass::Data, LrcMessage::Intervals { intervals: missing })
             }
@@ -452,7 +443,12 @@ impl<E: Endpoint> Lrc<E> {
         Ok(())
     }
 
-    fn deliver_grant(&mut self, to: NodeId, lock: LockId, releaser: NodeId) -> Result<(), DsoError> {
+    fn deliver_grant(
+        &mut self,
+        to: NodeId,
+        lock: LockId,
+        releaser: NodeId,
+    ) -> Result<(), DsoError> {
         if to == self.runtime.node_id() {
             self.grants.insert(lock, releaser);
             Ok(())

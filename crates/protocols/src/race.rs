@@ -43,10 +43,8 @@ mod tests {
         let group = [3u16, 7, 1];
         let winner = contention_winner(group).unwrap();
         assert_eq!(winner, 7);
-        let proceeding: Vec<_> = group
-            .iter()
-            .filter(|&&p| group.iter().all(|&q| q == p || !yields_to(p, q)))
-            .collect();
+        let proceeding: Vec<_> =
+            group.iter().filter(|&&p| group.iter().all(|&q| q == p || !yields_to(p, q))).collect();
         assert_eq!(proceeding, vec![&7]);
     }
 

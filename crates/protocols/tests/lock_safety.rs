@@ -18,8 +18,7 @@ use sdso_protocols::{EntryConsistency, LockRequest};
 /// object to detect any mutual-exclusion violation immediately.
 fn contended_run(nodes: usize, objects: u32, rounds: usize, seed: u64) -> Vec<u64> {
     // holders[obj] counts concurrent write-lock holders (must stay ≤ 1).
-    let holders: Arc<Vec<AtomicU64>> =
-        Arc::new((0..objects).map(|_| AtomicU64::new(0)).collect());
+    let holders: Arc<Vec<AtomicU64>> = Arc::new((0..objects).map(|_| AtomicU64::new(0)).collect());
 
     let handles: Vec<_> = MemoryHub::new(nodes)
         .into_endpoints()
@@ -53,9 +52,8 @@ fn contended_run(nodes: usize, objects: u32, rounds: usize, seed: u64) -> Vec<u6
                     }
                     // Increment each locked counter.
                     for &o in &lockset {
-                        let current = u64::from_le_bytes(
-                            ec.read(ObjectId(o)).unwrap().try_into().unwrap(),
-                        );
+                        let current =
+                            u64::from_le_bytes(ec.read(ObjectId(o)).unwrap().try_into().unwrap());
                         ec.write(ObjectId(o), 0, &(current + 1).to_le_bytes()).unwrap();
                         increments += 1;
                     }
@@ -123,7 +121,7 @@ fn ec_increments_are_never_lost() {
     let finals: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let expected = nodes as u64 * rounds as u64;
     assert!(
-        finals.iter().any(|&v| v == expected),
+        finals.contains(&expected),
         "some final reader must observe all {expected} increments, saw {finals:?}"
     );
     assert!(finals.iter().all(|&v| v <= expected), "counter overshoot: {finals:?}");
@@ -161,7 +159,7 @@ fn lrc_lock_chain_transfers_a_counter() {
     let finals: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let expected = nodes as u64 * rounds as u64;
     assert!(
-        finals.iter().any(|&v| v == expected),
+        finals.contains(&expected),
         "LRC interval transfer lost increments: {finals:?} (expected max {expected})"
     );
 }

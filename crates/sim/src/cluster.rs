@@ -1,7 +1,7 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
-use sdso_net::{NetError, NetMetricsSnapshot, NodeId, SimInstant};
+use sdso_net::{FaultInjector, FaultPlan, NetError, NetMetricsSnapshot, NodeId, SimInstant};
 
 use crate::endpoint::SimEndpoint;
 use crate::error::SimError;
@@ -18,6 +18,7 @@ use crate::scheduler::Scheduler;
 pub struct SimCluster {
     n: usize,
     model: NetworkModel,
+    faults: Option<FaultPlan>,
 }
 
 /// Everything one node produced during a run.
@@ -46,9 +47,7 @@ impl<T> ClusterOutcome<T> {
 
     /// Cluster-wide traffic totals.
     pub fn total_metrics(&self) -> NetMetricsSnapshot {
-        self.nodes
-            .iter()
-            .fold(NetMetricsSnapshot::default(), |acc, n| acc.merged(&n.metrics))
+        self.nodes.iter().fold(NetMetricsSnapshot::default(), |acc, n| acc.merged(&n.metrics))
     }
 
     /// Returns the per-node results, failing on the first node error.
@@ -70,7 +69,15 @@ impl SimCluster {
     pub fn new(n: usize, model: NetworkModel) -> Self {
         assert!(n > 0, "cluster must have at least one node");
         assert!(n <= usize::from(NodeId::MAX), "cluster too large");
-        SimCluster { n, model }
+        SimCluster { n, model, faults: None }
+    }
+
+    /// Installs a fault plan: every send is judged against it, in global
+    /// virtual-time order, so a given `(plan, workload)` pair replays its
+    /// drops, duplicates, delays, and partitions bit-identically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Number of nodes.
@@ -96,6 +103,9 @@ impl SimCluster {
         F: Fn(SimEndpoint) -> Result<T, NetError> + Send + Sync + 'static,
     {
         let scheduler = Arc::new(Scheduler::new(self.n, self.model));
+        if let Some(plan) = &self.faults {
+            scheduler.set_faults(FaultInjector::new(plan.clone()));
+        }
         let f = Arc::new(f);
 
         /// Marks the node done even if the closure panics, so surviving
@@ -117,11 +127,14 @@ impl SimCluster {
                 std::thread::Builder::new()
                     .name(format!("sim-node-{id}"))
                     .spawn(move || {
-                        let endpoint = SimEndpoint::new(id as NodeId, scheduler.num_nodes(), Arc::clone(&scheduler));
+                        let endpoint = SimEndpoint::new(
+                            id as NodeId,
+                            scheduler.num_nodes(),
+                            Arc::clone(&scheduler),
+                        );
                         let metrics = endpoint.metrics_handle();
                         let guard = DoneGuard { scheduler: Arc::clone(&scheduler), id };
-                        let outcome =
-                            std::panic::catch_unwind(AssertUnwindSafe(|| f(endpoint)));
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(endpoint)));
                         drop(guard);
                         let finished_at = SimInstant::from_micros(scheduler.now(id));
                         let result = match outcome {
@@ -222,10 +235,7 @@ mod tests {
             })
             .unwrap();
         for node in &outcome.nodes {
-            assert!(matches!(
-                node.result,
-                Err(SimError::Net(NetError::Deadlock(_)))
-            ));
+            assert!(matches!(node.result, Err(SimError::Net(NetError::Deadlock(_)))));
         }
     }
 
@@ -265,6 +275,98 @@ mod tests {
         let receiver_clock = *outcome.nodes[1].result.as_ref().unwrap();
         // send cpu (700) + tx (~1639) + latency (1000) + recv cpu (700).
         assert!((3_900..4_200).contains(&receiver_clock), "got {receiver_clock}");
+    }
+
+    #[test]
+    fn recv_deadline_times_out_in_virtual_time() {
+        let outcome = SimCluster::new(2, NetworkModel::instant())
+            .run(|mut ep| {
+                // Nobody sends: both nodes wait out their deadlines instead
+                // of deadlocking, and their clocks land exactly on them.
+                let got = ep.recv_deadline(sdso_net::SimSpan::from_micros(500))?;
+                assert!(got.is_none());
+                Ok(ep.now().as_micros())
+            })
+            .unwrap();
+        for node in &outcome.nodes {
+            assert_eq!(*node.result.as_ref().unwrap(), 500);
+        }
+    }
+
+    #[test]
+    fn recv_deadline_delivers_early_messages() {
+        let outcome = SimCluster::new(2, NetworkModel::paper_testbed())
+            .run(|mut ep| {
+                if ep.node_id() == 0 {
+                    ep.send(1, Payload::data(vec![7u8; 64]))?;
+                    Ok(0)
+                } else {
+                    let msg = ep.recv_deadline(sdso_net::SimSpan::from_millis(100))?;
+                    Ok(u64::from(msg.expect("arrives well before deadline").payload.bytes[0]))
+                }
+            })
+            .unwrap();
+        assert_eq!(*outcome.nodes[1].result.as_ref().unwrap(), 7);
+        // The wait ended at the arrival, not the deadline.
+        assert!(outcome.nodes[1].finished_at.as_micros() < 100_000);
+    }
+
+    #[test]
+    fn fault_plan_drops_replay_bit_identically() {
+        fn run_once() -> (u64, u64, u64) {
+            let plan = sdso_net::FaultPlan::new(0xC0FFEE).with_drop(0.3);
+            let outcome = SimCluster::new(2, NetworkModel::instant())
+                .with_faults(plan)
+                .run(|mut ep| {
+                    if ep.node_id() == 0 {
+                        for i in 0..100u8 {
+                            ep.send(1, Payload::data(vec![i]))?;
+                        }
+                        Ok(0)
+                    } else {
+                        let mut got = 0u64;
+                        while ep.recv_deadline(sdso_net::SimSpan::from_millis(5))?.is_some() {
+                            got += 1;
+                        }
+                        Ok(got)
+                    }
+                })
+                .unwrap();
+            let drops = outcome.total_metrics().drops_injected;
+            let got = *outcome.nodes[1].result.as_ref().unwrap();
+            (drops, got, outcome.makespan().as_micros())
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same plan + workload must replay identically");
+        assert!(a.0 > 0, "a 30% plan over 100 sends drops something");
+        assert_eq!(a.0 + a.1, 100, "every message is dropped or delivered");
+    }
+
+    #[test]
+    fn partition_severs_then_heals_in_virtual_time() {
+        // Partition [0] vs [1] active for the first 10ms of virtual time.
+        let plan = sdso_net::FaultPlan::new(1).with_partition(
+            vec![0],
+            SimInstant::ZERO,
+            SimInstant::from_micros(10_000),
+        );
+        let outcome = SimCluster::new(2, NetworkModel::instant())
+            .with_faults(plan)
+            .run(|mut ep| {
+                if ep.node_id() == 0 {
+                    ep.send(1, Payload::data(vec![1]))?; // severed
+                    ep.advance(sdso_net::SimSpan::from_millis(20));
+                    ep.send(1, Payload::data(vec![2]))?; // healed
+                    Ok(0)
+                } else {
+                    let msg = ep.recv_deadline(sdso_net::SimSpan::from_millis(100))?;
+                    Ok(u64::from(msg.expect("post-heal message arrives").payload.bytes[0]))
+                }
+            })
+            .unwrap();
+        assert_eq!(*outcome.nodes[1].result.as_ref().unwrap(), 2);
+        assert_eq!(outcome.total_metrics().drops_injected, 1);
     }
 
     #[test]

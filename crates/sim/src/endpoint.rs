@@ -45,8 +45,21 @@ impl Endpoint for SimEndpoint {
         if to == self.id || usize::from(to) >= self.num_nodes {
             return Err(NetError::InvalidPeer { peer: to, cluster: self.num_nodes });
         }
-        self.metrics.record_send(payload.class, payload.wire_len());
-        self.scheduler.send(usize::from(self.id), usize::from(to), payload)
+        let (class, wire_len) = (payload.class, payload.wire_len());
+        let verdict = self.scheduler.send(usize::from(self.id), usize::from(to), payload)?;
+        match verdict {
+            Some(v) => {
+                self.metrics.record_fault(&v);
+                if !v.dropped {
+                    self.metrics.record_send(class, wire_len);
+                    if v.duplicated {
+                        self.metrics.record_send(class, wire_len);
+                    }
+                }
+            }
+            None => self.metrics.record_send(class, wire_len),
+        }
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Incoming, NetError> {
@@ -58,6 +71,15 @@ impl Endpoint for SimEndpoint {
 
     fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
         let msg = self.scheduler.try_recv(usize::from(self.id))?;
+        if let Some(msg) = &msg {
+            self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        }
+        Ok(msg)
+    }
+
+    fn recv_deadline(&mut self, timeout: SimSpan) -> Result<Option<Incoming>, NetError> {
+        let (msg, blocked) = self.scheduler.recv_deadline(usize::from(self.id), timeout)?;
+        self.metrics.record_blocked(blocked);
         if let Some(msg) = &msg {
             self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
         }

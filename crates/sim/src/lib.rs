@@ -46,3 +46,4 @@ pub use cluster::{ClusterOutcome, NodeOutcome, SimCluster};
 pub use endpoint::SimEndpoint;
 pub use error::SimError;
 pub use model::NetworkModel;
+pub use sdso_net::{FaultPlan, Partition};

@@ -12,7 +12,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use parking_lot::{Condvar, Mutex};
-use sdso_net::{Incoming, NetError, NodeId, Payload, SimSpan};
+use sdso_net::fault::Verdict;
+use sdso_net::{FaultInjector, Incoming, NetError, NodeId, Payload, SimInstant, SimSpan};
 
 use crate::model::NetworkModel;
 
@@ -61,6 +62,8 @@ struct Node {
     inbox: BinaryHeap<Reverse<Entry>>,
     /// Outgoing link busy-until time, per destination.
     link_busy: Vec<u64>,
+    /// Absolute virtual time at which a `recv_deadline` wait gives up.
+    deadline: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -68,6 +71,10 @@ struct State {
     nodes: Vec<Node>,
     deadlock: Option<String>,
     next_seq: u64,
+    /// Fault injector, consulted once per send. Living under the state
+    /// mutex means fault decisions are drawn in virtual-time order, so a
+    /// given plan replays bit-identically across runs.
+    injector: Option<FaultInjector>,
 }
 
 impl State {
@@ -78,16 +85,23 @@ impl State {
         match node.status {
             Status::Done => None,
             Status::Running => Some(node.clock),
-            Status::Blocked => node
-                .inbox
-                .peek()
-                .map(|Reverse(e)| e.deliver_at.max(node.clock)),
+            Status::Blocked => {
+                let head = node.inbox.peek().map(|Reverse(e)| e.deliver_at);
+                let t = match (head, node.deadline) {
+                    (Some(h), Some(d)) => Some(h.min(d)),
+                    (Some(h), None) => Some(h),
+                    (None, d) => d,
+                };
+                t.map(|t| t.max(node.clock))
+            }
         }
     }
 
     /// Whether node `id` holds the (virtual-time-minimal) right to act.
     fn is_min(&self, id: usize) -> bool {
-        let Some(mine) = self.next_event(id) else { return false };
+        let Some(mine) = self.next_event(id) else {
+            return false;
+        };
         (0..self.nodes.len()).all(|j| {
             j == id
                 || match self.next_event(j) {
@@ -104,7 +118,9 @@ impl State {
             match node.status {
                 Status::Running => return false,
                 Status::Blocked => {
-                    if !node.inbox.is_empty() {
+                    // A node waiting with a deadline will wake on its own;
+                    // it can never be part of a deadlock.
+                    if !node.inbox.is_empty() || node.deadline.is_some() {
                         return false;
                     }
                     any_blocked = true;
@@ -145,13 +161,19 @@ impl Scheduler {
                 status: Status::Running,
                 inbox: BinaryHeap::new(),
                 link_busy: vec![0; n],
+                deadline: None,
             })
             .collect();
         Scheduler {
-            state: Mutex::new(State { nodes, deadlock: None, next_seq: 0 }),
+            state: Mutex::new(State { nodes, deadlock: None, next_seq: 0, injector: None }),
             cv: Condvar::new(),
             model,
         }
+    }
+
+    /// Installs a fault injector; call before any node starts running.
+    pub(crate) fn set_faults(&self, injector: FaultInjector) {
+        self.state.lock().injector = Some(injector);
     }
 
     /// The number of nodes this scheduler serves.
@@ -191,23 +213,67 @@ impl Scheduler {
     }
 
     /// Sends `payload` from `id` to `to` under the network model.
-    pub(crate) fn send(&self, id: usize, to: usize, payload: Payload) -> Result<(), NetError> {
+    ///
+    /// Returns the fault verdict when an injector is installed (`None`
+    /// otherwise) so the endpoint can account for injected faults. A
+    /// dropped message still pays send CPU and occupies the link — the
+    /// bits went out; they just never arrive.
+    pub(crate) fn send(
+        &self,
+        id: usize,
+        to: usize,
+        payload: Payload,
+    ) -> Result<Option<Verdict>, NetError> {
         let mut st = self.state.lock();
         self.wait_turn(&mut st, id)?;
         let wire_len = payload.wire_len();
         let seq = st.next_seq;
         st.next_seq += 1;
 
-        let sender = &mut st.nodes[id];
-        sender.clock += self.model.send_cpu.as_micros();
-        let start = sender.clock.max(sender.link_busy[to]);
-        let done_tx = start + self.model.transmission(wire_len).as_micros();
-        sender.link_busy[to] = done_tx;
-        let deliver_at = done_tx + self.model.latency.as_micros();
+        let (deliver_at, sent_at) = {
+            let sender = &mut st.nodes[id];
+            sender.clock += self.model.send_cpu.as_micros();
+            let start = sender.clock.max(sender.link_busy[to]);
+            let done_tx = start + self.model.transmission(wire_len).as_micros();
+            sender.link_busy[to] = done_tx;
+            (done_tx + self.model.latency.as_micros(), sender.clock)
+        };
 
-        st.nodes[to].inbox.push(Reverse(Entry { deliver_at, seq, from: id as NodeId, payload }));
+        let verdict = st
+            .injector
+            .as_mut()
+            .map(|inj| inj.judge(id as NodeId, to as NodeId, SimInstant::from_micros(sent_at)));
+        let v = verdict.unwrap_or_default();
+        if !v.dropped {
+            let deliver_at = deliver_at + v.extra_delay.as_micros();
+            st.nodes[to].inbox.push(Reverse(Entry {
+                deliver_at,
+                seq,
+                from: id as NodeId,
+                payload: payload.clone(),
+            }));
+            if v.duplicated {
+                // The duplicate is a second transmission: it queues behind
+                // the original on the link and pays its own wire time.
+                let seq2 = st.next_seq;
+                st.next_seq += 1;
+                let deliver2 = {
+                    let sender = &mut st.nodes[id];
+                    let start = sender.clock.max(sender.link_busy[to]);
+                    let done_tx = start + self.model.transmission(wire_len).as_micros();
+                    sender.link_busy[to] = done_tx;
+                    done_tx + self.model.latency.as_micros()
+                };
+                st.nodes[to].inbox.push(Reverse(Entry {
+                    deliver_at: deliver2,
+                    seq: seq2,
+                    from: id as NodeId,
+                    payload,
+                }));
+            }
+        }
         self.cv.notify_all();
-        Ok(())
+        Ok(verdict)
     }
 
     /// Receives the next message for `id`, blocking in virtual time.
@@ -235,8 +301,7 @@ impl Scheduler {
                 if st.is_min(id) {
                     let node = &mut st.nodes[id];
                     let Reverse(entry) = node.inbox.pop().expect("checked non-empty");
-                    node.clock = entry.deliver_at.max(node.clock)
-                        + self.model.recv_cpu.as_micros();
+                    node.clock = entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
                     node.status = Status::Running;
                     let blocked =
                         SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
@@ -256,16 +321,66 @@ impl Scheduler {
         }
     }
 
+    /// Like [`Scheduler::recv`], but gives up once the node's clock would
+    /// pass `timeout`, returning `Ok((None, timeout))` with the clock
+    /// advanced to the deadline.
+    ///
+    /// While waiting, the deadline itself is a scheduled event: the node
+    /// participates in the virtual-time total order through it, and a
+    /// cluster whose nodes all wait with deadlines is never declared
+    /// deadlocked — the earliest deadline fires instead.
+    pub(crate) fn recv_deadline(
+        &self,
+        id: usize,
+        timeout: SimSpan,
+    ) -> Result<(Option<Incoming>, SimSpan), NetError> {
+        let mut st = self.state.lock();
+        let entry_clock = st.nodes[id].clock;
+        let deadline = entry_clock + timeout.as_micros();
+        st.nodes[id].deadline = Some(deadline);
+        loop {
+            if let Some(d) = st.deadlock.clone() {
+                let node = &mut st.nodes[id];
+                node.status = Status::Running;
+                node.deadline = None;
+                return Err(NetError::Deadlock(d));
+            }
+            if st.nodes[id].status != Status::Blocked {
+                st.nodes[id].status = Status::Blocked;
+                self.cv.notify_all();
+            }
+            if st.is_min(id) {
+                let node = &mut st.nodes[id];
+                let msg_first =
+                    node.inbox.peek().is_some_and(|Reverse(e)| e.deliver_at <= deadline);
+                node.status = Status::Running;
+                node.deadline = None;
+                if msg_first {
+                    let Reverse(entry) = node.inbox.pop().expect("checked non-empty");
+                    node.clock = entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
+                    let blocked =
+                        SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
+                    self.cv.notify_all();
+                    return Ok((
+                        Some(Incoming { from: entry.from, payload: entry.payload }),
+                        blocked,
+                    ));
+                }
+                node.clock = deadline.max(node.clock);
+                self.cv.notify_all();
+                return Ok((None, timeout));
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
     /// Receives a message only if one has already arrived at `id`'s current
     /// clock; never advances past other nodes' earlier events.
     pub(crate) fn try_recv(&self, id: usize) -> Result<Option<Incoming>, NetError> {
         let mut st = self.state.lock();
         self.wait_turn(&mut st, id)?;
         let node = &mut st.nodes[id];
-        let due = node
-            .inbox
-            .peek()
-            .is_some_and(|Reverse(e)| e.deliver_at <= node.clock);
+        let due = node.inbox.peek().is_some_and(|Reverse(e)| e.deliver_at <= node.clock);
         if !due {
             return Ok(None);
         }

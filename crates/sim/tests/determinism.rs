@@ -25,20 +25,14 @@ fn run_seeded(seed: u64, nodes: usize) -> Vec<(u64, u64)> {
             // Receive everything destined to us: count is data-dependent,
             // so poll until the cluster drains (deadlock marks the end).
             let mut received = 0u64;
-            loop {
-                match ep.recv() {
-                    Ok(_) => received += 1,
-                    Err(_) => break, // cluster drained (reported as deadlock)
-                }
+            // Err marks the cluster drained (reported as deadlock).
+            while ep.recv().is_ok() {
+                received += 1;
             }
             Ok((received, ep.now().as_micros()))
         })
         .expect("cluster run");
-    outcome
-        .nodes
-        .into_iter()
-        .map(|n| n.result.unwrap_or((u64::MAX, u64::MAX)))
-        .collect()
+    outcome.nodes.into_iter().map(|n| n.result.unwrap_or((u64::MAX, u64::MAX))).collect()
 }
 
 proptest! {

@@ -48,9 +48,8 @@ impl Body {
     }
 
     fn decode(bytes: &[u8]) -> Body {
-        let f = |i: usize| {
-            f64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
-        };
+        let f =
+            |i: usize| f64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"));
         Body { x: f(0), y: f(1), vx: f(2), vy: f(3) }
     }
 
@@ -109,8 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = ep.num_nodes();
         let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
         for owner in 0..n as NodeId {
-            rt.share(body_object(owner), initial_body(owner, n).encode())
-                .map_err(stringify)?;
+            rt.share(body_object(owner), initial_body(owner, n).encode()).map_err(stringify)?;
         }
         let mut node = Lookahead::new(rt, CutoffLookahead { me }).map_err(stringify)?;
 
@@ -151,9 +149,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 mine.vy = -mine.vy;
                 mine.y = mine.y.clamp(0.0, WORLD);
             }
-            node.runtime_mut()
-                .write(body_object(me), 0, &mine.encode())
-                .map_err(stringify)?;
+            node.runtime_mut().write(body_object(me), 0, &mine.encode()).map_err(stringify)?;
             node.step().map_err(stringify)?;
         }
         let rt = node.into_runtime();

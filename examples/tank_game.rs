@@ -54,11 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let run_scenario = scenario.clone();
-    let outcome = SimCluster::new(usize::from(teams), NetworkModel::paper_testbed()).run(
-        move |ep| {
-            run_node(ep, &run_scenario, protocol).map_err(sdso_net::NetError::from)
-        },
-    )?;
+    let outcome = SimCluster::new(usize::from(teams), NetworkModel::paper_testbed())
+        .run(move |ep| run_node(ep, &run_scenario, protocol).map_err(sdso_net::NetError::from))?;
 
     println!(
         "{:>4} {:>7} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10} {:>9}",
@@ -95,8 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let world = stats.final_world.clone();
             let grid = scenario.grid;
             let view = move |pos: Pos| world[grid.object_at(pos).0 as usize];
-            println!("
-final replica at process {}:", stats.node);
+            println!(
+                "
+final replica at process {}:",
+                stats.node
+            );
             print!("{}", render(&scenario, &view, RenderOptions::default()));
             println!("{}", scoreboard(&scenario, &view));
         }

@@ -14,9 +14,7 @@
 //!
 //! Run with: `cargo run -p sdso-harness --example whiteboard -- [EDITORS] [TICKS]`
 
-use sdso_core::{
-    DsoConfig, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime,
-};
+use sdso_core::{DsoConfig, LogicalTime, ObjectId, ObjectStore, SFunction, SdsoRuntime};
 use sdso_net::{Endpoint, NodeId};
 use sdso_protocols::Lookahead;
 use sdso_sim::{NetworkModel, SimCluster};
@@ -77,8 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rt.share(presence_object(e), start.to_le_bytes().to_vec()).map_err(stringify)?;
         }
 
-        let mut node =
-            Lookahead::new(rt, CursorProximity { me }).map_err(stringify)?;
+        let mut node = Lookahead::new(rt, CursorProximity { me }).map_err(stringify)?;
 
         let mut cursor = initial_cursor(me, n);
         let mut edits = 0u64;
@@ -95,9 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Type a character into the paragraph under the cursor.
             let col = (tick % (PARA_BYTES as u64 - 1)) as u32;
             let glyph = b'a' + (me as u8 % 26);
-            node.runtime_mut()
-                .write(ObjectId(cursor as u32), col, &[glyph])
-                .map_err(stringify)?;
+            node.runtime_mut().write(ObjectId(cursor as u32), col, &[glyph]).map_err(stringify)?;
             node.runtime_mut()
                 .write(presence_object(me), 0, &cursor.to_le_bytes())
                 .map_err(stringify)?;
@@ -119,9 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let bsync_equivalent = editors as u64 * (editors as u64 - 1) * ticks * 2;
     println!("{editors} editors typed {total_edits} characters over {ticks} ticks");
-    println!(
-        "cursor-proximity s-function: {total_msgs} messages, {total_rendezvous} rendezvous"
-    );
+    println!("cursor-proximity s-function: {total_msgs} messages, {total_rendezvous} rendezvous");
     println!(
         "an every-tick (BSYNC) schedule would have sent ~{bsync_equivalent} messages \
          ({:.1}x more)",

@@ -1,0 +1,203 @@
+#![allow(clippy::all)]
+//! Minimal, dependency-free stand-in for the `bytes` crate covering the
+//! subset this workspace uses: cheaply-cloneable immutable byte buffers
+//! (`Bytes`) and an append-only builder (`BytesMut`).
+//!
+//! Vendored so the workspace builds fully offline; the API is
+//! call-compatible with the real crate for every usage in this repo.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    inner: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { inner: Arc::new(data.to_vec()) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { inner: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes { inner: Arc::new(v.into_bytes()) }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Bytes {
+        v.freeze()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.inner.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.inner.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.inner.as_ref() == other
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates a builder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: Arc::new(self.inner) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(&[1, 2]);
+        b.extend_from_slice(&[3]);
+        assert_eq!(b.len(), 3);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        assert_eq!(frozen.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn conversions_and_equality() {
+        let a = Bytes::from(vec![9u8; 4]);
+        let b = Bytes::copy_from_slice(&[9u8; 4]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let s = Bytes::from(b"hi".as_ref());
+        assert_eq!(&s[..], b"hi");
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+}

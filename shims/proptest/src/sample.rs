@@ -1,0 +1,44 @@
+//! Sampling helpers (`Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An arbitrary index into a collection of yet-unknown length: generated
+/// as a raw value, projected into `0..len` at use time.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Projects into `0..len` (`0` when `len == 0`).
+    pub fn index(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            self.raw % len
+        }
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index { raw: rng.next_u64() as usize }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_stays_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(17) < 17);
+            assert_eq!(idx.index(0), 0);
+            assert_eq!(idx.index(1), 0);
+        }
+    }
+}

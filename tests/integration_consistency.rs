@@ -2,13 +2,13 @@
 //! (DESIGN.md §6).
 
 use proptest::prelude::*;
+use sdso_core::SFunction;
 use sdso_core::{
     Diff, DsoConfig, EveryTick, LogicalTime, ObjectId, SdsoRuntime, SendMode, Version,
 };
 use sdso_game::{team_positions, Msync, Msync2, Pos, Scenario};
 use sdso_net::memory::MemoryHub;
 use sdso_net::NodeId;
-use sdso_core::SFunction;
 
 // ---------------------------------------------------------------------
 // Invariant 1: diff algebra
@@ -123,10 +123,7 @@ proptest! {
     }
 }
 
-fn store_with(
-    scenario: &Scenario,
-    tanks: &[(NodeId, Pos)],
-) -> sdso_core::ObjectStore {
+fn store_with(scenario: &Scenario, tanks: &[(NodeId, Pos)]) -> sdso_core::ObjectStore {
     let mut store = sdso_core::ObjectStore::new();
     for pos in scenario.grid.iter() {
         let block = tanks
@@ -140,9 +137,7 @@ fn store_with(
                 fired: None,
             })
             .unwrap_or(sdso_game::Block::Empty);
-        store
-            .share(scenario.grid.object_at(pos), block.encode(scenario.block_bytes))
-            .unwrap();
+        store.share(scenario.grid.object_at(pos), block.encode(scenario.block_bytes)).unwrap();
     }
     store
 }

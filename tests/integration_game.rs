@@ -40,11 +40,7 @@ fn games_are_deterministic_per_protocol() {
             assert_eq!(x.score, y.score, "{protocol}: deterministic score");
             assert_eq!(x.modifications, y.modifications, "{protocol}");
             assert_eq!(x.exec_time, y.exec_time, "{protocol}: deterministic timing");
-            assert_eq!(
-                x.net.total_sent(),
-                y.net.total_sent(),
-                "{protocol}: deterministic traffic"
-            );
+            assert_eq!(x.net.total_sent(), y.net.total_sent(), "{protocol}: deterministic traffic");
         }
     }
 }
@@ -67,8 +63,7 @@ fn lookahead_message_ordering_matches_paper() {
     let scenario = Scenario::paper(4, 1).with_ticks(120);
     let bsync: u64 = play(&scenario, Protocol::Bsync).iter().map(|s| s.net.total_sent()).sum();
     let msync: u64 = play(&scenario, Protocol::Msync).iter().map(|s| s.net.total_sent()).sum();
-    let msync2: u64 =
-        play(&scenario, Protocol::Msync2).iter().map(|s| s.net.total_sent()).sum();
+    let msync2: u64 = play(&scenario, Protocol::Msync2).iter().map(|s| s.net.total_sent()).sum();
     assert!(
         msync2 <= msync && msync <= bsync,
         "expected MSYNC2 ({msync2}) <= MSYNC ({msync}) <= BSYNC ({bsync})"
@@ -108,7 +103,7 @@ fn final_replicas_are_well_formed() {
         // A tank writes at most 3 blocks per tick (respawn + move pair).
         assert!(s.modifications <= s.ticks * 3 + 3);
         // Scores are consistent with goal/bonus accounting.
-        assert!(s.score >= i64::from(s.goals as u32) * sdso_game::GOAL_POINTS as i64 / 1);
+        assert!(s.score >= s.goals as i64 * sdso_game::GOAL_POINTS);
     }
     assert_eq!(team_seen.len(), 3);
 }
@@ -120,10 +115,8 @@ fn block_payload_size_flows_through_to_bytes() {
     small.frame_wire_len = None;
     let mut large = small.clone().with_block_bytes(1024);
     large.frame_wire_len = None;
-    let small_bytes: u64 =
-        play(&small, Protocol::Bsync).iter().map(|s| s.net.bytes_sent()).sum();
-    let large_bytes: u64 =
-        play(&large, Protocol::Bsync).iter().map(|s| s.net.bytes_sent()).sum();
+    let small_bytes: u64 = play(&small, Protocol::Bsync).iter().map(|s| s.net.bytes_sent()).sum();
+    let large_bytes: u64 = play(&large, Protocol::Bsync).iter().map(|s| s.net.bytes_sent()).sum();
     assert!(
         large_bytes > small_bytes,
         "1 KiB blocks ({large_bytes} B) must outweigh 64 B blocks ({small_bytes} B)"
@@ -138,25 +131,18 @@ fn network_model_scales_execution_time() {
     let slow = {
         let s = scenario.clone();
         SimCluster::new(2, NetworkModel::paper_testbed())
-            .run(move |ep| {
-                run_node(ep, &s, Protocol::Bsync).map_err(sdso_net::NetError::from)
-            })
+            .run(move |ep| run_node(ep, &s, Protocol::Bsync).map_err(sdso_net::NetError::from))
             .unwrap()
             .makespan()
     };
     let fast = {
         let s = scenario.clone();
         SimCluster::new(2, NetworkModel::modern_lan())
-            .run(move |ep| {
-                run_node(ep, &s, Protocol::Bsync).map_err(sdso_net::NetError::from)
-            })
+            .run(move |ep| run_node(ep, &s, Protocol::Bsync).map_err(sdso_net::NetError::from))
             .unwrap()
             .makespan()
     };
-    assert!(
-        fast < slow,
-        "modern LAN ({fast}) must beat 10 Mbps Ethernet ({slow})"
-    );
+    assert!(fast < slow, "modern LAN ({fast}) must beat 10 Mbps Ethernet ({slow})");
 }
 
 #[test]
@@ -223,11 +209,7 @@ fn no_replica_ever_shows_a_team_twice() {
                 }
             }
             for (team, count) in counts {
-                assert!(
-                    count <= 1,
-                    "{protocol}: node {} sees team {team} {count} times",
-                    s.node
-                );
+                assert!(count <= 1, "{protocol}: node {} sees team {team} {count} times", s.node);
             }
         }
     }

@@ -55,11 +55,10 @@ fn run_cursor_app(editors: usize, ticks: u64) -> Vec<(u64, Vec<u8>)> {
             }
             for e in 0..n as NodeId {
                 let start = u64::from(e) * (CELLS / n);
-                rt.share(presence(e, CELLS), start.to_le_bytes().to_vec())
-                    .map_err(to_net)?;
+                rt.share(presence(e, CELLS), start.to_le_bytes().to_vec()).map_err(to_net)?;
             }
-            let mut node = Lookahead::new(rt, CursorProximity { me, num_cells: CELLS })
-                .map_err(to_net)?;
+            let mut node =
+                Lookahead::new(rt, CursorProximity { me, num_cells: CELLS }).map_err(to_net)?;
             for tick in 0..ticks {
                 // Sweep right, bouncing at the end (1 cell per tick).
                 let period = 2 * (CELLS - 1);
@@ -156,9 +155,7 @@ fn cutoff_lookahead_agrees_on_interacting_pairs() {
             // Everyone drifts toward the centre of mass at speed 1.
             for _ in 0..100 {
                 let x = i64::from_le_bytes(
-                    node.runtime().read(ObjectId(u32::from(me))).unwrap()[..8]
-                        .try_into()
-                        .unwrap(),
+                    node.runtime().read(ObjectId(u32::from(me))).unwrap()[..8].try_into().unwrap(),
                 );
                 let target = i64::from(BODIES as u32 - 1) * 40 / 2;
                 let step = (target - x).signum();
@@ -169,9 +166,7 @@ fn cutoff_lookahead_agrees_on_interacting_pairs() {
             }
             let rt = node.into_runtime();
             let positions: Vec<i64> = (0..n as u32)
-                .map(|b| {
-                    i64::from_le_bytes(rt.read(ObjectId(b)).unwrap()[..8].try_into().unwrap())
-                })
+                .map(|b| i64::from_le_bytes(rt.read(ObjectId(b)).unwrap()[..8].try_into().unwrap()))
                 .collect();
             Ok(positions)
         })

@@ -82,8 +82,7 @@ fn entry_consistency_serialises_counter_increments() {
             ec.service_pending().unwrap();
         }
         ec.finish().unwrap();
-        let value =
-            u64::from_le_bytes(ec.read(ObjectId(0)).unwrap().try_into().unwrap());
+        let value = u64::from_le_bytes(ec.read(ObjectId(0)).unwrap().try_into().unwrap());
         (ec.runtime().node_id(), value)
     });
     // The final holder of the lock saw the full count.

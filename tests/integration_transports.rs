@@ -96,9 +96,7 @@ fn runtime_works_over_tcp_for_puts_and_gets() {
 #[test]
 fn metrics_agree_between_transports_for_identical_traffic() {
     // Send the same frames over memory and TCP: counters must agree.
-    let run = |snapshotter: &dyn Fn() -> (NetMetricsSnapshot, NetMetricsSnapshot)| {
-        snapshotter()
-    };
+    let run = |snapshotter: &dyn Fn() -> (NetMetricsSnapshot, NetMetricsSnapshot)| snapshotter();
 
     let memory = run(&|| {
         let mut eps = MemoryHub::new(2).into_endpoints();
@@ -141,9 +139,7 @@ fn lookahead_over_tcp_matches_memory_visibility() {
                         rt.share(ObjectId(id), vec![0u8; 4]).unwrap();
                     }
                     let mut node = Lookahead::new(rt, EveryTick).unwrap();
-                    node.runtime_mut()
-                        .write(ObjectId(u32::from(me)), 0, &[me as u8 + 1])
-                        .unwrap();
+                    node.runtime_mut().write(ObjectId(u32::from(me)), 0, &[me as u8 + 1]).unwrap();
                     node.step().unwrap();
                     let rt = node.into_runtime();
                     (0..2u32)
@@ -183,7 +179,11 @@ impl Endpoint for BoxedEndpoint {
     fn num_nodes(&self) -> usize {
         self.0.num_nodes()
     }
-    fn send(&mut self, to: sdso_net::NodeId, payload: sdso_net::Payload) -> Result<(), sdso_net::NetError> {
+    fn send(
+        &mut self,
+        to: sdso_net::NodeId,
+        payload: sdso_net::Payload,
+    ) -> Result<(), sdso_net::NetError> {
         self.0.send(to, payload)
     }
     fn recv(&mut self) -> Result<sdso_net::Incoming, sdso_net::NetError> {
