@@ -1,0 +1,9 @@
+//! Fixture: catch-all arm over a wire enum (must trip `exhaustive-match`).
+
+pub fn classify(msg: DsoMessage) -> &'static str {
+    match msg {
+        DsoMessage::Data { .. } => "data",
+        DsoMessage::Sync { .. } => "sync",
+        _ => "other",
+    }
+}

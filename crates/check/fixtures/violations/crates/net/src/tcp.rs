@@ -1,0 +1,12 @@
+//! Fixture: ABBA lock-order inversion in the TCP transport (must trip
+//! `lock-order`).
+
+pub fn broadcast(&self) {
+    let readers = self.readers.lock();
+    for peer in readers.iter() {
+        // Inversion: `writers` (rank 0) taken while `readers` (rank 1) is
+        // still held; the acceptor thread takes them the other way round.
+        let mut slot = self.writers[usize::from(*peer)].lock();
+        slot.flush();
+    }
+}

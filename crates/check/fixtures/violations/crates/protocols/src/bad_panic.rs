@@ -1,0 +1,13 @@
+//! Fixture: panics on a protocol path (must trip `no-panic`).
+
+pub fn grant(granted: &mut std::collections::BTreeMap<u32, u8>, object: u32) -> u8 {
+    let mode = granted.remove(&object).unwrap();
+    if mode > 2 {
+        panic!("bad mode {mode}");
+    }
+    mode
+}
+
+pub fn pump(queue: &mut Vec<u32>) -> u32 {
+    queue.pop().expect("queue is never empty")
+}

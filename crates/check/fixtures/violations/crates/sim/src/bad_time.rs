@@ -1,0 +1,14 @@
+//! Fixture: host time and OS entropy in replay-critical code (must trip
+//! `wall-clock`).
+
+pub fn stamp() -> u128 {
+    let started = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    started.elapsed().as_micros()
+}
+
+pub fn jitter() -> u64 {
+    // Seeded from the environment: not replayable.
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,132 @@
+//! Per-rule allowlists.
+//!
+//! Each rule `R` reads `allowlists/R.allow` (relative to the check crate,
+//! overridable with `--allow-dir`). An entry is one line:
+//!
+//! ```text
+//! # comment
+//! crates/net/src/tcp.rs                  # whole file
+//! crates/net/src/tcp.rs: spawn_reader(   # only lines containing the needle
+//! ```
+//!
+//! A diagnostic is suppressed when its path ends with the entry's path and,
+//! if a needle is given, the offending source line contains the needle.
+//! Additionally, the inline marker `sdso-check: allow(R)` in a comment on
+//! the offending line suppresses rule `R` for that line only.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One suppression entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    path: String,
+    needle: Option<String>,
+}
+
+/// All loaded allowlists, keyed by rule name.
+#[derive(Debug, Default)]
+pub struct Allowlists {
+    by_rule: HashMap<String, Vec<Entry>>,
+}
+
+impl Allowlists {
+    /// Loads `<dir>/<rule>.allow` for every file present in `dir`.
+    /// A missing or unreadable directory yields an empty set.
+    pub fn load(dir: &Path) -> Self {
+        let mut by_rule = HashMap::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Allowlists { by_rule };
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(rule) =
+                path.file_name().and_then(|n| n.to_str()).and_then(|n| n.strip_suffix(".allow"))
+            else {
+                continue;
+            };
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            by_rule.insert(rule.to_owned(), parse(&text));
+        }
+        Allowlists { by_rule }
+    }
+
+    /// True if the `(rule, path, line_text)` triple is suppressed.
+    pub fn allows(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        if inline_marker(line_text, rule) {
+            return true;
+        }
+        let Some(entries) = self.by_rule.get(rule) else {
+            return false;
+        };
+        entries.iter().any(|e| {
+            path.ends_with(&e.path)
+                && e.needle.as_ref().is_none_or(|n| line_text.contains(n.as_str()))
+        })
+    }
+}
+
+fn parse(text: &str) -> Vec<Entry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            // `path: needle` — split on the first `: ` (plain `:` would
+            // collide with `::` in needles and drive letters never occur).
+            match l.split_once(": ") {
+                Some((p, n)) => {
+                    Entry { path: p.trim().to_owned(), needle: Some(n.trim().to_owned()) }
+                }
+                None => Entry { path: l.to_owned(), needle: None },
+            }
+        })
+        .collect()
+}
+
+fn inline_marker(line_text: &str, rule: &str) -> bool {
+    line_text
+        .find("sdso-check: allow(")
+        .map(|at| {
+            let rest = &line_text[at + "sdso-check: allow(".len()..];
+            rest.split(')')
+                .next()
+                .is_some_and(|inner| inner.split(',').map(str::trim).any(|r| r == rule))
+        })
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lists(rule: &str, body: &str) -> Allowlists {
+        let mut by_rule = HashMap::new();
+        by_rule.insert(rule.to_owned(), parse(body));
+        Allowlists { by_rule }
+    }
+
+    #[test]
+    fn whole_file_entry_suppresses() {
+        let a = lists("no-panic", "crates/net/src/tcp.rs\n# comment\n");
+        assert!(a.allows("no-panic", "crates/net/src/tcp.rs", "x.unwrap()"));
+        assert!(!a.allows("no-panic", "crates/net/src/memory.rs", "x.unwrap()"));
+        assert!(!a.allows("wall-clock", "crates/net/src/tcp.rs", "x"));
+    }
+
+    #[test]
+    fn needle_entry_matches_line_content() {
+        let a = lists("no-panic", "crates/net/src/tcp.rs: spawn thread\n");
+        assert!(a.allows("no-panic", "crates/net/src/tcp.rs", "x.expect(\"spawn thread\")"));
+        assert!(!a.allows("no-panic", "crates/net/src/tcp.rs", "x.unwrap()"));
+    }
+
+    #[test]
+    fn inline_marker_suppresses_one_rule() {
+        let a = Allowlists::default();
+        let line = "let t = Instant::now(); // sdso-check: allow(wall-clock)";
+        assert!(a.allows("wall-clock", "any.rs", line));
+        assert!(!a.allows("no-panic", "any.rs", line));
+    }
+}

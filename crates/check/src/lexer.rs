@@ -1,0 +1,329 @@
+//! Source preparation for the lint rules.
+//!
+//! The workspace is built fully offline with an empty registry cache, so a
+//! `syn`-based pass is not an option. Instead the rules operate on a
+//! *cleaned* copy of each file: comments and the contents of string/char
+//! literals are blanked out (newlines kept), and `#[cfg(test)]` modules are
+//! erased. On the cleaned text, substring and brace-depth reasoning is
+//! sound: every brace, paren, and identifier that remains is real code.
+
+/// Returns `src` with comments and literal contents replaced by spaces.
+///
+/// Line structure is preserved exactly: byte offsets of newlines are
+/// unchanged, so a line number computed on the cleaned text maps directly
+/// back to the original file.
+pub fn clean_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also covers doc comments).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br"...", with any # count.
+        if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+            if let Some((hashes, body_start)) = raw_string_open(b, i) {
+                // Blank the prefix and opening quote.
+                out.extend(std::iter::repeat_n(b' ', body_start - i));
+                i = body_start;
+                let close: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                while i < b.len() {
+                    if b[i..].starts_with(&close) {
+                        out.extend(std::iter::repeat_n(b' ', close.len()));
+                        i += close.len();
+                        break;
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == b'"' {
+            out.push(b'"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(end) = char_literal_end(b, i) {
+                out.push(b'\'');
+                out.extend(std::iter::repeat_n(b' ', end - (i + 1)));
+                out.push(b'\'');
+                i = end + 1;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // The input was valid UTF-8 and multi-byte characters are either copied
+    // verbatim or replaced byte-for-byte with spaces only inside literals
+    // and comments, where whole characters are consumed.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If `b[i..]` opens a raw string (`r`/`br`/`rb` + hashes + quote), returns
+/// `(hash_count, index of first body byte)`.
+fn raw_string_open(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    // Up to two prefix letters from {r, b}, containing at least one 'r'.
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(b'r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some(b'b') => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return None;
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// If `b[i] == '\''` begins a char literal, returns the index of its
+/// closing quote; returns `None` for lifetimes.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the terminating quote.
+        let mut j = i + 2;
+        while j < b.len() {
+            if b[j] == b'\\' {
+                j += 2;
+            } else if b[j] == b'\'' {
+                return Some(j);
+            } else {
+                j += 1;
+            }
+        }
+        return None;
+    }
+    // 'x' (one char, possibly multi-byte, then a closing quote) is a char
+    // literal; anything else — 'a in generics, 'static — is a lifetime.
+    let char_len = match next {
+        x if x < 0x80 => 1,
+        x if x >= 0xF0 => 4,
+        x if x >= 0xE0 => 3,
+        _ => 2,
+    };
+    if b.get(i + 1 + char_len) == Some(&b'\'') {
+        Some(i + 1 + char_len)
+    } else {
+        None
+    }
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` block in the cleaned text.
+///
+/// The lint rules govern non-test code only; tests are free to `unwrap`.
+pub fn strip_test_modules(clean: &str) -> String {
+    let b = clean.as_bytes();
+    let mut out = clean.as_bytes().to_vec();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= b.len() {
+        if &b[i..i + needle.len()] != needle.as_slice() {
+            i += 1;
+            continue;
+        }
+        // Skip whitespace and further attributes, expecting `mod`.
+        let mut j = i + needle.len();
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+                let mut depth = 0usize;
+                while j < b.len() {
+                    match b[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        if !b[j..].starts_with(b"mod") {
+            i += needle.len();
+            continue;
+        }
+        // Find the module's opening brace and blank through its close.
+        while j < b.len() && b[j] != b'{' && b[j] != b';' {
+            j += 1;
+        }
+        if b.get(j) == Some(&b';') {
+            i = j; // `mod name;` — nothing inline to strip
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < b.len() {
+            match b[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for x in out.iter_mut().take(k).skip(i) {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+        i = k;
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// 1-based line number of byte `offset` in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    1 + text.as_bytes()[..offset.min(text.len())].iter().filter(|&&c| c == b'\n').count()
+}
+
+/// Finds occurrences of `pat` in `clean` that start at an identifier
+/// boundary. The preceding-byte check only applies when the pattern itself
+/// begins with an identifier character — a pattern like `.unwrap()` is
+/// *expected* to follow an identifier (`x.unwrap()`).
+pub fn find_bounded(clean: &str, pat: &str) -> Vec<usize> {
+    let leading_ident =
+        pat.as_bytes().first().is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_');
+    let mut hits = Vec::new();
+    let mut start = 0;
+    while let Some(p) = clean[start..].find(pat) {
+        let at = start + p;
+        if !(leading_ident && prev_is_ident(clean.as_bytes(), at)) {
+            hits.push(at);
+        }
+        start = at + 1;
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"panic!()\"; // panic!()\nlet y = 1; /* unwrap() */";
+        let c = clean_source(src);
+        assert!(!c.contains("panic"));
+        assert!(!c.contains("unwrap"));
+        assert_eq!(c.len(), src.len());
+        assert!(c.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let s = r#"unwrap() } { "#; let t = 2;"##;
+        let c = clean_source(src);
+        assert!(!c.contains("unwrap"));
+        assert!(!c.contains('}'), "braces inside raw strings must vanish");
+        assert!(c.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let d = '}'; }";
+        let c = clean_source(src);
+        assert!(c.contains("<'a>"));
+        assert!(c.contains("&'a str"));
+        // The literal close-brace is blanked; the code braces survive.
+        assert_eq!(c.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let c = strip_test_modules(&clean_source(src));
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains("fn live"));
+        assert!(c.contains("fn tail"));
+        assert_eq!(c.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn bounded_find_skips_identifier_tails() {
+        let c = "SimInstant::now(); Instant::now();";
+        let hits = find_bounded(c, "Instant::now");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(line_of(c, hits[0]), 1);
+    }
+}

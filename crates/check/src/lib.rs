@@ -1,0 +1,28 @@
+//! `sdso-check`: the S-DSO workspace's own static analysis and model
+//! checking layer.
+//!
+//! Two engines (see `ARCHITECTURE.md` §6):
+//!
+//! * **lint** — a deny-by-default static pass over workspace source
+//!   enforcing invariants the compiler cannot see: no panics on protocol
+//!   paths, no wall-clock/OS-entropy in deterministic code, declared
+//!   lock-acquisition order, and exhaustive matches over wire enums.
+//! * **explore** — a bounded systematic interleaving checker: protocol
+//!   scenarios run under the virtual-time scheduler's delivery-choice
+//!   oracle while a DFS enumerates message-delivery orders and asserts
+//!   protocol invariants after every schedule.
+//!
+//! The workspace builds fully offline, so the lint is built on a small
+//! purpose-made cleaner/scanner (`lexer`) rather than `syn`.
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod lint;
+pub mod rules;
+pub mod scenarios;
+
+pub use diag::Diagnostic;
+pub use lint::{run as run_lint, LintReport};

@@ -1,0 +1,118 @@
+//! The lint driver: file discovery, rule execution, allowlisting.
+
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlists;
+use crate::diag::Diagnostic;
+use crate::lexer::{clean_source, strip_test_modules};
+use crate::rules::{self, FileCtx};
+
+/// Result of one lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Surviving (non-allowlisted) diagnostics, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root`.
+///
+/// `allow_dir` defaults to `<root>/crates/check/allowlists`; pointing
+/// `root` at a fixture tree therefore starts with no suppressions.
+///
+/// # Errors
+///
+/// Returns a description if `root` has no `crates/` directory or a source
+/// file cannot be read.
+pub fn run(root: &Path, allow_dir: Option<&Path>) -> Result<LintReport, String> {
+    let default_allow = root.join("crates/check/allowlists");
+    let allow = Allowlists::load(allow_dir.unwrap_or(&default_allow));
+    let files = discover(root)?;
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let clean = strip_test_modules(&clean_source(&src));
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileCtx { rel_path: &rel, clean: &clean, lines: &lines };
+        for d in rules::run_all(&ctx) {
+            let line_text = lines.get(d.line - 1).copied().unwrap_or("");
+            if !allow.allows(d.rule, &d.path, line_text) {
+                diagnostics.push(d);
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(LintReport { diagnostics, files_scanned: files.len() })
+}
+
+/// All `.rs` files under `<root>/crates/*/src`, sorted for determinism.
+fn discover(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates)
+        .map_err(|e| format!("no crates/ directory under {}: {e}", root.display()))?;
+    let mut files = Vec::new();
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The check crate lives at `<workspace>/crates/check`.
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let report = run(&workspace_root(), None).unwrap();
+        assert!(report.files_scanned > 30, "scanned {}", report.files_scanned);
+        let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+        assert!(report.diagnostics.is_empty(), "workspace must lint clean:\n{rendered:?}");
+    }
+
+    #[test]
+    fn violation_fixture_is_caught() {
+        let fixture = workspace_root().join("crates/check/fixtures/violations");
+        let report = run(&fixture, None).unwrap();
+        let rules: std::collections::BTreeSet<&str> =
+            report.diagnostics.iter().map(|d| d.rule).collect();
+        for rule in ["no-panic", "wall-clock", "lock-order", "exhaustive-match"] {
+            assert!(rules.contains(rule), "fixture must trip {rule}; got {rules:?}");
+        }
+    }
+}

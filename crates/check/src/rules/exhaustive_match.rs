@@ -1,0 +1,241 @@
+//! `exhaustive-match`: matches over wire-message enums must name every
+//! variant (or bind the rest) — a catch-all `_` arm silently drops any
+//! message kind added later.
+//!
+//! The protected enums are the protocol wire vocabularies: a new variant
+//! must force every dispatch site through a compile — or at least a
+//! deliberate binder arm — rather than vanishing into `_ => {}`.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+/// Rule identifier.
+pub const RULE: &str = "exhaustive-match";
+
+/// Wire enums protected by the rule.
+const ENUMS: &[&str] = &["DsoMessage", "EcMessage", "LrcMessage", "MsgClass"];
+
+/// One parsed match arm: pattern text (guard excluded) and its offset.
+#[derive(Debug)]
+struct Arm {
+    pattern: String,
+    offset: usize,
+}
+
+/// Runs the rule over one prepared file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for at in crate::lexer::find_bounded(ctx.clean, "match") {
+        // Keyword check: `match` must not be an identifier prefix
+        // (`matches!`, `match_len`, ...).
+        let after = at + "match".len();
+        if ctx.clean[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '!')
+        {
+            continue;
+        }
+        let Some(arms) = parse_match(ctx.clean, after) else {
+            continue;
+        };
+        let guarded = arms.iter().any(|a| {
+            ENUMS
+                .iter()
+                .any(|e| !crate::lexer::find_bounded(&a.pattern, &format!("{e}::")).is_empty())
+        });
+        if !guarded {
+            continue;
+        }
+        let enum_names: Vec<&str> = ENUMS
+            .iter()
+            .copied()
+            .filter(|e| {
+                arms.iter()
+                    .any(|a| !crate::lexer::find_bounded(&a.pattern, &format!("{e}::")).is_empty())
+            })
+            .collect();
+        for arm in &arms {
+            if arm.pattern.trim() == "_" {
+                out.push(ctx.diag(
+                    RULE,
+                    arm.offset,
+                    format!(
+                        "catch-all `_` arm in a match over wire enum {}; name the \
+                         remaining variants (or bind them, e.g. `other =>`) so new \
+                         message kinds cannot be silently dropped",
+                        enum_names.join("/")
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the arms of the match whose scrutinee starts at `from` (just
+/// after the `match` keyword). Returns `None` if no body is found.
+fn parse_match(clean: &str, from: usize) -> Option<Vec<Arm>> {
+    let b = clean.as_bytes();
+    // Scrutinee: scan to the body `{` at zero paren/bracket depth. Rust
+    // forbids bare struct literals in match scrutinees, so the first
+    // top-level `{` opens the body.
+    let mut i = from;
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    loop {
+        match b.get(i)? {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' if paren == 0 && bracket == 0 => break,
+            b';' if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut arms = Vec::new();
+    i += 1; // into the body
+    loop {
+        // Skip whitespace and `|` leaders.
+        while i < b.len() && (b[i].is_ascii_whitespace() || b[i] == b'|') {
+            i += 1;
+        }
+        if i >= b.len() || b[i] == b'}' {
+            return Some(arms);
+        }
+        // Pattern (+ optional guard) up to `=>` at zero depth.
+        let pat_start = i;
+        let (mut p, mut k, mut c) = (0i32, 0i32, 0i32);
+        let mut guard_at: Option<usize> = None;
+        let arrow = loop {
+            if i + 1 >= b.len() {
+                return Some(arms);
+            }
+            if p == 0 && k == 0 && c == 0 {
+                if b[i] == b'=' && b[i + 1] == b'>' {
+                    break i;
+                }
+                if guard_at.is_none()
+                    && clean[i..].starts_with("if")
+                    && !matches!(b.get(i + 2), Some(x) if x.is_ascii_alphanumeric() || *x == b'_')
+                    && (i == 0 || !b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_')
+                {
+                    guard_at = Some(i);
+                }
+            }
+            match b[i] {
+                b'(' => p += 1,
+                b')' => p -= 1,
+                b'[' => k += 1,
+                b']' => k -= 1,
+                b'{' => c += 1,
+                b'}' => c -= 1,
+                _ => {}
+            }
+            i += 1;
+        };
+        let pat_end = guard_at.unwrap_or(arrow);
+        arms.push(Arm { pattern: clean[pat_start..pat_end].to_owned(), offset: pat_start });
+        // Arm body: a block, or an expression up to `,` at zero depth (or
+        // the match's closing brace).
+        i = arrow + 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'{' {
+            let mut depth = 0i32;
+            while i < b.len() {
+                match b[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            // Optional trailing comma.
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b',' {
+                i += 1;
+            }
+        } else {
+            let (mut p, mut k, mut c) = (0i32, 0i32, 0i32);
+            while i < b.len() {
+                match b[i] {
+                    b'(' => p += 1,
+                    b')' => p -= 1,
+                    b'[' => k += 1,
+                    b']' => k -= 1,
+                    b'{' => c += 1,
+                    b'}' if c > 0 => c -= 1,
+                    b'}' if p == 0 && k == 0 => return Some(arms), // match closes
+                    b',' if p == 0 && k == 0 && c == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean_source, strip_test_modules};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let clean = strip_test_modules(&clean_source(src));
+        let lines: Vec<&str> = src.lines().collect();
+        check(&FileCtx { rel_path: "crates/core/src/runtime.rs", clean: &clean, lines: &lines })
+    }
+
+    #[test]
+    fn wildcard_over_wire_enum_is_flagged() {
+        let src = "fn f(m: DsoMessage) { match m { DsoMessage::Ack => h(), _ => {} } }";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("DsoMessage"));
+    }
+
+    #[test]
+    fn binder_arm_is_accepted() {
+        let src = "fn f(m: DsoMessage) { match m { DsoMessage::Ack => h(), other => e(other) } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn fully_enumerated_match_is_accepted() {
+        let src = "match m { DsoMessage::Ack => a(), DsoMessage::Sync { time } => b(time) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn matches_over_other_types_are_ignored() {
+        let src = "match tag { 1 => Some(MsgClass::Control), _ => None }";
+        assert!(run(src).is_empty(), "enum in the body, not the pattern");
+    }
+
+    #[test]
+    fn guard_referencing_enum_does_not_make_it_an_enum_match() {
+        let src = "match arq { Some(a) if !matches!(m, DsoMessage::Ack) => x(a), _ => y() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn nested_wildcard_in_arm_body_is_not_confused() {
+        let src = "match m { DsoMessage::Ack => match t { 1 => a(), _ => b() }, \
+                   DsoMessage::Sync { time } => c(time) }";
+        assert!(run(src).is_empty());
+    }
+}

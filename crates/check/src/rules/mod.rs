@@ -1,0 +1,55 @@
+//! The lint rule catalogue.
+//!
+//! Every rule is a pure function from a prepared source file to a list of
+//! diagnostics. Rules see *cleaned* text (comments, literal contents, and
+//! `#[cfg(test)]` modules blanked — see [`crate::lexer`]) so substring and
+//! brace-depth reasoning cannot be fooled by strings or docs, plus the
+//! original lines for snippets and inline allow markers.
+
+pub mod exhaustive_match;
+pub mod lock_order;
+pub mod no_panic;
+pub mod wall_clock;
+
+use crate::diag::Diagnostic;
+use crate::lexer::line_of;
+
+/// One prepared source file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Root-relative path, forward slashes.
+    pub rel_path: &'a str,
+    /// Cleaned, test-stripped source (byte offsets match the original).
+    pub clean: &'a str,
+    /// Original source split into lines (index = line - 1).
+    pub lines: &'a [&'a str],
+}
+
+impl FileCtx<'_> {
+    /// Builds a diagnostic anchored at byte `offset` of the cleaned text.
+    pub fn diag(&self, rule: &'static str, offset: usize, message: String) -> Diagnostic {
+        let line = line_of(self.clean, offset);
+        Diagnostic {
+            rule,
+            path: self.rel_path.to_owned(),
+            line,
+            message,
+            snippet: self.lines.get(line - 1).map(|l| l.trim().to_owned()).unwrap_or_default(),
+        }
+    }
+
+    /// Original text of the line containing cleaned-text byte `offset`.
+    pub fn line_text(&self, offset: usize) -> &str {
+        self.lines.get(line_of(self.clean, offset) - 1).copied().unwrap_or("")
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(no_panic::check(ctx));
+    out.extend(wall_clock::check(ctx));
+    out.extend(lock_order::check(ctx));
+    out.extend(exhaustive_match::check(ctx));
+    out
+}

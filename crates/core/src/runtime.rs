@@ -572,8 +572,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 }
                 // Cumulative ack; doubles as a gap report when `seq` ran
                 // ahead of `rx_next`.
-                let ack =
-                    DsoMessage::SeqAck { next: self.arq.as_ref().expect("set above").rx_next[p] };
+                let ack = DsoMessage::SeqAck { next: arq.rx_next[p] };
                 self.send_msg(from, ack)?;
                 Ok(delivered)
             }
@@ -675,7 +674,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let mut silent = 0u32;
         loop {
             let all_acked =
-                self.arq.as_ref().expect("checked above").unacked.iter().all(|q| q.is_empty());
+                self.arq.as_ref().is_none_or(|a| a.unacked.iter().all(|q| q.is_empty()));
             if all_acked {
                 return Ok(true);
             }
@@ -690,7 +689,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                         self.absorb_settled(from, msg)?;
                     }
                     while let Some((from, msg)) =
-                        self.arq.as_mut().expect("checked above").ready.pop_front()
+                        self.arq.as_mut().and_then(|a| a.ready.pop_front())
                     {
                         self.absorb_settled(from, msg)?;
                     }

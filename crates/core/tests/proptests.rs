@@ -144,3 +144,50 @@ proptest! {
         let _ = sdso_net::wire::decode::<sdso_core::wire::DsoMessage>(&bytes);
     }
 }
+
+// ---------------------------------------------------------------------
+// SlottedBuffer: per-peer merging is idempotent under duplicates
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn slotted_buffer_per_peer_merge_is_idempotent(
+        writes in proptest::collection::vec((0u32..4, 0u32..10, any::<u8>()), 1..32),
+        dup_mask in proptest::collection::vec(any::<bool>(), 32),
+    ) {
+        // Buffering a write twice (a duplicated delivery) must leave every
+        // peer's slot with the same merged content as buffering it once:
+        // overwrite diffs satisfy merge(d, d) = d, and versions take max.
+        const SIZE: usize = 16;
+        let mut once = SlottedBuffer::new(3, 0, true);
+        let mut twice = SlottedBuffer::new(3, 0, true);
+        for (i, &(obj, offset, byte)) in writes.iter().enumerate() {
+            let offset = offset % (SIZE as u32 - 1);
+            let stamp = Version::new(LogicalTime::from_ticks(i as u64 + 1), 0);
+            let diff = Diff::single(offset, vec![byte]);
+            once.buffer_for_all(ObjectId(obj), &diff, stamp, &[]);
+            twice.buffer_for_all(ObjectId(obj), &diff, stamp, &[]);
+            if dup_mask[i % dup_mask.len()] {
+                twice.buffer_for_all(ObjectId(obj), &diff, stamp, &[]);
+            }
+        }
+        // Slots are independent per peer: drain both remote peers and
+        // compare the replayed bytes object by object.
+        for peer in [1u16, 2] {
+            let mut from_once = vec![vec![0u8; SIZE]; 4];
+            let mut from_twice = vec![vec![0u8; SIZE]; 4];
+            for u in once.drain_slot(peer) {
+                u.diff.apply(&mut from_once[u.object.0 as usize]).unwrap();
+            }
+            let drained = twice.drain_slot(peer);
+            for u in &drained {
+                u.diff.apply(&mut from_twice[u.object.0 as usize]).unwrap();
+            }
+            prop_assert_eq!(&from_once, &from_twice, "peer {} diverged", peer);
+            // Merging keeps one pending update per touched object.
+            let touched: std::collections::BTreeSet<u32> =
+                drained.iter().map(|u| u.object.0).collect();
+            prop_assert_eq!(drained.len(), touched.len());
+        }
+    }
+}

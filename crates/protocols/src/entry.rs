@@ -304,12 +304,9 @@ impl<E: Endpoint> EntryConsistency<E> {
     ///
     /// # Errors
     ///
-    /// Propagates transport failures; duplicate objects in one lockset are
-    /// a [`DsoError::ProtocolViolation`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a requested lock is already held (locksets do not nest).
+    /// Propagates transport failures; duplicate objects in one lockset, or
+    /// a request for a lock this process already holds (locksets do not
+    /// nest), are a [`DsoError::ProtocolViolation`].
     pub fn acquire(&mut self, locks: &[LockRequest]) -> Result<(), DsoError> {
         let mut sorted = locks.to_vec();
         sorted.sort_by_key(|l| l.object);
@@ -324,11 +321,12 @@ impl<E: Endpoint> EntryConsistency<E> {
         let me = self.runtime.node_id();
         let n = self.runtime.num_nodes();
         for req in sorted {
-            assert!(
-                !self.held.contains_key(&req.object),
-                "lock {} already held; locksets do not nest",
-                req.object
-            );
+            if self.held.contains_key(&req.object) {
+                return Err(DsoError::ProtocolViolation(format!(
+                    "lock {} already held; locksets do not nest",
+                    req.object
+                )));
+            }
             let wait_start = self.runtime.now();
             let manager = Self::manager_of(req.object, n);
             if manager == me {
@@ -338,13 +336,14 @@ impl<E: Endpoint> EntryConsistency<E> {
                 self.send_ec(manager, EcMessage::Acquire { object: req.object, mode: req.mode })?;
             }
             // Wait for the grant (self-grants land in `granted` too).
-            while !self.granted.contains_key(&req.object) {
+            let (owner, version) = loop {
+                if let Some(grant) = self.granted.remove(&req.object) {
+                    break grant;
+                }
                 self.pump_one()?;
-            }
+            };
             self.metrics.lock_wait += self.runtime.now().saturating_since(wait_start);
             self.metrics.acquires += 1;
-
-            let (owner, version) = self.granted.remove(&req.object).expect("just checked");
             self.held.insert(req.object, req.mode);
             // Pull the up-to-date copy if ours is stale.
             if owner != me && version > self.runtime.version_of(req.object)? {
@@ -554,8 +553,8 @@ impl<E: Endpoint> EntryConsistency<E> {
             lock.version = version;
         }
         // Grant queued requests in FIFO order, batching compatible heads.
-        while let Some(&(next, mode)) = self.managed[&object].queue.front() {
-            let lock = self.managed.get_mut(&object).expect("entry exists");
+        while let Some(lock) = self.managed.get_mut(&object) {
+            let Some(&(next, mode)) = lock.queue.front() else { break };
             if !lock.compatible(mode) {
                 break;
             }

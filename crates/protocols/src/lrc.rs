@@ -279,20 +279,24 @@ impl<E: Endpoint> Lrc<E> {
         } else {
             self.send(manager, MsgClass::Control, LrcMessage::Acquire { lock })?;
         }
-        while !self.grants.contains_key(&lock) {
+        let releaser = loop {
+            if let Some(releaser) = self.grants.remove(&lock) {
+                break releaser;
+            }
             self.pump_one()?;
-        }
-        let releaser = self.grants.remove(&lock).expect("just checked");
+        };
         if releaser != u16::MAX && releaser != me {
             self.send(
                 releaser,
                 MsgClass::Control,
                 LrcMessage::IntervalReq { vc: self.vc.clone() },
             )?;
-            while self.interval_replies.is_empty() {
+            let intervals = loop {
+                if let Some(intervals) = self.interval_replies.pop_front() {
+                    break intervals;
+                }
                 self.pump_one()?;
-            }
-            let intervals = self.interval_replies.pop_front().expect("just checked");
+            };
             self.apply_intervals(intervals)?;
         }
         self.metrics.lock_wait += self.runtime.now().saturating_since(wait_start);

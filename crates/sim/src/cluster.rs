@@ -5,6 +5,7 @@ use sdso_net::{FaultInjector, FaultPlan, NetError, NetMetricsSnapshot, NodeId, S
 
 use crate::endpoint::SimEndpoint;
 use crate::error::SimError;
+use crate::explore::DeliveryOracle;
 use crate::model::NetworkModel;
 use crate::scheduler::Scheduler;
 
@@ -19,6 +20,7 @@ pub struct SimCluster {
     n: usize,
     model: NetworkModel,
     faults: Option<FaultPlan>,
+    oracle: Option<Arc<dyn DeliveryOracle>>,
 }
 
 /// Everything one node produced during a run.
@@ -69,7 +71,7 @@ impl SimCluster {
     pub fn new(n: usize, model: NetworkModel) -> Self {
         assert!(n > 0, "cluster must have at least one node");
         assert!(n <= usize::from(NodeId::MAX), "cluster too large");
-        SimCluster { n, model, faults: None }
+        SimCluster { n, model, faults: None, oracle: None }
     }
 
     /// Installs a fault plan: every send is judged against it, in global
@@ -77,6 +79,14 @@ impl SimCluster {
     /// drops, duplicates, delays, and partitions bit-identically.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Installs a delivery-choice oracle: whenever two or more senders race
+    /// a message into one receiver, the oracle picks which is dequeued
+    /// first. Used by the schedule explorer to enumerate interleavings.
+    pub fn with_oracle(mut self, oracle: Arc<dyn DeliveryOracle>) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 
@@ -105,6 +115,9 @@ impl SimCluster {
         let scheduler = Arc::new(Scheduler::new(self.n, self.model));
         if let Some(plan) = &self.faults {
             scheduler.set_faults(FaultInjector::new(plan.clone()));
+        }
+        if let Some(oracle) = &self.oracle {
+            scheduler.set_oracle(Arc::clone(oracle));
         }
         let f = Arc::new(f);
 

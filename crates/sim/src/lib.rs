@@ -39,11 +39,16 @@
 mod cluster;
 mod endpoint;
 mod error;
+pub mod explore;
 mod model;
 mod scheduler;
 
 pub use cluster::{ClusterOutcome, NodeOutcome, SimCluster};
 pub use endpoint::SimEndpoint;
 pub use error::SimError;
+pub use explore::{
+    Candidate, ChoicePoint, DeliveryOracle, ExploreReport, Explorer, ReplayOracle, Schedule,
+    Violation,
+};
 pub use model::NetworkModel;
 pub use sdso_net::{FaultPlan, Partition};

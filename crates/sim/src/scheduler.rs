@@ -10,11 +10,13 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use sdso_net::fault::Verdict;
 use sdso_net::{FaultInjector, Incoming, NetError, NodeId, Payload, SimInstant, SimSpan};
 
+use crate::explore::{Candidate, DeliveryOracle};
 use crate::model::NetworkModel;
 
 /// Scheduling status of a node.
@@ -75,6 +77,10 @@ struct State {
     /// mutex means fault decisions are drawn in virtual-time order, so a
     /// given plan replays bit-identically across runs.
     injector: Option<FaultInjector>,
+    /// Delivery-choice oracle, consulted whenever two or more senders race
+    /// a message into the same receiver at one wake instant. Under the
+    /// state mutex, so choice points form one global deterministic order.
+    oracle: Option<Arc<dyn DeliveryOracle>>,
 }
 
 impl State {
@@ -131,6 +137,59 @@ impl State {
         any_blocked
     }
 
+    /// Pops the next deliverable message for node `id`.
+    ///
+    /// Without an oracle the heap head (earliest arrival, lowest seq) wins —
+    /// the scheduler's native deterministic order. With an oracle, every
+    /// entry deliverable at the wake instant is pooled, the earliest entry
+    /// per distinct sender becomes a candidate, and the oracle picks among
+    /// them when two or more senders race. Per-sender FIFO always holds:
+    /// the oracle permutes across senders, never within one link.
+    fn pop_delivery(&mut self, id: usize) -> Option<Entry> {
+        let oracle = self.oracle.clone();
+        let node = &mut self.nodes[id];
+        let head_t = node.inbox.peek().map(|Reverse(e)| e.deliver_at)?;
+        let Some(oracle) = oracle else {
+            return node.inbox.pop().map(|Reverse(e)| e);
+        };
+        // All entries with deliver_at <= wake have arrived by the time this
+        // node resumes; is_min guarantees no earlier event can add more.
+        let wake = head_t.max(node.clock);
+        let mut pool: Vec<Entry> = Vec::new();
+        while node.inbox.peek().is_some_and(|Reverse(e)| e.deliver_at <= wake) {
+            if let Some(Reverse(e)) = node.inbox.pop() {
+                pool.push(e);
+            }
+        }
+        // The heap pops in (deliver_at, seq) order, so the first pool entry
+        // from each sender is that sender's earliest pending message.
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, e) in pool.iter().enumerate() {
+            if !candidates.iter().any(|&j| pool[j].from == e.from) {
+                candidates.push(i);
+            }
+        }
+        let chosen = if candidates.len() >= 2 {
+            let view: Vec<Candidate> = candidates
+                .iter()
+                .map(|&j| Candidate {
+                    from: pool[j].from,
+                    seq: pool[j].seq,
+                    deliver_at: pool[j].deliver_at,
+                })
+                .collect();
+            let k = oracle.choose(id as NodeId, &view).min(candidates.len() - 1);
+            candidates[k]
+        } else {
+            *candidates.first()?
+        };
+        let entry = pool.swap_remove(chosen);
+        for e in pool {
+            node.inbox.push(Reverse(e));
+        }
+        Some(entry)
+    }
+
     fn diagnostics(&self) -> String {
         let mut s = String::from("all live nodes blocked with empty inboxes;");
         for (i, node) in self.nodes.iter().enumerate() {
@@ -165,7 +224,13 @@ impl Scheduler {
             })
             .collect();
         Scheduler {
-            state: Mutex::new(State { nodes, deadlock: None, next_seq: 0, injector: None }),
+            state: Mutex::new(State {
+                nodes,
+                deadlock: None,
+                next_seq: 0,
+                injector: None,
+                oracle: None,
+            }),
             cv: Condvar::new(),
             model,
         }
@@ -174,6 +239,12 @@ impl Scheduler {
     /// Installs a fault injector; call before any node starts running.
     pub(crate) fn set_faults(&self, injector: FaultInjector) {
         self.state.lock().injector = Some(injector);
+    }
+
+    /// Installs a delivery-choice oracle; call before any node starts
+    /// running.
+    pub(crate) fn set_oracle(&self, oracle: Arc<dyn DeliveryOracle>) {
+        self.state.lock().oracle = Some(oracle);
     }
 
     /// The number of nodes this scheduler serves.
@@ -299,23 +370,26 @@ impl Scheduler {
             // clock, is what gets compared).
             if !st.nodes[id].inbox.is_empty() {
                 if st.is_min(id) {
-                    let node = &mut st.nodes[id];
-                    let Reverse(entry) = node.inbox.pop().expect("checked non-empty");
-                    node.clock = entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
-                    node.status = Status::Running;
-                    let blocked =
-                        SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
-                    self.cv.notify_all();
-                    return Ok((Incoming { from: entry.from, payload: entry.payload }, blocked));
+                    if let Some(entry) = st.pop_delivery(id) {
+                        let node = &mut st.nodes[id];
+                        node.clock =
+                            entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
+                        node.status = Status::Running;
+                        let blocked =
+                            SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
+                        self.cv.notify_all();
+                        return Ok((
+                            Incoming { from: entry.from, payload: entry.payload },
+                            blocked,
+                        ));
+                    }
                 }
-            } else {
-                if st.is_deadlocked() {
-                    let diag = st.diagnostics();
-                    st.deadlock = Some(diag.clone());
-                    st.nodes[id].status = Status::Running;
-                    self.cv.notify_all();
-                    return Err(NetError::Deadlock(diag));
-                }
+            } else if st.is_deadlocked() {
+                let diag = st.diagnostics();
+                st.deadlock = Some(diag.clone());
+                st.nodes[id].status = Status::Running;
+                self.cv.notify_all();
+                return Err(NetError::Deadlock(diag));
             }
             self.cv.wait(&mut st);
         }
@@ -356,16 +430,22 @@ impl Scheduler {
                 node.status = Status::Running;
                 node.deadline = None;
                 if msg_first {
-                    let Reverse(entry) = node.inbox.pop().expect("checked non-empty");
-                    node.clock = entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
-                    let blocked =
-                        SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
-                    self.cv.notify_all();
-                    return Ok((
-                        Some(Incoming { from: entry.from, payload: entry.payload }),
-                        blocked,
-                    ));
+                    // The wake instant never exceeds the deadline here, so
+                    // every pooled candidate beats the timeout.
+                    if let Some(entry) = st.pop_delivery(id) {
+                        let node = &mut st.nodes[id];
+                        node.clock =
+                            entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
+                        let blocked =
+                            SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
+                        self.cv.notify_all();
+                        return Ok((
+                            Some(Incoming { from: entry.from, payload: entry.payload }),
+                            blocked,
+                        ));
+                    }
                 }
+                let node = &mut st.nodes[id];
                 node.clock = deadline.max(node.clock);
                 self.cv.notify_all();
                 return Ok((None, timeout));
@@ -379,13 +459,15 @@ impl Scheduler {
     pub(crate) fn try_recv(&self, id: usize) -> Result<Option<Incoming>, NetError> {
         let mut st = self.state.lock();
         self.wait_turn(&mut st, id)?;
-        let node = &mut st.nodes[id];
+        let node = &st.nodes[id];
         let due = node.inbox.peek().is_some_and(|Reverse(e)| e.deliver_at <= node.clock);
         if !due {
             return Ok(None);
         }
-        let Reverse(entry) = node.inbox.pop().expect("checked non-empty");
-        node.clock += self.model.recv_cpu.as_micros();
+        let Some(entry) = st.pop_delivery(id) else {
+            return Ok(None);
+        };
+        st.nodes[id].clock += self.model.recv_cpu.as_micros();
         self.cv.notify_all();
         Ok(Some(Incoming { from: entry.from, payload: entry.payload }))
     }
