@@ -36,36 +36,28 @@ fn bench_diff(c: &mut Criterion) {
 fn bench_exchange_list(c: &mut Criterion) {
     let mut group = c.benchmark_group("exchange_list");
     for &peers in &[16u16, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("schedule_and_due", peers),
-            &peers,
-            |b, &peers| {
-                b.iter(|| {
-                    let mut list = ExchangeList::new();
-                    for p in 0..peers {
-                        list.schedule(p, LogicalTime::from_ticks(u64::from(p % 13) + 1));
-                    }
-                    black_box(list.due(LogicalTime::from_ticks(6)))
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("reschedule_churn", peers),
-            &peers,
-            |b, &peers| {
+        group.bench_with_input(BenchmarkId::new("schedule_and_due", peers), &peers, |b, &peers| {
+            b.iter(|| {
                 let mut list = ExchangeList::new();
                 for p in 0..peers {
-                    list.schedule(p, LogicalTime::from_ticks(u64::from(p) + 1));
+                    list.schedule(p, LogicalTime::from_ticks(u64::from(p % 13) + 1));
                 }
-                let mut tick = 0u64;
-                b.iter(|| {
-                    tick += 1;
-                    let peer = (tick % u64::from(peers)) as u16;
-                    list.schedule(peer, LogicalTime::from_ticks(tick + 10));
-                    black_box(list.peek_next())
-                });
-            },
-        );
+                black_box(list.due(LogicalTime::from_ticks(6)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reschedule_churn", peers), &peers, |b, &peers| {
+            let mut list = ExchangeList::new();
+            for p in 0..peers {
+                list.schedule(p, LogicalTime::from_ticks(u64::from(p) + 1));
+            }
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                let peer = (tick % u64::from(peers)) as u16;
+                list.schedule(peer, LogicalTime::from_ticks(tick + 10));
+                black_box(list.peek_next())
+            });
+        });
     }
     group.finish();
 }
@@ -73,25 +65,21 @@ fn bench_exchange_list(c: &mut Criterion) {
 fn bench_slotted_buffer(c: &mut Criterion) {
     let mut group = c.benchmark_group("slotted_buffer");
     for &nodes in &[4usize, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("buffer_and_drain", nodes),
-            &nodes,
-            |b, &nodes| {
-                let stamp = Version::new(LogicalTime::from_ticks(1), 0);
-                b.iter(|| {
-                    let mut buf = SlottedBuffer::new(nodes, 0, true);
-                    for obj in 0..32u32 {
-                        buf.buffer_for_all(
-                            ObjectId(obj % 8),
-                            &Diff::single(0, vec![obj as u8; 64]),
-                            stamp,
-                            &[],
-                        );
-                    }
-                    black_box(buf.drain_slot(1))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("buffer_and_drain", nodes), &nodes, |b, &nodes| {
+            let stamp = Version::new(LogicalTime::from_ticks(1), 0);
+            b.iter(|| {
+                let mut buf = SlottedBuffer::new(nodes, 0, true);
+                for obj in 0..32u32 {
+                    buf.buffer_for_all(
+                        ObjectId(obj % 8),
+                        &Diff::single(0, vec![obj as u8; 64]),
+                        stamp,
+                        &[],
+                    );
+                }
+                black_box(buf.drain_slot(1))
+            });
+        });
     }
     group.finish();
 }
@@ -117,11 +105,5 @@ fn bench_block_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_diff,
-    bench_exchange_list,
-    bench_slotted_buffer,
-    bench_block_codec
-);
+criterion_group!(benches, bench_diff, bench_exchange_list, bench_slotted_buffer, bench_block_codec);
 criterion_main!(benches);

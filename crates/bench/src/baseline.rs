@@ -1,0 +1,308 @@
+//! The perf-regression baseline: a schema-versioned summary of a fixed
+//! scenario matrix, written as `BENCH_<k>.json` at the repository root
+//! and compared against fresh runs by `cargo run -p sdso-bench --bin
+//! perf -- check`.
+//!
+//! Everything compared here is produced by the *deterministic* virtual-
+//! time simulator — seconds are simulated seconds, message counts are
+//! exact — so the configurable tolerance only absorbs intentional
+//! protocol changes, not host noise. The one wall-clock figure (the
+//! flight-recorder overhead) is recorded for information and never
+//! gated.
+
+use crate::json::{obj, Json};
+
+/// Version of the `BENCH_<k>.json` schema; bump when fields change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The fixed scenario matrix: the paper's four protocols, the extremes
+/// of its process-count axis, and both sensing ranges.
+pub const MATRIX_NODES: [u16; 2] = [2, 16];
+/// Sensing ranges of the matrix (the paper's left/right graph columns).
+pub const MATRIX_RANGES: [u16; 2] = [1, 3];
+
+/// One cell of the matrix: a (protocol, nodes, range) configuration and
+/// the metrics the regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Protocol display name (`EC`, `BSYNC`, `MSYNC`, `MSYNC2`).
+    pub protocol: String,
+    /// Process count.
+    pub nodes: u16,
+    /// Sensing range.
+    pub range: u16,
+    /// Mean simulated seconds per object modification (Figure 5's
+    /// metric) — deterministic.
+    pub secs_per_mod: f64,
+    /// Total messages across the cluster — deterministic.
+    pub total_messages: u64,
+    /// Data messages only — deterministic.
+    pub data_messages: u64,
+    /// p50 of the per-exchange latency histogram, microseconds
+    /// (log₂-bucket upper bound; 0 for EC, which never exchanges).
+    pub exchange_p50_us: u64,
+    /// p99 of the per-exchange latency histogram, microseconds.
+    pub exchange_p99_us: u64,
+}
+
+impl BenchCell {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("nodes", Json::Num(f64::from(self.nodes))),
+            ("range", Json::Num(f64::from(self.range))),
+            ("secs_per_mod", Json::Num(self.secs_per_mod)),
+            ("total_messages", Json::Num(self.total_messages as f64)),
+            ("data_messages", Json::Num(self.data_messages as f64)),
+            ("exchange_p50_us", Json::Num(self.exchange_p50_us as f64)),
+            ("exchange_p99_us", Json::Num(self.exchange_p99_us as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchCell, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("cell missing {k:?}"));
+        Ok(BenchCell {
+            protocol: field("protocol")?.as_str().ok_or("protocol not a string")?.to_owned(),
+            nodes: field("nodes")?.as_u64().ok_or("nodes not a number")? as u16,
+            range: field("range")?.as_u64().ok_or("range not a number")? as u16,
+            secs_per_mod: field("secs_per_mod")?.as_f64().ok_or("secs_per_mod not a number")?,
+            total_messages: field("total_messages")?.as_u64().ok_or("total_messages")?,
+            data_messages: field("data_messages")?.as_u64().ok_or("data_messages")?,
+            exchange_p50_us: field("exchange_p50_us")?.as_u64().ok_or("exchange_p50_us")?,
+            exchange_p99_us: field("exchange_p99_us")?.as_u64().ok_or("exchange_p99_us")?,
+        })
+    }
+
+    /// The `(protocol, nodes, range)` identity of this cell.
+    pub fn key(&self) -> (String, u16, u16) {
+        (self.protocol.clone(), self.nodes, self.range)
+    }
+}
+
+/// A full baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] when written by this build).
+    pub schema: u64,
+    /// Iterations per process used for every cell.
+    pub ticks: u64,
+    /// Placement seed used for every cell.
+    pub seed: u64,
+    /// One entry per matrix cell.
+    pub cells: Vec<BenchCell>,
+    /// Flight-recorder overhead at counters-only mode, percent of the
+    /// traced run's wall time over an untraced run (min-of-N). Wall
+    /// clock, host-dependent: informational only, never gated.
+    pub recorder_overhead_pct: f64,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        obj(vec![
+            ("schema", Json::Num(self.schema as f64)),
+            ("ticks", Json::Num(self.ticks as f64)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("cells", Json::Arr(self.cells.iter().map(BenchCell::to_json).collect())),
+            ("recorder_overhead_pct", Json::Num(self.recorder_overhead_pct)),
+        ])
+        .pretty()
+    }
+
+    /// Parses a report written by [`BenchReport::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on JSON syntax errors, missing fields, or an unknown
+    /// schema version.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc.get("schema").and_then(Json::as_u64).ok_or("missing schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("unsupported schema {schema} (this build reads {SCHEMA_VERSION})"));
+        }
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or("missing cells")?
+            .iter()
+            .map(BenchCell::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema,
+            ticks: doc.get("ticks").and_then(Json::as_u64).ok_or("missing ticks")?,
+            seed: doc.get("seed").and_then(Json::as_u64).ok_or("missing seed")?,
+            cells,
+            recorder_overhead_pct: doc
+                .get("recorder_overhead_pct")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+
+    /// Compares `current` against this baseline. Deterministic scalar
+    /// metrics (`secs_per_mod`, message counts) must agree within
+    /// `tolerance` (relative, e.g. `0.25` = ±25%); histogram
+    /// percentiles are log₂-bucket bounds and may shift by at most one
+    /// bucket (a factor of two) in either direction. Returns one
+    /// human-readable violation per failed check; empty means pass.
+    pub fn compare(&self, current: &BenchReport, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.ticks != current.ticks {
+            violations.push(format!(
+                "tick count mismatch: baseline {} vs current {} — rerun with --ticks {}",
+                self.ticks, current.ticks, self.ticks
+            ));
+            return violations;
+        }
+        for base in &self.cells {
+            let Some(cur) = current.cells.iter().find(|c| c.key() == base.key()) else {
+                violations.push(format!(
+                    "cell {} n={} range={} missing from current run",
+                    base.protocol, base.nodes, base.range
+                ));
+                continue;
+            };
+            let cell = format!("{} n={} range={}", base.protocol, base.nodes, base.range);
+            let mut check_rel = |name: &str, b: f64, c: f64| {
+                if !within_rel(b, c, tolerance) {
+                    violations.push(format!(
+                        "{cell}: {name} drifted beyond ±{:.0}%: baseline {b} vs current {c}",
+                        tolerance * 100.0
+                    ));
+                }
+            };
+            check_rel("secs_per_mod", base.secs_per_mod, cur.secs_per_mod);
+            check_rel("total_messages", base.total_messages as f64, cur.total_messages as f64);
+            check_rel("data_messages", base.data_messages as f64, cur.data_messages as f64);
+            for (name, b, c) in [
+                ("exchange_p50_us", base.exchange_p50_us, cur.exchange_p50_us),
+                ("exchange_p99_us", base.exchange_p99_us, cur.exchange_p99_us),
+            ] {
+                if !within_one_bucket(b, c) {
+                    violations.push(format!(
+                        "{cell}: {name} moved more than one log2 bucket: \
+                         baseline {b} vs current {c}"
+                    ));
+                }
+            }
+        }
+        for cur in &current.cells {
+            if !self.cells.iter().any(|b| b.key() == cur.key()) {
+                violations.push(format!(
+                    "cell {} n={} range={} not in baseline (re-record it)",
+                    cur.protocol, cur.nodes, cur.range
+                ));
+            }
+        }
+        violations
+    }
+}
+
+fn within_rel(baseline: f64, current: f64, tolerance: f64) -> bool {
+    if baseline == 0.0 {
+        return current == 0.0;
+    }
+    ((current - baseline) / baseline).abs() <= tolerance
+}
+
+/// Log₂-bucket percentile bounds may legitimately land one bucket away;
+/// anything further is a real shift.
+fn within_one_bucket(baseline: u64, current: u64) -> bool {
+    let (lo, hi) = if baseline <= current { (baseline, current) } else { (current, baseline) };
+    if lo == 0 {
+        // Bucket 0 neighbours bucket 1 (upper bound 1).
+        return hi <= 1;
+    }
+    hi <= lo.saturating_mul(2).saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(protocol: &str, nodes: u16, msgs: u64) -> BenchCell {
+        BenchCell {
+            protocol: protocol.to_owned(),
+            nodes,
+            range: 1,
+            secs_per_mod: 0.004,
+            total_messages: msgs,
+            data_messages: msgs / 2,
+            exchange_p50_us: 1023,
+            exchange_p99_us: 4095,
+        }
+    }
+
+    fn report(cells: Vec<BenchCell>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            ticks: 120,
+            seed: 0x5D50_1997,
+            cells,
+            recorder_overhead_pct: 1.5,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = report(vec![cell("EC", 2, 100), cell("MSYNC2", 16, 4000)]);
+        let parsed = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![cell("BSYNC", 2, 500)]);
+        assert!(r.compare(&r.clone(), 0.25).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_flagged() {
+        let base = report(vec![cell("BSYNC", 2, 1000)]);
+        let mut cur = base.clone();
+        cur.cells[0].total_messages = 1500; // +50% > 25%
+        let violations = base.compare(&cur, 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("total_messages"));
+        // Within tolerance passes.
+        cur.cells[0].total_messages = 1200;
+        assert!(base.compare(&cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_cells_are_flagged() {
+        let base = report(vec![cell("EC", 2, 100), cell("MSYNC", 2, 200)]);
+        let cur = report(vec![cell("EC", 2, 100), cell("MSYNC2", 2, 200)]);
+        let violations = base.compare(&cur, 0.25);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("missing from current")));
+        assert!(violations.iter().any(|v| v.contains("not in baseline")));
+    }
+
+    #[test]
+    fn percentiles_tolerate_one_bucket_but_not_two() {
+        let base = report(vec![cell("MSYNC", 2, 100)]);
+        let mut cur = base.clone();
+        cur.cells[0].exchange_p99_us = 16383; // two buckets up from 4095
+        assert_eq!(base.compare(&cur, 0.25).len(), 1);
+        cur.cells[0].exchange_p99_us = 8191; // one bucket up
+        assert!(base.compare(&cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let text = report(vec![]).to_json_string().replace("\"schema\": 1", "\"schema\": 99");
+        assert!(BenchReport::parse(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn tick_mismatch_short_circuits() {
+        let base = report(vec![cell("EC", 2, 100)]);
+        let mut cur = base.clone();
+        cur.ticks = 40;
+        let violations = base.compare(&cur, 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("tick count"));
+    }
+}

@@ -19,7 +19,12 @@
 //!   --csv       Emit CSV instead of aligned text
 //!   --ticks N   Override iterations per process
 //!   --seeds K   Average over K placement seeds (default 1, the paper's setup)
+//!   --out DIR   Also write each command's tables to DIR/<command>.{txt,csv}
 //! ```
+//!
+//! Every command prints where its output went; `all` keeps going past a
+//! failing scenario and exits non-zero if any scenario failed to
+//! converge, listing the failures at the end.
 
 use sdso_harness::{Sweep, Table};
 
@@ -41,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut csv = false;
     let mut ticks: Option<u64> = None;
     let mut seeds: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -52,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--seeds" => {
                 seeds = Some(it.next().ok_or("--seeds needs a value")?.parse()?);
+            }
+            "--out" => {
+                out_dir = Some(it.next().ok_or("--out needs a directory")?.clone());
             }
             cmd if !cmd.starts_with('-') => command = cmd.to_owned(),
             other => return Err(format!("unknown flag {other:?}").into()),
@@ -68,8 +77,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!(
         "grid: processes {:?}, ranges {:?}, {} ticks, {} seed(s)",
-        sweep.process_counts, sweep.ranges, sweep.ticks, sweep.seeds.len()
+        sweep.process_counts,
+        sweep.ranges,
+        sweep.ticks,
+        sweep.seeds.len()
     );
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
 
     let run = |name: &str, sweep: &Sweep| -> Result<(), Box<dyn std::error::Error>> {
         let t0 = std::time::Instant::now();
@@ -85,15 +101,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other => return Err(format!("unknown command {other:?}").into()),
         };
         print_tables(&tables, csv);
-        eprintln!("[{name} done in {:.1?}]\n", t0.elapsed());
+        let location = match &out_dir {
+            Some(dir) => {
+                let path = format!("{dir}/{name}.{}", if csv { "csv" } else { "txt" });
+                let mut body = String::new();
+                for table in &tables {
+                    if csv {
+                        body.push_str(&format!("# {}\n{}", table.title, table.to_csv()));
+                    } else {
+                        body.push_str(&format!("{table}\n"));
+                    }
+                }
+                std::fs::write(&path, body)?;
+                path
+            }
+            None => "stdout".to_owned(),
+        };
+        eprintln!("[{name} done in {:.1?}; output: {location}]\n", t0.elapsed());
         Ok(())
     };
 
     if command == "all" {
+        // Keep going past a failing scenario so one diverging protocol
+        // doesn't hide the rest of the evaluation; report and fail at
+        // the end.
+        let mut failures: Vec<(String, String)> = Vec::new();
         for name in
             ["fig5", "fig6", "fig7", "fig8", "ext-size", "ext-block", "ext-diff", "ext-proto"]
         {
-            run(name, &sweep)?;
+            if let Err(e) = run(name, &sweep) {
+                eprintln!("[{name} FAILED: {e}]\n");
+                failures.push((name.to_owned(), e.to_string()));
+            }
+        }
+        eprintln!(
+            "output location: {}",
+            out_dir.as_deref().map_or("stdout".to_owned(), |d| format!("{d}/<command>.*"))
+        );
+        if !failures.is_empty() {
+            for (name, e) in &failures {
+                eprintln!("FAILED {name}: {e}");
+            }
+            return Err(
+                format!("{} of 8 experiment sets failed to converge", failures.len()).into()
+            );
         }
     } else {
         run(&command, &sweep)?;

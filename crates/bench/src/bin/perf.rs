@@ -1,0 +1,254 @@
+//! The perf-regression runner.
+//!
+//! ```text
+//! cargo run --release -p sdso-bench --bin perf -- record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- check  [FLAGS]
+//!
+//! COMMANDS
+//!   record      Run the fixed scenario matrix and write a new baseline
+//!   check       Run the matrix and compare against a committed baseline
+//!
+//! FLAGS
+//!   --out FILE        record: where to write the baseline (default BENCH_0.json)
+//!   --baseline FILE   check: baseline to compare against (default BENCH_0.json)
+//!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
+//!   --ticks N         iterations per process (default 120; check inherits
+//!                     the baseline's value and flags a mismatch)
+//!   --trace-out FILE  also export a Chrome trace (Perfetto-loadable) of a
+//!                     fully-traced 16-process MSYNC2 run
+//! ```
+//!
+//! The matrix is the paper's four protocols × {2, 16} processes ×
+//! ranges {1, 3}, run under the deterministic virtual-time simulator:
+//! simulated seconds and message counts are exact, so a drift beyond
+//! tolerance means the protocols changed, not the host. The recorder
+//! overhead (counters-only vs off, wall clock, min-of-N) is measured
+//! and reported but never gated — it is the one host-dependent number.
+
+use std::time::{Duration, Instant};
+
+use sdso_bench::baseline::{BenchCell, BenchReport, MATRIX_NODES, MATRIX_RANGES, SCHEMA_VERSION};
+use sdso_game::{Protocol, Scenario};
+use sdso_harness::run_experiment_obs;
+use sdso_net::TraceConfig;
+use sdso_sim::NetworkModel;
+
+const DEFAULT_TICKS: u64 = 120;
+const PLACEMENT_SEED: u64 = 0x5D50_1997;
+const OVERHEAD_REPEATS: usize = 5;
+
+fn scenario(nodes: u16, range: u16, ticks: u64) -> Scenario {
+    Scenario::paper(nodes, range).with_ticks(ticks).with_seed(PLACEMENT_SEED)
+}
+
+/// Runs the whole matrix (counters always on, event tracing off) and
+/// summarizes each cell.
+fn run_matrix(ticks: u64) -> Result<Vec<BenchCell>, String> {
+    let mut cells = Vec::new();
+    for protocol in Protocol::PAPER {
+        for nodes in MATRIX_NODES {
+            for range in MATRIX_RANGES {
+                let t0 = Instant::now();
+                let (summary, obs) = run_experiment_obs(
+                    &scenario(nodes, range, ticks),
+                    protocol,
+                    NetworkModel::paper_testbed(),
+                    TraceConfig::off(),
+                )
+                .map_err(|e| format!("{protocol} n={nodes} range={range}: {e}"))?;
+                let exchange = obs.merged_snapshot().histograms.get("dso.exchange_micros").cloned();
+                let (p50, p99) =
+                    exchange.map(|h| (h.percentile(50.0), h.percentile(99.0))).unwrap_or((0, 0));
+                cells.push(BenchCell {
+                    protocol: protocol.name().to_owned(),
+                    nodes,
+                    range,
+                    secs_per_mod: summary.avg_time_per_modification_secs(),
+                    total_messages: summary.total_messages(),
+                    data_messages: summary.data_messages(),
+                    exchange_p50_us: p50,
+                    exchange_p99_us: p99,
+                });
+                eprintln!(
+                    "  {protocol:<6} n={nodes:<2} range={range}: {} msgs, {:.4} s/mod \
+                     [{:.1?} wall]",
+                    summary.total_messages(),
+                    summary.avg_time_per_modification_secs(),
+                    t0.elapsed()
+                );
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Wall-clock cost of the counters-only flight recorder: min-of-N runs
+/// of one fixed cell with tracing off vs counters-only, as a percent.
+fn measure_recorder_overhead(ticks: u64) -> Result<f64, String> {
+    // A long-enough run that per-event cost dominates thread start-up and
+    // teardown noise (min-of-N absorbs scheduler jitter on top).
+    let overhead_ticks = ticks * 8;
+    let time_with = |config: TraceConfig| -> Result<Duration, String> {
+        let mut best = Duration::MAX;
+        for _ in 0..OVERHEAD_REPEATS {
+            let t0 = Instant::now();
+            run_experiment_obs(
+                &scenario(4, 1, overhead_ticks),
+                Protocol::Msync2,
+                NetworkModel::paper_testbed(),
+                config,
+            )
+            .map_err(|e| format!("overhead run: {e}"))?;
+            best = best.min(t0.elapsed());
+        }
+        Ok(best)
+    };
+    let off = time_with(TraceConfig::off())?;
+    let counters = time_with(TraceConfig::counters())?;
+    let overhead = (counters.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
+    eprintln!(
+        "  recorder overhead (counters vs off, min of {OVERHEAD_REPEATS}): \
+         {off:.1?} -> {counters:.1?} = {overhead:+.1}%"
+    );
+    Ok(overhead)
+}
+
+/// Traces a 16-process MSYNC2 run in full mode and writes the Chrome
+/// trace (load it at <https://ui.perfetto.dev>).
+fn export_trace(path: &str, ticks: u64) -> Result<(), String> {
+    let (summary, obs) = run_experiment_obs(
+        &scenario(16, 3, ticks),
+        Protocol::Msync2,
+        NetworkModel::paper_testbed(),
+        TraceConfig::full(),
+    )
+    .map_err(|e| format!("trace run: {e}"))?;
+    std::fs::write(path, obs.chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "  trace: 16-process MSYNC2, {} events ({} dropped), {} msgs -> {path}",
+        obs.total_events(),
+        obs.total_dropped(),
+        summary.total_messages()
+    );
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf record [--out FILE] [--ticks N] [--trace-out FILE]\n\
+        \x20      perf check  [--baseline FILE] [--tolerance F] [--trace-out FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let mut out = String::from("BENCH_0.json");
+    let mut baseline_path = String::from("BENCH_0.json");
+    let mut tolerance = 0.25f64;
+    let mut ticks: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("{name} needs a value");
+                    usage()
+                }
+            }
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--baseline" => baseline_path = value("--baseline"),
+            "--tolerance" => {
+                tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage());
+            }
+            "--ticks" => ticks = Some(value("--ticks").parse().unwrap_or_else(|_| usage())),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            _ => usage(),
+        }
+    }
+
+    let result = match command.as_str() {
+        "record" => cmd_record(&out, ticks.unwrap_or(DEFAULT_TICKS), trace_out.as_deref()),
+        "check" => cmd_check(&baseline_path, tolerance, ticks, trace_out.as_deref()),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_record(out: &str, ticks: u64, trace_out: Option<&str>) -> Result<(), String> {
+    eprintln!("recording baseline ({ticks} ticks, seed {PLACEMENT_SEED:#x}):");
+    let cells = run_matrix(ticks)?;
+    let recorder_overhead_pct = measure_recorder_overhead(ticks)?;
+    let report = BenchReport {
+        schema: SCHEMA_VERSION,
+        ticks,
+        seed: PLACEMENT_SEED,
+        cells,
+        recorder_overhead_pct,
+    };
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("baseline written to {out}");
+    if let Some(path) = trace_out {
+        export_trace(path, ticks)?;
+        println!("chrome trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_check(
+    baseline_path: &str,
+    tolerance: f64,
+    ticks: Option<u64>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = BenchReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let ticks = ticks.unwrap_or(baseline.ticks);
+    eprintln!(
+        "checking against {baseline_path} ({} cells, {ticks} ticks, ±{:.0}%):",
+        baseline.cells.len(),
+        tolerance * 100.0
+    );
+    let cells = run_matrix(ticks)?;
+    let recorder_overhead_pct = measure_recorder_overhead(ticks)?;
+    let current = BenchReport {
+        schema: SCHEMA_VERSION,
+        ticks,
+        seed: PLACEMENT_SEED,
+        cells,
+        recorder_overhead_pct,
+    };
+    if let Some(path) = trace_out {
+        export_trace(path, ticks)?;
+        println!("chrome trace written to {path}");
+    }
+    let violations = baseline.compare(&current, tolerance);
+    if violations.is_empty() {
+        println!(
+            "perf check passed: {} cells within ±{:.0}% of {baseline_path} \
+             (recorder overhead {recorder_overhead_pct:+.1}%)",
+            baseline.cells.len(),
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!(
+            "{} of {} checks failed against {baseline_path}",
+            violations.len(),
+            baseline.cells.len() * 5
+        ))
+    }
+}

@@ -1,5 +1,13 @@
-//! Benchmark crate: see `benches/` and `src/bin/experiments.rs`.
+//! Benchmark crate: criterion micro-benchmarks (`benches/`), the
+//! `experiments` binary that regenerates the paper's figures, and the
+//! `perf` binary that records/checks the perf-regression baseline
+//! (`BENCH_<k>.json` at the repository root).
 //!
-//! This crate has no library API of its own; it exists to host the
-//! criterion micro-benchmarks and the `experiments` binary that
-//! regenerates the paper's figures.
+//! The library part holds what the `perf` binary needs to be testable
+//! offline: a dependency-free JSON reader/writer ([`json`]) and the
+//! baseline schema plus tolerance comparison ([`baseline`]).
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod json;

@@ -15,8 +15,12 @@ pub const RULE: &str = "wall-clock";
 
 /// Exact files in scope.
 const SCOPE_FILES: &[&str] = &["crates/net/src/fault.rs", "crates/net/src/time.rs"];
-/// Path prefixes in scope.
-const SCOPE_PREFIXES: &[&str] = &["crates/sim/src/", "crates/core/src/", "crates/protocols/src/"];
+/// Path prefixes in scope. `crates/obs` is in scope because recorder
+/// timestamps must replay in sim runs; its one sanctioned host-clock
+/// reader (`clock.rs`, used only on real transports) is carried in
+/// `allowlists/wall-clock.allow`, keeping the rule deny-by-default.
+const SCOPE_PREFIXES: &[&str] =
+    &["crates/sim/src/", "crates/core/src/", "crates/protocols/src/", "crates/obs/src/"];
 
 /// Forbidden constructs and what to use instead.
 const PATTERNS: &[(&str, &str)] = &[
@@ -93,5 +97,14 @@ mod tests {
     fn fault_plans_must_be_deterministic() {
         let d = run("crates/net/src/fault.rs", "let mut rng = thread_rng();");
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn obs_crate_is_in_scope() {
+        // The scoped allowlist (not this rule) is what exempts clock.rs,
+        // so the raw rule must flag host time anywhere in crates/obs.
+        let src = "let epoch = std::time::Instant::now();";
+        assert!(!run("crates/obs/src/recorder.rs", src).is_empty());
+        assert!(!run("crates/obs/src/clock.rs", src).is_empty());
     }
 }

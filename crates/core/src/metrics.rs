@@ -1,10 +1,16 @@
 use sdso_net::SimSpan;
+use sdso_obs::{Counter, Histogram, MetricsRegistry};
 
 /// Counters the S-DSO runtime maintains about its own behaviour.
 ///
 /// These complement the transport-level counters in
 /// [`sdso_net::NetMetrics`]: together they feed the paper's Figure 8
 /// (protocol overhead as a fraction of execution time).
+///
+/// Since the `sdso-obs` migration this is a *view*: the live counters are
+/// registered under `dso.*` in the node's unified
+/// [`MetricsRegistry`], and the runtime materializes this struct from them
+/// on demand so Figure 5–8 harness code keeps compiling unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DsoMetrics {
     /// `exchange` calls performed.
@@ -65,9 +71,82 @@ impl DsoMetrics {
     }
 }
 
+/// The runtime's live counters, registered under `dso.*` in the node's
+/// unified metrics registry. [`DsoCounters::view`] materializes the
+/// classic [`DsoMetrics`] struct from them.
+#[derive(Debug, Clone)]
+pub(crate) struct DsoCounters {
+    pub(crate) exchanges: Counter,
+    pub(crate) rendezvous_peers: Counter,
+    pub(crate) updates_sent: Counter,
+    pub(crate) updates_applied: Counter,
+    pub(crate) updates_stale: Counter,
+    pub(crate) early_buffered: Counter,
+    pub(crate) resyncs: Counter,
+    pub(crate) retransmits: Counter,
+    pub(crate) duplicates_dropped: Counter,
+    pub(crate) exchange_time_micros: Counter,
+    pub(crate) exchange_wait_micros: Counter,
+    /// Per-exchange latency distribution (microseconds).
+    pub(crate) exchange_latency: Histogram,
+    /// Per-exchange rendezvous wait distribution (microseconds).
+    pub(crate) wait_latency: Histogram,
+}
+
+impl DsoCounters {
+    pub(crate) fn in_registry(registry: &MetricsRegistry) -> Self {
+        DsoCounters {
+            exchanges: registry.counter("dso.exchanges"),
+            rendezvous_peers: registry.counter("dso.rendezvous_peers"),
+            updates_sent: registry.counter("dso.updates.sent"),
+            updates_applied: registry.counter("dso.updates.applied"),
+            updates_stale: registry.counter("dso.updates.stale"),
+            early_buffered: registry.counter("dso.early_buffered"),
+            resyncs: registry.counter("dso.resyncs"),
+            retransmits: registry.counter("dso.retransmits"),
+            duplicates_dropped: registry.counter("dso.duplicates_dropped"),
+            exchange_time_micros: registry.counter("dso.exchange_time_micros"),
+            exchange_wait_micros: registry.counter("dso.exchange_wait_micros"),
+            exchange_latency: registry.histogram("dso.exchange_micros"),
+            wait_latency: registry.histogram("dso.wait_micros"),
+        }
+    }
+
+    /// The classic by-value metrics struct, read from the live counters.
+    pub(crate) fn view(&self) -> DsoMetrics {
+        DsoMetrics {
+            exchanges: self.exchanges.get(),
+            rendezvous_peers: self.rendezvous_peers.get(),
+            updates_sent: self.updates_sent.get(),
+            updates_applied: self.updates_applied.get(),
+            updates_stale: self.updates_stale.get(),
+            early_buffered: self.early_buffered.get(),
+            resyncs: self.resyncs.get(),
+            retransmits: self.retransmits.get(),
+            duplicates_dropped: self.duplicates_dropped.get(),
+            exchange_time: SimSpan::from_micros(self.exchange_time_micros.get()),
+            exchange_wait: SimSpan::from_micros(self.exchange_wait_micros.get()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_view_round_trips_through_the_registry() {
+        let registry = MetricsRegistry::new();
+        let c = DsoCounters::in_registry(&registry);
+        c.exchanges.inc();
+        c.rendezvous_peers.add(3);
+        c.exchange_time_micros.add(250);
+        let view = c.view();
+        assert_eq!(view.exchanges, 1);
+        assert_eq!(view.rendezvous_peers, 3);
+        assert_eq!(view.exchange_time.as_micros(), 250);
+        assert_eq!(registry.snapshot().counter("dso.exchanges"), 1);
+    }
 
     #[test]
     fn merged_sums_everything() {

@@ -1,13 +1,14 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sdso_net::{Endpoint, MsgClass, NetError, NodeId, Payload, SimSpan};
+use sdso_obs::{EventKind, Obs};
 
 use crate::clock::{LogicalClock, LogicalTime};
 use crate::config::{DsoConfig, RetryConfig};
 use crate::diff::Diff;
 use crate::error::DsoError;
 use crate::exchange_list::ExchangeList;
-use crate::metrics::DsoMetrics;
+use crate::metrics::{DsoCounters, DsoMetrics};
 use crate::object::{ObjectId, Version};
 use crate::sfunction::SFunction;
 use crate::slotted_buffer::SlottedBuffer;
@@ -139,14 +140,32 @@ pub struct SdsoRuntime<E: Endpoint> {
     acks_received: u64,
     /// Reliability layer state, present iff `config.reliability` is set.
     arq: Option<ArqState>,
-    metrics: DsoMetrics,
+    /// This node's observability bundle (recorder + registry).
+    obs: Obs,
+    /// Live `dso.*` counters in the bundle's registry.
+    counters: DsoCounters,
 }
 
 impl<E: Endpoint> SdsoRuntime<E> {
-    /// Wraps a transport endpoint into an S-DSO runtime.
+    /// Wraps a transport endpoint into an S-DSO runtime with observability
+    /// disabled (counters still work; no events are traced).
     pub fn new(endpoint: E, config: DsoConfig) -> Self {
+        SdsoRuntime::with_obs(endpoint, config, Obs::disabled())
+    }
+
+    /// Wraps a transport endpoint into an S-DSO runtime recording into
+    /// `obs`: the runtime's counters register in the bundle's registry and
+    /// its flight recorder is attached to the endpoint, so transport-level
+    /// send/recv events land in the same per-node ring as the runtime's
+    /// exchange and rendezvous events.
+    pub fn with_obs(mut endpoint: E, config: DsoConfig, obs: Obs) -> Self {
         let me = endpoint.node_id();
         let n = endpoint.num_nodes();
+        endpoint.attach_recorder(obs.recorder().clone());
+        // Reset the delta baseline so net_metrics_delta covers this
+        // runtime's lifetime even when the endpoint saw earlier traffic.
+        let _ = endpoint.metrics_delta();
+        let counters = DsoCounters::in_registry(obs.registry());
         SdsoRuntime {
             endpoint,
             config,
@@ -160,7 +179,8 @@ impl<E: Endpoint> SdsoRuntime<E> {
             app_inbox: VecDeque::new(),
             acks_received: 0,
             arq: config.reliability.map(|cfg| ArqState::new(cfg, n)),
-            metrics: DsoMetrics::default(),
+            obs,
+            counters,
         }
     }
 
@@ -189,14 +209,26 @@ impl<E: Endpoint> SdsoRuntime<E> {
         self.endpoint.advance(dt);
     }
 
-    /// Runtime-level counters.
+    /// Runtime-level counters (a by-value view over the live `dso.*`
+    /// registry counters).
     pub fn metrics(&self) -> DsoMetrics {
-        self.metrics
+        self.counters.view()
     }
 
-    /// Transport-level counters.
+    /// Transport-level counters, cumulative for the endpoint's lifetime.
     pub fn net_metrics(&self) -> sdso_net::NetMetricsSnapshot {
         self.endpoint.metrics()
+    }
+
+    /// Transport-level counters since the previous delta read (correct for
+    /// per-run accounting over a reused transport).
+    pub fn net_metrics_delta(&mut self) -> sdso_net::NetMetricsSnapshot {
+        self.endpoint.metrics_delta()
+    }
+
+    /// This runtime's observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Direct access to the transport (for protocol layers that manage
@@ -265,9 +297,13 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let stamp = Version::new(LogicalTime::from_ticks(self.lamport), self.node_id());
         self.store.write(id, offset, bytes, stamp)?;
         let diff = Diff::single(offset, bytes.to_vec());
+        let merging = self.current_mods.contains_key(&id);
         let entry = self.current_mods.entry(id).or_insert_with(|| (Diff::empty(), stamp));
         entry.0 = entry.0.merge(&diff);
         entry.1 = entry.1.max(stamp);
+        if merging {
+            self.obs.record(self.endpoint.now().as_micros(), EventKind::DiffMerge, id.0, 0, 0);
+        }
         Ok(())
     }
 
@@ -380,6 +416,13 @@ impl<E: Endpoint> SdsoRuntime<E> {
             SendMode::Broadcast => (0..self.num_nodes() as NodeId).filter(|&p| p != me).collect(),
             SendMode::Multicast => self.exchange_list.due(t),
         };
+        self.obs.record(
+            started.as_micros(),
+            EventKind::ExchangeBegin,
+            t.as_ticks() as u32,
+            due.len() as u32,
+            0,
+        );
 
         // Ship (data, SYNC) pairs to every due peer: its slot content plus
         // this interval's modifications.
@@ -436,10 +479,20 @@ impl<E: Endpoint> SdsoRuntime<E> {
             }
         }
 
-        self.metrics.exchanges += 1;
-        self.metrics.rendezvous_peers += due.len() as u64;
-        self.metrics.updates_sent += updates_sent as u64;
-        self.metrics.exchange_time += self.endpoint.now().saturating_since(started);
+        self.counters.exchanges.inc();
+        self.counters.rendezvous_peers.add(due.len() as u64);
+        self.counters.updates_sent.add(updates_sent as u64);
+        let ended = self.endpoint.now();
+        let elapsed = ended.saturating_since(started).as_micros();
+        self.counters.exchange_time_micros.add(elapsed);
+        self.counters.exchange_latency.observe(elapsed);
+        self.obs.record(
+            ended.as_micros(),
+            EventKind::ExchangeEnd,
+            t.as_ticks() as u32,
+            updates_sent as u32,
+            updates_applied as u32,
+        );
         Ok(ExchangeReport { time: t, peers: due, updates_sent, updates_applied })
     }
 
@@ -481,6 +534,13 @@ impl<E: Endpoint> SdsoRuntime<E> {
         }
 
         let wait_start = self.endpoint.now();
+        self.obs.record(
+            wait_start.as_micros(),
+            EventKind::RendezvousWaitBegin,
+            t.as_ticks() as u32,
+            outstanding.len() as u32,
+            0,
+        );
         while !outstanding.is_empty() {
             let (from, msg) = self.next_msg_blocking()?;
             match msg {
@@ -488,7 +548,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                     if time == t && due.contains(&from) {
                         applied += self.apply_updates(&updates)?;
                     } else if time > t {
-                        self.metrics.early_buffered += 1;
+                        self.counters.early_buffered.inc();
                         self.early.entry((from, time)).or_default().updates.extend(updates);
                     } else {
                         return Err(DsoError::ProtocolViolation(format!(
@@ -500,7 +560,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                     if time == t && outstanding.remove(&from) {
                         // Rendezvous with `from` complete.
                     } else if time > t {
-                        self.metrics.early_buffered += 1;
+                        self.counters.early_buffered.inc();
                         self.early.entry((from, time)).or_default().sync = true;
                     } else {
                         return Err(DsoError::ProtocolViolation(format!(
@@ -515,7 +575,17 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 }
             }
         }
-        self.metrics.exchange_wait += self.endpoint.now().saturating_since(wait_start);
+        let wait_end = self.endpoint.now();
+        let waited = wait_end.saturating_since(wait_start).as_micros();
+        self.counters.exchange_wait_micros.add(waited);
+        self.counters.wait_latency.observe(waited);
+        self.obs.record(
+            wait_end.as_micros(),
+            EventKind::RendezvousWaitEnd,
+            t.as_ticks() as u32,
+            0,
+            0,
+        );
         Ok(applied)
     }
 
@@ -527,9 +597,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
             self.lamport = self.lamport.max(u.version.time.as_ticks());
             if self.store.apply_remote(u.object, &u.diff, u.version)? {
                 applied += 1;
-                self.metrics.updates_applied += 1;
+                self.counters.updates_applied.inc();
             } else {
-                self.metrics.updates_stale += 1;
+                self.counters.updates_stale.inc();
             }
         }
         Ok(applied)
@@ -568,7 +638,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 } else if seq > arq.rx_next[p] {
                     arq.ooo[p].entry(seq).or_insert(*inner);
                 } else {
-                    self.metrics.duplicates_dropped += 1;
+                    self.counters.duplicates_dropped.inc();
                 }
                 // Cumulative ack; doubles as a gap report when `seq` ran
                 // ahead of `rx_next`.
@@ -614,7 +684,14 @@ impl<E: Endpoint> SdsoRuntime<E> {
                         return Err(DsoError::Timeout { retries: silent });
                     }
                     silent += 1;
-                    self.metrics.resyncs += 1;
+                    self.counters.resyncs.inc();
+                    self.obs.record(
+                        self.endpoint.now().as_micros(),
+                        EventKind::Resync,
+                        silent,
+                        0,
+                        0,
+                    );
                     self.retransmit_unacked()?;
                 }
             }
@@ -646,7 +723,14 @@ impl<E: Endpoint> SdsoRuntime<E> {
             .flat_map(|(p, q)| q.iter().map(move |(&s, m)| (p as NodeId, s, m.clone())))
             .collect();
         for (peer, seq, inner) in pending {
-            self.metrics.retransmits += 1;
+            self.counters.retransmits.inc();
+            self.obs.record(
+                self.endpoint.now().as_micros(),
+                EventKind::Retransmit,
+                u32::from(peer),
+                seq as u32,
+                0,
+            );
             let payload = DsoMessage::Env { seq, inner: Box::new(inner) }
                 .into_payload(self.config.frame_wire_len);
             self.endpoint.send(peer, payload).map_err(DsoError::Net)?;
@@ -696,7 +780,14 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 }
                 Ok(None) => {
                     silent += 1;
-                    self.metrics.resyncs += 1;
+                    self.counters.resyncs.inc();
+                    self.obs.record(
+                        self.endpoint.now().as_micros(),
+                        EventKind::Resync,
+                        silent,
+                        0,
+                        0,
+                    );
                     self.retransmit_unacked()?;
                 }
                 // Every other node finished: nobody is left to ack.
@@ -712,11 +803,11 @@ impl<E: Endpoint> SdsoRuntime<E> {
     fn absorb_settled(&mut self, from: NodeId, msg: DsoMessage) -> Result<(), DsoError> {
         match msg {
             DsoMessage::Data { time, updates } if time > self.clock.now() => {
-                self.metrics.early_buffered += 1;
+                self.counters.early_buffered.inc();
                 self.early.entry((from, time)).or_default().updates.extend(updates);
             }
             DsoMessage::Sync { time } if time > self.clock.now() => {
-                self.metrics.early_buffered += 1;
+                self.counters.early_buffered.inc();
                 self.early.entry((from, time)).or_default().sync = true;
             }
             DsoMessage::Data { .. } | DsoMessage::Sync { .. } => {}

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sdso_core::{
-    DsoConfig, DsoError, DsoMetrics, EveryTick, ObjectId, SFunction, SdsoRuntime, SendMode,
+    DsoConfig, DsoError, DsoMetrics, EveryTick, ObjectId, Obs, SFunction, SdsoRuntime, SendMode,
 };
 use sdso_net::{Endpoint, NetMetricsSnapshot, NodeId, SimSpan};
 use sdso_protocols::{
@@ -509,13 +509,14 @@ impl<E: Endpoint> BlockPort for CausalPort<'_, E> {
 fn build_runtime<E: Endpoint>(
     endpoint: E,
     scenario: &Scenario,
+    obs: Obs,
 ) -> Result<SdsoRuntime<E>, DsoError> {
     let config = DsoConfig {
         frame_wire_len: scenario.frame_wire_len,
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
     };
-    let mut rt = SdsoRuntime::new(endpoint, config);
+    let mut rt = SdsoRuntime::with_obs(endpoint, config, obs);
     for (idx, block) in scenario.initial_world().iter().enumerate() {
         rt.share(ObjectId(idx as u32), block.encode(scenario.block_bytes))?;
     }
@@ -560,23 +561,42 @@ pub fn run_node<E: Endpoint>(
     scenario: &Scenario,
     protocol: Protocol,
 ) -> Result<NodeStats, DsoError> {
+    run_node_obs(endpoint, scenario, protocol, Obs::disabled())
+}
+
+/// Like [`run_node`], but records into the given observability bundle:
+/// flight-recorder events (exchanges, rendezvous waits, locks, faults)
+/// land in `obs`'s recorder and every counter in its registry. The
+/// harness constructs one bundle per node up front (an
+/// [`sdso_core::ObsSet`]) so it can export a cluster-wide trace after
+/// the run.
+///
+/// # Errors
+///
+/// Propagates transport, store and protocol errors.
+pub fn run_node_obs<E: Endpoint>(
+    endpoint: E,
+    scenario: &Scenario,
+    protocol: Protocol,
+    obs: Obs,
+) -> Result<NodeStats, DsoError> {
     assert_eq!(
         scenario.team_size, 1,
         "multi-tank teams are not implemented (the paper fixes team size to one)"
     );
     match protocol {
-        Protocol::Bsync => run_lookahead(endpoint, scenario, EveryTick),
+        Protocol::Bsync => run_lookahead(endpoint, scenario, EveryTick, obs),
         Protocol::Msync => {
             let me = endpoint.node_id();
-            run_lookahead(endpoint, scenario, crate::sfuncs::Msync::new(me, scenario.clone()))
+            run_lookahead(endpoint, scenario, crate::sfuncs::Msync::new(me, scenario.clone()), obs)
         }
         Protocol::Msync2 => {
             let me = endpoint.node_id();
-            run_lookahead(endpoint, scenario, crate::sfuncs::Msync2::new(me, scenario.clone()))
+            run_lookahead(endpoint, scenario, crate::sfuncs::Msync2::new(me, scenario.clone()), obs)
         }
-        Protocol::Entry => run_entry(endpoint, scenario),
-        Protocol::Lrc => run_lrc(endpoint, scenario),
-        Protocol::Causal => run_causal(endpoint, scenario),
+        Protocol::Entry => run_entry(endpoint, scenario, obs),
+        Protocol::Lrc => run_lrc(endpoint, scenario, obs),
+        Protocol::Causal => run_causal(endpoint, scenario, obs),
     }
 }
 
@@ -584,9 +604,10 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
     endpoint: E,
     scenario: &Scenario,
     sfunc: S,
+    obs: Obs,
 ) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
-    let rt = build_runtime(endpoint, scenario)?;
+    let rt = build_runtime(endpoint, scenario, obs)?;
     let mut node = Lookahead::new(rt, sfunc)?;
     let mut core = GameCore::new(scenario.clone(), me);
     let mut compute = SimSpan::ZERO;
@@ -626,7 +647,9 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
         bonuses: core.bonuses,
         exec_time: rt.now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: rt.net_metrics(),
+        // Delta, not lifetime-cumulative: stats must cover this run only
+        // even when the endpoint outlives it (TCP meshes, repeated runs).
+        net: rt.net_metrics_delta(),
         dso: rt.metrics(),
         final_world: snapshot_world(&rt, scenario),
         ..NodeStats::default()
@@ -654,9 +677,13 @@ pub fn ec_lockset(scenario: &Scenario, pos: Pos) -> Vec<LockRequest> {
     locks
 }
 
-fn run_entry<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats, DsoError> {
+fn run_entry<E: Endpoint>(
+    endpoint: E,
+    scenario: &Scenario,
+    obs: Obs,
+) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
-    let rt = build_runtime(endpoint, scenario)?;
+    let rt = build_runtime(endpoint, scenario, obs)?;
     let mut ec = EntryConsistency::new(rt);
     let mut core = GameCore::with_arbitration(scenario.clone(), me, false);
     let mut compute = SimSpan::ZERO;
@@ -702,16 +729,16 @@ fn run_entry<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats,
         bonuses: core.bonuses,
         exec_time: ec.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: ec.runtime().net_metrics(),
+        net: ec.runtime_mut().net_metrics_delta(),
         ec: ec.metrics(),
         final_world: snapshot_world(ec.runtime(), scenario),
         ..NodeStats::default()
     })
 }
 
-fn run_lrc<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats, DsoError> {
+fn run_lrc<E: Endpoint>(endpoint: E, scenario: &Scenario, obs: Obs) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
-    let rt = build_runtime(endpoint, scenario)?;
+    let rt = build_runtime(endpoint, scenario, obs)?;
     let mut lrc = Lrc::new(rt);
     let mut core = GameCore::with_arbitration(scenario.clone(), me, false);
     let mut compute = SimSpan::ZERO;
@@ -759,16 +786,20 @@ fn run_lrc<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats, D
         bonuses: core.bonuses,
         exec_time: lrc.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: lrc.runtime().net_metrics(),
+        net: lrc.runtime_mut().net_metrics_delta(),
         lrc: lrc.metrics(),
         final_world: snapshot_world(lrc.runtime(), scenario),
         ..NodeStats::default()
     })
 }
 
-fn run_causal<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats, DsoError> {
+fn run_causal<E: Endpoint>(
+    endpoint: E,
+    scenario: &Scenario,
+    obs: Obs,
+) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
-    let rt = build_runtime(endpoint, scenario)?;
+    let rt = build_runtime(endpoint, scenario, obs)?;
     let mut causal = CausalMemory::new(rt);
     // Causal memory arbitrates on possibly-stale views: races resolve by
     // last-writer-wins, so clobbers are tolerated rather than fatal.
@@ -802,7 +833,7 @@ fn run_causal<E: Endpoint>(endpoint: E, scenario: &Scenario) -> Result<NodeStats
         bonuses: core.bonuses,
         exec_time: causal.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: causal.runtime().net_metrics(),
+        net: causal.runtime_mut().net_metrics_delta(),
         causal: causal.metrics(),
         final_world: snapshot_world(causal.runtime(), scenario),
         ..NodeStats::default()

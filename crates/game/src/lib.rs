@@ -60,7 +60,9 @@ pub mod world;
 
 pub use ai::{decide, Action, WorldView};
 pub use block::{Block, FireRecord};
-pub use driver::{ec_lockset, run_node, BlockPort, GameCore, NodeStats, Protocol, TankState};
+pub use driver::{
+    ec_lockset, run_node, run_node_obs, BlockPort, GameCore, NodeStats, Protocol, TankState,
+};
 pub use render::{render, scoreboard, RenderOptions};
 pub use scenario::{Scenario, GOAL_POINTS};
 pub use sfuncs::{team_positions, Msync, Msync2};

@@ -1,8 +1,9 @@
 //! Running one game configuration across a simulated cluster and
 //! aggregating its statistics.
 
-use sdso_game::{run_node, NodeStats, Protocol, Scenario};
-use sdso_net::{NetError, SimSpan};
+use sdso_core::ObsSet;
+use sdso_game::{run_node, run_node_obs, NodeStats, Protocol, Scenario};
+use sdso_net::{Endpoint, NetError, SimSpan, TraceConfig};
 use sdso_sim::{NetworkModel, SimCluster, SimError};
 
 /// Aggregated result of one cluster run.
@@ -115,6 +116,33 @@ pub fn run_experiment(
     Ok(RunSummary { protocol, nodes, range: scenario.range, per_node })
 }
 
+/// Like [`run_experiment`], but with observability: every node records
+/// into a per-node bundle of the returned [`ObsSet`], so the caller can
+/// export a cluster-wide Chrome trace ([`ObsSet::chrome_trace`]) or a
+/// merged metrics snapshot after the run. Event timestamps are virtual
+/// time, so traces are deterministic for a given scenario.
+///
+/// # Errors
+///
+/// Returns the first node's error if any process failed.
+pub fn run_experiment_obs(
+    scenario: &Scenario,
+    protocol: Protocol,
+    model: NetworkModel,
+    trace: TraceConfig,
+) -> Result<(RunSummary, ObsSet), SimError> {
+    let nodes = usize::from(scenario.teams);
+    let obs_set = ObsSet::new(scenario.teams, trace);
+    let scenario_for_nodes = scenario.clone();
+    let obs_for_nodes = obs_set.clone();
+    let outcome = SimCluster::new(nodes, model).run(move |ep| {
+        let obs = obs_for_nodes.node(ep.node_id());
+        run_node_obs(ep, &scenario_for_nodes, protocol, obs).map_err(NetError::from)
+    })?;
+    let per_node = outcome.into_results()?;
+    Ok((RunSummary { protocol, nodes, range: scenario.range, per_node }, obs_set))
+}
+
 /// Runs the same configuration across several placement seeds and returns
 /// each run (callers average the metrics they care about).
 ///
@@ -184,6 +212,43 @@ mod tests {
         assert_eq!(runs.len(), 3);
         let m = mean_of(&runs, |r| r.total_messages() as f64);
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn obs_run_produces_exchange_spans_and_counters() {
+        let scenario = Scenario::paper(2, 1).with_ticks(20);
+        let (summary, obs) = run_experiment_obs(
+            &scenario,
+            Protocol::Msync2,
+            NetworkModel::paper_testbed(),
+            TraceConfig::full(),
+        )
+        .unwrap();
+        assert!(summary.total_messages() > 0);
+        assert!(obs.total_events() > 0, "full tracing must record events");
+        let trace = obs.chrome_trace();
+        assert!(trace.contains("\"name\":\"node 0\""));
+        assert!(trace.contains("\"name\":\"node 1\""));
+        assert!(trace.contains("\"name\":\"exchange\""));
+        // The unified registry agrees with the classic counters.
+        let merged = obs.merged_snapshot();
+        let exchanges: u64 = summary.per_node.iter().map(|s| s.dso.exchanges).sum();
+        assert_eq!(merged.counter("dso.exchanges"), exchanges);
+    }
+
+    #[test]
+    fn obs_off_records_no_events_but_counters_work() {
+        let scenario = Scenario::paper(2, 1).with_ticks(10);
+        let (summary, obs) = run_experiment_obs(
+            &scenario,
+            Protocol::Bsync,
+            NetworkModel::paper_testbed(),
+            TraceConfig::off(),
+        )
+        .unwrap();
+        assert_eq!(obs.total_events(), 0, "off mode must not record events");
+        assert!(obs.merged_snapshot().counter("dso.exchanges") > 0);
+        assert!(summary.total_messages() > 0);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! counts × ranges), runs the game on the virtual-time cluster, and formats
 //! the same series the paper plots. See `EXPERIMENTS.md` at the workspace
 //! root for the paper-vs-measured discussion.
+//!
+//! Message and byte counts come from `NodeStats::net`, which the game
+//! driver fills via `Endpoint::metrics_delta` — a per-run delta, not the
+//! endpoint's lifetime-cumulative counters. This matters whenever an
+//! endpoint outlives a single run (TCP meshes, warm-up traffic): figures
+//! must only count the run they describe.
 
 use sdso_game::{Protocol, Scenario};
 use sdso_sim::{NetworkModel, SimError};
@@ -296,6 +302,34 @@ mod tests {
         let ec = value(0, 1);
         let msync2 = value(3, 1);
         assert!(ec > msync2, "EC ({ec}) should be slower per modification than MSYNC2 ({msync2})");
+    }
+
+    #[test]
+    fn node_stats_net_counters_are_per_run_deltas() {
+        use sdso_game::run_node;
+        use sdso_net::{memory::MemoryHub, Endpoint, Payload};
+
+        // The same game, with and without pre-run endpoint traffic, must
+        // report identical net counters: NodeStats.net is a per-run delta,
+        // not the endpoint's lifetime totals.
+        let scenario = Scenario::paper(2, 1).with_ticks(15);
+        let run = |pre_traffic: bool| {
+            let mut eps = MemoryHub::new(2).into_endpoints();
+            let mut b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            if pre_traffic {
+                for _ in 0..7 {
+                    a.send(1, Payload::control(b"warm-up".as_ref())).unwrap();
+                    b.recv().unwrap();
+                }
+            }
+            let s = scenario.clone();
+            let t = std::thread::spawn(move || run_node(b, &s, Protocol::Bsync).unwrap());
+            let sa = run_node(a, &scenario, Protocol::Bsync).unwrap();
+            let sb = t.join().unwrap();
+            (sa.net.total_sent(), sa.net.bytes_sent(), sb.net.total_sent())
+        };
+        assert_eq!(run(false), run(true), "pre-run endpoint traffic must not leak into NodeStats");
     }
 
     #[test]

@@ -37,6 +37,6 @@ mod figures;
 mod table;
 
 pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chaos_experiment};
-pub use experiment::{mean_of, run_experiment, run_seeds, RunSummary};
+pub use experiment::{mean_of, run_experiment, run_experiment_obs, run_seeds, RunSummary};
 pub use figures::Sweep;
 pub use table::Table;

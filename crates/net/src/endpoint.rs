@@ -79,8 +79,28 @@ pub trait Endpoint: Send {
     /// Current time on this node's clock.
     fn now(&self) -> SimInstant;
 
-    /// Snapshot of this endpoint's traffic counters.
+    /// Snapshot of this endpoint's traffic counters, cumulative since the
+    /// endpoint was created.
     fn metrics(&self) -> NetMetricsSnapshot;
+
+    /// Traffic counters accumulated since the previous `metrics_delta`
+    /// call on this endpoint (since creation for the first call).
+    ///
+    /// Use this for per-run accounting over a reused transport; the
+    /// cumulative [`Endpoint::metrics`] double-counts back-to-back runs.
+    /// The default forwards to `metrics()`, which is correct for
+    /// transports that live exactly one run.
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        self.metrics()
+    }
+
+    /// Attaches a flight recorder: subsequent sends/receives (and fault
+    /// verdicts, for fault-injecting transports) are recorded as events
+    /// stamped with this endpoint's clock. The default ignores the
+    /// recorder — transports that can trace override this.
+    fn attach_recorder(&mut self, recorder: sdso_obs::Recorder) {
+        let _ = recorder;
+    }
 
     /// Sends a copy of `payload` to every other node in the cluster.
     ///

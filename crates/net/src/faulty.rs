@@ -12,6 +12,8 @@
 
 use std::collections::VecDeque;
 
+use sdso_obs::{EventKind, Recorder, FAULT_DELAY, FAULT_DROP, FAULT_DUP};
+
 use crate::endpoint::{Endpoint, NodeId};
 use crate::error::NetError;
 use crate::fault::{FaultInjector, FaultPlan};
@@ -37,6 +39,7 @@ pub struct FaultyEndpoint<E> {
     injector: FaultInjector,
     held: VecDeque<Held>,
     fault_metrics: NetMetrics,
+    recorder: Recorder,
 }
 
 impl<E: Endpoint> FaultyEndpoint<E> {
@@ -49,6 +52,30 @@ impl<E: Endpoint> FaultyEndpoint<E> {
             injector: FaultInjector::new(plan),
             held: VecDeque::new(),
             fault_metrics: NetMetrics::new(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Emits a `FaultInjected` instant for a non-trivial verdict.
+    fn note_fault(&self, verdict: &crate::fault::Verdict) {
+        let mut bits = 0;
+        if verdict.dropped {
+            bits |= FAULT_DROP;
+        }
+        if verdict.duplicated {
+            bits |= FAULT_DUP;
+        }
+        if verdict.extra_delay > SimSpan::ZERO {
+            bits |= FAULT_DELAY;
+        }
+        if bits != 0 {
+            self.recorder.record(
+                self.inner.now().as_micros(),
+                EventKind::FaultInjected,
+                bits,
+                0,
+                0,
+            );
         }
     }
 
@@ -77,11 +104,13 @@ impl<E: Endpoint> FaultyEndpoint<E> {
         let verdict = self.injector.judge(msg.from, self.inner.node_id(), self.inner.now());
         let hold = verdict.extra_delay > SimSpan::ZERO && self.held.len() < MAX_HELD;
         if hold {
-            self.fault_metrics.record_fault(&crate::fault::Verdict {
+            let delay_only = crate::fault::Verdict {
                 dropped: false,
                 duplicated: false,
                 extra_delay: verdict.extra_delay,
-            });
+            };
+            self.fault_metrics.record_fault(&delay_only);
+            self.note_fault(&delay_only);
             // Convert the delay into a pass count: one overtaking message
             // per modelled millisecond, at least one.
             let passes = (verdict.extra_delay.as_micros() / 1_000).clamp(1, 8) as u32;
@@ -105,10 +134,12 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
     fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
         crate::endpoint::check_peer(self.node_id(), to, self.num_nodes())?;
         let verdict = self.injector.judge(self.node_id(), to, self.inner.now());
-        self.fault_metrics.record_fault(&crate::fault::Verdict {
+        let send_side = crate::fault::Verdict {
             extra_delay: SimSpan::ZERO, // delay is applied on the receive side
             ..verdict
-        });
+        };
+        self.fault_metrics.record_fault(&send_side);
+        self.note_fault(&send_side);
         if verdict.dropped {
             return Ok(());
         }
@@ -186,6 +217,15 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
 
     fn metrics(&self) -> NetMetricsSnapshot {
         self.inner.metrics().merged(&self.fault_metrics.snapshot())
+    }
+
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        self.inner.metrics_delta().merged(&self.fault_metrics.snapshot_delta())
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder.clone();
+        self.inner.attach_recorder(recorder);
     }
 }
 

@@ -62,3 +62,7 @@ pub use faulty::FaultyEndpoint;
 pub use message::{Incoming, MsgClass, Payload};
 pub use metrics::{ClassCounters, NetMetrics, NetMetricsSnapshot};
 pub use time::{SimInstant, SimSpan};
+
+// Observability vocabulary, re-exported so transports implementing
+// [`Endpoint::attach_recorder`] need not depend on `sdso-obs` directly.
+pub use sdso_obs::{EventKind, EventRecord, Recorder, TraceConfig, TraceMode};

@@ -8,11 +8,12 @@
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use sdso_obs::{EventKind, Recorder};
 
 use crate::endpoint::{check_peer, Endpoint, NodeId};
 use crate::error::NetError;
 use crate::message::{Incoming, Payload};
-use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::metrics::{obs_class, NetMetrics, NetMetricsSnapshot};
 use crate::time::{SimInstant, SimSpan};
 
 /// Builder for a fully-connected in-process cluster.
@@ -57,6 +58,7 @@ impl MemoryHub {
                 rx,
                 start,
                 metrics: NetMetrics::new(),
+                recorder: Recorder::disabled(),
             })
             .collect();
         MemoryHub { endpoints }
@@ -77,6 +79,20 @@ pub struct MemoryEndpoint {
     rx: Receiver<Incoming>,
     start: Instant,
     metrics: NetMetrics,
+    recorder: Recorder,
+}
+
+impl MemoryEndpoint {
+    fn note_recv(&self, msg: &Incoming) {
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.recorder.record(
+            self.now().as_micros(),
+            EventKind::Recv,
+            u32::from(msg.from),
+            obs_class(msg.payload.class),
+            msg.payload.wire_len(),
+        );
+    }
 }
 
 impl Endpoint for MemoryEndpoint {
@@ -91,6 +107,13 @@ impl Endpoint for MemoryEndpoint {
     fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
         check_peer(self.id, to, self.num_nodes)?;
         self.metrics.record_send(payload.class, payload.wire_len());
+        self.recorder.record(
+            self.now().as_micros(),
+            EventKind::Send,
+            u32::from(to),
+            obs_class(payload.class),
+            payload.wire_len(),
+        );
         self.peers[usize::from(to)]
             .send(Incoming { from: self.id, payload })
             .map_err(|_| NetError::Disconnected)
@@ -100,14 +123,14 @@ impl Endpoint for MemoryEndpoint {
         let before = self.now();
         let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
         self.metrics.record_blocked(self.now().saturating_since(before));
-        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.note_recv(&msg);
         Ok(msg)
     }
 
     fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
         match self.rx.try_recv() {
             Ok(msg) => {
-                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                self.note_recv(&msg);
                 Ok(Some(msg))
             }
             Err(TryRecvError::Empty) => Ok(None),
@@ -121,7 +144,7 @@ impl Endpoint for MemoryEndpoint {
         match self.rx.recv_timeout(std::time::Duration::from_micros(timeout.as_micros())) {
             Ok(msg) => {
                 self.metrics.record_blocked(self.now().saturating_since(before));
-                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                self.note_recv(&msg);
                 Ok(Some(msg))
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -142,6 +165,14 @@ impl Endpoint for MemoryEndpoint {
 
     fn metrics(&self) -> NetMetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        self.metrics.snapshot_delta()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

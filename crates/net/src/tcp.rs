@@ -27,12 +27,13 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use sdso_obs::{EventKind, MonoClock, Recorder};
 
 use crate::endpoint::{check_peer, Endpoint, NodeId};
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame};
 use crate::message::{Incoming, Payload};
-use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::metrics::{obs_class, NetMetrics, NetMetricsSnapshot};
 use crate::time::{SimInstant, SimSpan};
 
 /// Handshake id a closing endpoint sends to its own acceptor to unblock it.
@@ -253,8 +254,11 @@ pub struct TcpEndpoint {
     listen_addr: SocketAddr,
     shutting_down: Arc<AtomicBool>,
     tuning: TcpTuning,
-    start: Instant,
+    /// Event timestamps on the TCP path come from the host's monotonic
+    /// clock — this transport is inherently non-deterministic.
+    clock: MonoClock,
     metrics: NetMetrics,
+    recorder: Recorder,
 }
 
 impl TcpEndpoint {
@@ -307,9 +311,32 @@ impl TcpEndpoint {
             listen_addr,
             shutting_down,
             tuning,
-            start: Instant::now(),
+            clock: MonoClock::new(),
             metrics,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    fn note_send(&self, to: NodeId, payload: &Payload) {
+        self.metrics.record_send(payload.class, payload.wire_len());
+        self.recorder.record(
+            self.clock.micros(),
+            EventKind::Send,
+            u32::from(to),
+            obs_class(payload.class),
+            payload.wire_len(),
+        );
+    }
+
+    fn note_recv(&self, msg: &Incoming) {
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.recorder.record(
+            self.clock.micros(),
+            EventKind::Recv,
+            u32::from(msg.from),
+            obs_class(msg.payload.class),
+            msg.payload.wire_len(),
+        );
     }
 
     /// Test hook: forcibly tears down the connection to `peer`, as if the
@@ -450,7 +477,7 @@ impl Endpoint for TcpEndpoint {
         check_peer(self.id, to, self.num_nodes)?;
         match self.write_to(to, &payload) {
             Ok(()) => {
-                self.metrics.record_send(payload.class, payload.wire_len());
+                self.note_send(to, &payload);
                 Ok(())
             }
             // The higher-numbered side of a pair owns re-dialling; the
@@ -458,7 +485,7 @@ impl Endpoint for TcpEndpoint {
             // re-dialled.
             Err(_) if self.id > to => {
                 self.redial_and_send(to, &payload)?;
-                self.metrics.record_send(payload.class, payload.wire_len());
+                self.note_send(to, &payload);
                 Ok(())
             }
             Err(e) => Err(e),
@@ -469,14 +496,14 @@ impl Endpoint for TcpEndpoint {
         let before = self.now();
         let msg = self.rx.recv().map_err(|_| NetError::Disconnected)??;
         self.metrics.record_blocked(self.now().saturating_since(before));
-        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.note_recv(&msg);
         Ok(msg)
     }
 
     fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
         match self.rx.try_recv() {
             Ok(Ok(msg)) => {
-                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                self.note_recv(&msg);
                 Ok(Some(msg))
             }
             Ok(Err(e)) => Err(e),
@@ -490,7 +517,7 @@ impl Endpoint for TcpEndpoint {
         match self.rx.recv_timeout(Duration::from_micros(timeout.as_micros())) {
             Ok(Ok(msg)) => {
                 self.metrics.record_blocked(self.now().saturating_since(before));
-                self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+                self.note_recv(&msg);
                 Ok(Some(msg))
             }
             Ok(Err(e)) => Err(e),
@@ -507,11 +534,19 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn now(&self) -> SimInstant {
-        SimInstant::from_micros(self.start.elapsed().as_micros() as u64)
+        SimInstant::from_micros(self.clock.micros())
     }
 
     fn metrics(&self) -> NetMetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        self.metrics.snapshot_delta()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

@@ -1,0 +1,348 @@
+//! Unified metrics registry: labeled counters and log₂-bucket histograms
+//! with mergeable snapshots.
+//!
+//! The registry is the successor of the ad-hoc `DsoMetrics`/`NetMetrics`
+//! structs: every layer allocates its counters and histograms here under a
+//! dotted name (`net.data.sent.msgs`, `dso.exchange_micros`, …), and the
+//! harness takes [`RegistrySnapshot`]s that merge across nodes and runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per power of two a `u64` can hold,
+/// plus a dedicated zero bucket.
+pub const BUCKETS: usize = 65;
+
+/// A shared monotonically-increasing counter handle.
+///
+/// Cloning shares the underlying cell, so a counter can be handed to the
+/// hot path while the registry keeps a reference for snapshotting.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zero counter (unregistered).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared log₂-bucket histogram handle for latencies and sizes.
+///
+/// Value `v` lands in bucket `0` when `v == 0` and bucket
+/// `64 - v.leading_zeros()` otherwise, i.e. bucket `i > 0` covers
+/// `[2^(i-1), 2^i - 1]`. Elementwise-additive buckets make merging
+/// associative and commutative by construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (unregistered).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.inner.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`buckets[0]` is the zero bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Elementwise sum of two snapshots. Saturating, which keeps the
+    /// operation associative and commutative even at the `u64` ceiling.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let mut buckets = vec![0u64; len];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self
+                .buckets
+                .get(i)
+                .copied()
+                .unwrap_or(0)
+                .saturating_add(other.buckets.get(i).copied().unwrap_or(0));
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (0.0–100.0): the
+    /// inclusive upper edge of the bucket holding that rank. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Mean of all observations (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Inclusive upper edge of bucket `i`: 0 for the zero bucket, otherwise
+/// `2^i - 1`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of counters and histograms.
+///
+/// `counter`/`histogram` are get-or-create, so independent layers can bind
+/// the same name and share the cell — that is how `NetMetrics` for a
+/// faulty wrapper and its inner endpoint aggregate without plumbing.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        RegistrySnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Merges two snapshots: counters add, histograms merge elementwise.
+    pub fn merged(&self, other: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let slot = out.histograms.entry(k.clone()).or_default();
+            *slot = slot.merged(h);
+        }
+        out
+    }
+
+    /// Counter value by name, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_indices_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn percentiles_bound_observations() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 9, 100, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert!(snap.percentile(50.0) >= 9);
+        assert!(snap.percentile(100.0) >= 1000);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1117);
+        assert!((snap.mean() - 223.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        assert_eq!(HistogramSnapshot::default().percentile(99.0), 0);
+    }
+
+    fn snap_from(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in values {
+            h.observe(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_merge_is_commutative(
+            xs in proptest::collection::vec(any::<u64>(), 0..64),
+            ys in proptest::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let (a, b) = (snap_from(&xs), snap_from(&ys));
+            prop_assert_eq!(a.merged(&b), b.merged(&a));
+        }
+
+        #[test]
+        fn histogram_merge_is_associative(
+            xs in proptest::collection::vec(any::<u64>(), 0..32),
+            ys in proptest::collection::vec(any::<u64>(), 0..32),
+            zs in proptest::collection::vec(any::<u64>(), 0..32),
+        ) {
+            let (a, b, c) = (snap_from(&xs), snap_from(&ys), snap_from(&zs));
+            prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        }
+
+        #[test]
+        fn merge_preserves_count_and_sum(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ) {
+            let merged = snap_from(&xs).merged(&snap_from(&ys));
+            prop_assert_eq!(merged.count, (xs.len() + ys.len()) as u64);
+            prop_assert_eq!(merged.sum, xs.iter().sum::<u64>() + ys.iter().sum::<u64>());
+        }
+    }
+}

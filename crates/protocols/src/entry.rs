@@ -19,7 +19,15 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sdso_core::{Diff, DsoError, LogicalTime, ObjectId, SdsoRuntime, Version};
 use sdso_net::wire::{Wire, WireReader, WireWriter};
-use sdso_net::{Endpoint, MsgClass, NetError, NodeId, SimSpan};
+use sdso_net::{Endpoint, EventKind, MsgClass, NetError, NodeId, SimSpan};
+
+/// The `mode` operand for flight-recorder lock events.
+fn obs_mode(mode: LockMode) -> u32 {
+    match mode {
+        LockMode::Read => 0,
+        LockMode::Write => 1,
+    }
+}
 
 /// Lock acquisition modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -328,6 +336,13 @@ impl<E: Endpoint> EntryConsistency<E> {
                 )));
             }
             let wait_start = self.runtime.now();
+            self.runtime.obs().record(
+                wait_start.as_micros(),
+                EventKind::LockAcquire,
+                req.object.0,
+                obs_mode(req.mode),
+                0,
+            );
             let manager = Self::manager_of(req.object, n);
             if manager == me {
                 self.metrics.local_grants += 1;
@@ -342,7 +357,15 @@ impl<E: Endpoint> EntryConsistency<E> {
                 }
                 self.pump_one()?;
             };
-            self.metrics.lock_wait += self.runtime.now().saturating_since(wait_start);
+            let granted_at = self.runtime.now();
+            self.runtime.obs().record(
+                granted_at.as_micros(),
+                EventKind::LockGrant,
+                req.object.0,
+                obs_mode(req.mode),
+                0,
+            );
+            self.metrics.lock_wait += granted_at.saturating_since(wait_start);
             self.metrics.acquires += 1;
             self.held.insert(req.object, req.mode);
             // Pull the up-to-date copy if ours is stale.
@@ -395,6 +418,13 @@ impl<E: Endpoint> EntryConsistency<E> {
         let n = self.runtime.num_nodes();
         let held = std::mem::take(&mut self.held);
         for (object, _mode) in held {
+            self.runtime.obs().record(
+                self.runtime.now().as_micros(),
+                EventKind::LockRelease,
+                object.0,
+                0,
+                0,
+            );
             let was_modified = modified.contains(&object);
             let version = self.runtime.version_of(object)?;
             let manager = Self::manager_of(object, n);

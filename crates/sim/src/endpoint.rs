@@ -1,34 +1,62 @@
 use std::sync::Arc;
 
 use sdso_net::{
-    Endpoint, Incoming, NetError, NetMetrics, NetMetricsSnapshot, NodeId, Payload, SimInstant,
-    SimSpan,
+    Endpoint, EventKind, Incoming, MsgClass, NetError, NetMetrics, NetMetricsSnapshot, NodeId,
+    Payload, Recorder, SimInstant, SimSpan,
 };
 
 use crate::scheduler::Scheduler;
+
+/// The `class` operand for flight-recorder Send/Recv events.
+fn obs_class(class: MsgClass) -> u32 {
+    match class {
+        MsgClass::Control => 0,
+        MsgClass::Data => 1,
+    }
+}
 
 /// One simulated node's endpoint.
 ///
 /// Implements [`sdso_net::Endpoint`] over the virtual-time scheduler, so the
 /// exact protocol code that runs on real transports runs — deterministically
-/// and with modelled timing — inside the simulator.
+/// and with modelled timing — inside the simulator. Flight-recorder events
+/// are stamped with virtual time, so traces of sim runs are reproducible
+/// bit-for-bit.
 #[derive(Debug)]
 pub struct SimEndpoint {
     id: NodeId,
     num_nodes: usize,
     scheduler: Arc<Scheduler>,
     metrics: NetMetrics,
+    recorder: Recorder,
 }
 
 impl SimEndpoint {
     pub(crate) fn new(id: NodeId, num_nodes: usize, scheduler: Arc<Scheduler>) -> Self {
-        SimEndpoint { id, num_nodes, scheduler, metrics: NetMetrics::new() }
+        SimEndpoint {
+            id,
+            num_nodes,
+            scheduler,
+            metrics: NetMetrics::new(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Shared handle to this endpoint's live metrics (the cluster keeps one
     /// to report per-node counters after the run).
     pub(crate) fn metrics_handle(&self) -> NetMetrics {
         self.metrics.clone()
+    }
+
+    fn note_recv(&self, msg: &Incoming) {
+        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.recorder.record(
+            self.now().as_micros(),
+            EventKind::Recv,
+            u32::from(msg.from),
+            obs_class(msg.payload.class),
+            msg.payload.wire_len(),
+        );
     }
 }
 
@@ -47,17 +75,44 @@ impl Endpoint for SimEndpoint {
         }
         let (class, wire_len) = (payload.class, payload.wire_len());
         let verdict = self.scheduler.send(usize::from(self.id), usize::from(to), payload)?;
+        let mut sends = 0u32;
         match verdict {
             Some(v) => {
                 self.metrics.record_fault(&v);
+                let mut bits = 0;
+                if v.dropped {
+                    bits |= sdso_obs::FAULT_DROP;
+                }
+                if v.duplicated {
+                    bits |= sdso_obs::FAULT_DUP;
+                }
+                if v.extra_delay > SimSpan::ZERO {
+                    bits |= sdso_obs::FAULT_DELAY;
+                }
+                if bits != 0 {
+                    self.recorder.record(
+                        self.now().as_micros(),
+                        EventKind::FaultInjected,
+                        bits,
+                        0,
+                        0,
+                    );
+                }
                 if !v.dropped {
-                    self.metrics.record_send(class, wire_len);
-                    if v.duplicated {
-                        self.metrics.record_send(class, wire_len);
-                    }
+                    sends = if v.duplicated { 2 } else { 1 };
                 }
             }
-            None => self.metrics.record_send(class, wire_len),
+            None => sends = 1,
+        }
+        for _ in 0..sends {
+            self.metrics.record_send(class, wire_len);
+            self.recorder.record(
+                self.now().as_micros(),
+                EventKind::Send,
+                u32::from(to),
+                obs_class(class),
+                wire_len,
+            );
         }
         Ok(())
     }
@@ -65,14 +120,14 @@ impl Endpoint for SimEndpoint {
     fn recv(&mut self) -> Result<Incoming, NetError> {
         let (msg, blocked) = self.scheduler.recv(usize::from(self.id))?;
         self.metrics.record_blocked(blocked);
-        self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+        self.note_recv(&msg);
         Ok(msg)
     }
 
     fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
         let msg = self.scheduler.try_recv(usize::from(self.id))?;
         if let Some(msg) = &msg {
-            self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+            self.note_recv(msg);
         }
         Ok(msg)
     }
@@ -81,7 +136,7 @@ impl Endpoint for SimEndpoint {
         let (msg, blocked) = self.scheduler.recv_deadline(usize::from(self.id), timeout)?;
         self.metrics.record_blocked(blocked);
         if let Some(msg) = &msg {
-            self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
+            self.note_recv(msg);
         }
         Ok(msg)
     }
@@ -98,5 +153,13 @@ impl Endpoint for SimEndpoint {
 
     fn metrics(&self) -> NetMetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        self.metrics.snapshot_delta()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }

@@ -14,8 +14,16 @@
 //! Add `--render` to draw each process's final replica of the world —
 //! under MSYNC2 the views visibly differ in regions whose tanks never
 //! came within interaction range (spatial consistency at work).
+//!
+//! Add `--trace FILE` to record the run with the flight recorder in
+//! full mode and write a Chrome trace (one track per process, spans
+//! for exchanges/waits/lock holds) — open it at
+//! <https://ui.perfetto.dev>. The merged counters and latency
+//! histograms are printed to stdout as well.
 
-use sdso_game::{render, run_node, scoreboard, Pos, Protocol, RenderOptions, Scenario};
+use sdso_core::{text_histogram_dump, ObsSet};
+use sdso_game::{render, run_node_obs, scoreboard, Pos, Protocol, RenderOptions, Scenario};
+use sdso_net::TraceConfig;
 use sdso_sim::{NetworkModel, SimCluster};
 
 fn parse_protocol(name: &str) -> Option<Protocol> {
@@ -34,6 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let do_render = args.iter().any(|a| a == "--render");
     args.retain(|a| a != "--render");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|at| {
+            if at + 1 >= args.len() {
+                return Err("--trace needs a file path");
+            }
+            Ok(args.drain(at..=at + 1).nth(1).expect("two drained"))
+        })
+        .transpose()?;
     let protocol = args
         .first()
         .map(|a| parse_protocol(a).ok_or(format!("unknown protocol {a:?}")))
@@ -53,9 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         teams
     );
 
+    let config = if trace_path.is_some() { TraceConfig::full() } else { TraceConfig::off() };
+    let obs_set = ObsSet::new(teams, config);
+    let obs_for_nodes = obs_set.clone();
     let run_scenario = scenario.clone();
-    let outcome = SimCluster::new(usize::from(teams), NetworkModel::paper_testbed())
-        .run(move |ep| run_node(ep, &run_scenario, protocol).map_err(sdso_net::NetError::from))?;
+    let outcome =
+        SimCluster::new(usize::from(teams), NetworkModel::paper_testbed()).run(move |ep| {
+            let obs = obs_for_nodes.node(sdso_net::Endpoint::node_id(&ep));
+            run_node_obs(ep, &run_scenario, protocol, obs).map_err(sdso_net::NetError::from)
+        })?;
 
     println!(
         "{:>4} {:>7} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10} {:>9}",
@@ -85,6 +109,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total.bytes_sent() as f64 / 1e6,
     );
     println!("virtual makespan: {}", outcome.makespan());
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, obs_set.chrome_trace())?;
+        println!(
+            "\nchrome trace written to {path} ({} events, {} dropped) — \
+             open it at https://ui.perfetto.dev",
+            obs_set.total_events(),
+            obs_set.total_dropped(),
+        );
+        print!("{}", text_histogram_dump(&obs_set.merged_snapshot()));
+    }
 
     if do_render {
         for node in &outcome.nodes {

@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements exactly the API surface the `sdso-bench` benches use:
+//! `black_box`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Instead of the real
+//! crate's statistical machinery it runs a short warm-up, then times a
+//! fixed batch per sample and prints the per-iteration median. Good
+//! enough to smoke-run `cargo bench` offline; not a measurement tool —
+//! the perf-regression runner in `sdso-bench` uses the deterministic sim
+//! for that.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, samples: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut medians = Vec::with_capacity(self.samples);
+        for sample in 0..self.samples {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            f(&mut bencher);
+            if sample > 0 && bencher.iterations > 0 {
+                // Sample 0 is warm-up.
+                medians.push(bencher.elapsed.as_nanos() / u128::from(bencher.iterations));
+            }
+        }
+        medians.sort_unstable();
+        let median = medians.get(medians.len() / 2).copied().unwrap_or(0);
+        println!("  {name}: ~{median} ns/iter ({} samples)", medians.len());
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed batch of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += BATCH;
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's
+/// macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.sample_size(3).bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}
