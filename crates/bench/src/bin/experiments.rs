@@ -12,6 +12,7 @@
 //!   ext-block   Ext. B: blocking-time breakdown (paper future work 1)
 //!   ext-diff    Ext. C: diff-merging ablation
 //!   ext-proto   Ext. D: LRC and causal memory alongside the paper's four
+//!   churn       Ext. E: dynamic membership (leave/join barriers), clean + faulty net
 //!   all         Everything above, in order
 //!
 //! FLAGS
@@ -26,7 +27,31 @@
 //! failing scenario and exits non-zero if any scenario failed to
 //! converge, listing the failures at the end.
 
-use sdso_harness::{Sweep, Table};
+use sdso_game::{Protocol, Scenario};
+use sdso_harness::{chaos_plan, chaos_retry_config, churn_table, default_churn_plan, Sweep, Table};
+use sdso_sim::NetworkModel;
+
+/// Ext. E: the game under planned membership churn — two staggered
+/// leave+join barriers — on a clean network and again under the chaos
+/// fault plan, for every protocol with a view-change barrier.
+fn churn_tables(sweep: &Sweep) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
+    let teams: u16 = 8;
+    let ticks = sweep.ticks.max(12);
+    let plan = default_churn_plan(usize::from(teams), ticks);
+    let clean = Scenario::paper(teams, 1).with_ticks(ticks);
+    let clean_table =
+        churn_table(&clean, NetworkModel::paper_testbed(), &plan, None, &Protocol::PAPER)?;
+    let faulty = clean.clone().with_reliability(chaos_retry_config());
+    let faults = chaos_plan(0x5D50_1997);
+    let faulty_table = churn_table(
+        &faulty,
+        NetworkModel::paper_testbed(),
+        &plan,
+        Some(&faults),
+        &Protocol::PAPER,
+    )?;
+    Ok(vec![clean_table, faulty_table])
+}
 
 fn print_tables(tables: &[Table], csv: bool) {
     for table in tables {
@@ -98,6 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "ext-block" => sweep.ext_blocking()?,
             "ext-diff" => sweep.ext_diff_merging()?,
             "ext-proto" => sweep.ext_protocols()?,
+            "churn" => churn_tables(sweep)?,
             other => return Err(format!("unknown command {other:?}").into()),
         };
         print_tables(&tables, csv);
@@ -126,9 +152,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // doesn't hide the rest of the evaluation; report and fail at
         // the end.
         let mut failures: Vec<(String, String)> = Vec::new();
-        for name in
-            ["fig5", "fig6", "fig7", "fig8", "ext-size", "ext-block", "ext-diff", "ext-proto"]
-        {
+        for name in [
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ext-size",
+            "ext-block",
+            "ext-diff",
+            "ext-proto",
+            "churn",
+        ] {
             if let Err(e) = run(name, &sweep) {
                 eprintln!("[{name} FAILED: {e}]\n");
                 failures.push((name.to_owned(), e.to_string()));
@@ -143,7 +177,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!("FAILED {name}: {e}");
             }
             return Err(
-                format!("{} of 8 experiment sets failed to converge", failures.len()).into()
+                format!("{} of 9 experiment sets failed to converge", failures.len()).into()
             );
         }
     } else {

@@ -22,7 +22,7 @@ usage:
   sdso-check explore [--protocol NAME|all] [--depth N] [--max-runs N] [--min-distinct N]
   sdso-check replay  --protocol NAME [--schedule N,N,...]
 
-protocols: bsync msync msync2 ec (explore default: all)
+protocols: bsync msync msync2 ec churn churn-ec (explore default: all)
 explore defaults: --depth 12 --max-runs 600 --min-distinct 0";
 
 fn main() -> ExitCode {

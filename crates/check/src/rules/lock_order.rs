@@ -34,8 +34,12 @@ struct Table {
 
 const TABLES: &[Table] = &[
     // tcp.rs: per-peer writer slots are taken before the reader registry
-    // (acceptor, redial, and Drop all follow writers -> readers).
-    Table { path: "crates/net/src/tcp.rs", order: &[&["writers", "slot"], &["readers"]] },
+    // (acceptor, redial, and Drop all follow writers -> readers); the link
+    // event queue is a leaf lock, always taken last and never nested.
+    Table {
+        path: "crates/net/src/tcp.rs",
+        order: &[&["writers", "slot"], &["readers"], &["events", "peer_events"]],
+    },
     // scheduler.rs: the single state mutex; anything else is undeclared.
     Table { path: "crates/sim/src/scheduler.rs", order: &[&["state"]] },
 ];

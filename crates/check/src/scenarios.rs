@@ -14,14 +14,26 @@
 //!   strictly increasing;
 //! * **progress** — no schedule may deadlock a node (a `Deadlock` error
 //!   from the scheduler is itself a violation).
+//!
+//! The churn scenarios add dynamic membership on top: their **first**
+//! choice point is synthetic — it selects the view-change trigger tick —
+//! so the explorer enumerates join/leave timings crossed with delivery
+//! orders. Their extra invariants: every final-view member converges, the
+//! leaver's tombstone write survives the epoch turn, the joiner's writes
+//! reach everyone, and under EC no lock grant or counter increment is
+//! lost across the view change (a stuck view-change barrier surfaces as a
+//! scheduler deadlock, which is a violation like any other).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use sdso_core::{DsoConfig, LogicalTime, ObjectId, ObjectStore, SdsoRuntime};
+use sdso_core::{
+    DsoConfig, EveryTick, LogicalTime, MembershipPlan, Never, ObjectId, ObjectStore, SdsoRuntime,
+    SendMode, ViewChange,
+};
 use sdso_net::{Endpoint, NetError, NodeId};
 use sdso_protocols::{EntryConsistency, LockRequest, Lookahead};
-use sdso_sim::{DeliveryOracle, NetworkModel, ReplayOracle, SimCluster, SimEndpoint};
+use sdso_sim::{Candidate, DeliveryOracle, NetworkModel, ReplayOracle, SimCluster, SimEndpoint};
 
 /// Every scenario runs this many nodes — enough for three-way delivery
 /// races and a distance-2 pair for MSYNC2, small enough to keep a single
@@ -30,6 +42,25 @@ pub const NODES: usize = 3;
 
 /// Lock/increment/unlock rounds per node in the EC scenario.
 pub const EC_ITERS: u8 = 4;
+
+/// Capacity slots in the churn scenarios: three initial members plus one
+/// planned joiner.
+pub const CHURN_CAPACITY: usize = 4;
+
+/// Game ticks (or EC rounds) a churn scenario runs for.
+pub const CHURN_TICKS: u64 = 6;
+
+/// Trigger ticks the synthetic first choice point selects between.
+pub const CHURN_TRIGGERS: [u64; 3] = [2, 3, 4];
+
+/// The member that leaves at the trigger tick.
+const CHURN_LEAVER: NodeId = 1;
+
+/// The member that joins at the trigger tick.
+const CHURN_JOINER: NodeId = 3;
+
+/// The leaver's final write — distinguishable from any tick number.
+const CHURN_TOMBSTONE: u8 = 0xEE;
 
 /// The protocol workload a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,12 +74,24 @@ pub enum Protocol {
     Msync2,
     /// Entry consistency: a shared counter incremented under write locks.
     Ec,
+    /// Dynamic membership over the lookahead family: one member leaves and
+    /// one joins at an oracle-chosen trigger tick.
+    Churn,
+    /// Dynamic membership under EC: lock-protected counters incremented
+    /// across a view change.
+    ChurnEc,
 }
 
 impl Protocol {
     /// All scenarios, in CLI order.
-    pub const ALL: [Protocol; 4] =
-        [Protocol::Bsync, Protocol::Msync, Protocol::Msync2, Protocol::Ec];
+    pub const ALL: [Protocol; 6] = [
+        Protocol::Bsync,
+        Protocol::Msync,
+        Protocol::Msync2,
+        Protocol::Ec,
+        Protocol::Churn,
+        Protocol::ChurnEc,
+    ];
 
     /// CLI name.
     pub fn name(self) -> &'static str {
@@ -57,6 +100,8 @@ impl Protocol {
             Protocol::Msync => "msync",
             Protocol::Msync2 => "msync2",
             Protocol::Ec => "ec",
+            Protocol::Churn => "churn",
+            Protocol::ChurnEc => "churn-ec",
         }
     }
 
@@ -72,7 +117,7 @@ impl Protocol {
             Protocol::Bsync => 3,
             Protocol::Msync => 8,
             Protocol::Msync2 => 12,
-            Protocol::Ec => 0,
+            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc => 0,
         }
     }
 }
@@ -97,6 +142,9 @@ pub fn scenario(protocol: Protocol) -> impl FnMut(Arc<ReplayOracle>) -> Result<(
 /// Returns a description of the first violated invariant (including any
 /// node failing outright, e.g. a schedule-induced deadlock).
 pub fn run_once(protocol: Protocol, oracle: Arc<ReplayOracle>) -> Result<(), String> {
+    if matches!(protocol, Protocol::Churn | Protocol::ChurnEc) {
+        return run_churn_once(protocol, oracle);
+    }
     let cluster = SimCluster::new(NODES, NetworkModel::instant())
         .with_oracle(oracle as Arc<dyn DeliveryOracle>);
     let outcome = match protocol {
@@ -109,6 +157,211 @@ pub fn run_once(protocol: Protocol, oracle: Arc<ReplayOracle>) -> Result<(), Str
         snaps.push(node.result.map_err(|e| format!("node {id}: {e}"))?);
     }
     check_invariants(protocol, &snaps)
+}
+
+/// Runs one schedule of a churn scenario. The first choice point is
+/// synthetic: it picks the view-change trigger tick out of
+/// [`CHURN_TRIGGERS`], so the explorer branches over join/leave timings
+/// exactly like it branches over delivery races.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant; a node stuck in
+/// the view-change barrier shows up as a scheduler deadlock here.
+fn run_churn_once(protocol: Protocol, oracle: Arc<ReplayOracle>) -> Result<(), String> {
+    let candidates: Vec<Candidate> = CHURN_TRIGGERS
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Candidate { from: i as NodeId, seq: t, deliver_at: 0 })
+        .collect();
+    let trigger = CHURN_TRIGGERS[oracle.choose(0, &candidates)];
+    let cluster = SimCluster::new(CHURN_CAPACITY, NetworkModel::instant())
+        .with_oracle(oracle as Arc<dyn DeliveryOracle>);
+    let outcome = match protocol {
+        Protocol::ChurnEc => cluster.run(move |ep| churn_ec_node(ep, trigger)),
+        _ => cluster.run(move |ep| churn_lookahead_node(ep, trigger)),
+    }
+    .map_err(|e| format!("cluster failed to run: {e}"))?;
+    let mut snaps = Vec::with_capacity(CHURN_CAPACITY);
+    for (id, node) in outcome.nodes.into_iter().enumerate() {
+        snaps.push(node.result.map_err(|e| format!("churn trigger {trigger}, node {id}: {e}"))?);
+    }
+    check_churn_invariants(protocol, trigger, &snaps)
+}
+
+/// One leave plus one join at the same barrier, `trigger` ticks in.
+fn churn_plan(trigger: u64) -> MembershipPlan {
+    MembershipPlan::new(CHURN_CAPACITY, [0, 1, 2])
+        .with_change(trigger, ViewChange::new([CHURN_JOINER], [CHURN_LEAVER]))
+}
+
+/// Brings a churn node into the group: initial members install the
+/// initial view, the joiner installs its join-epoch view and blocks for
+/// the donor's snapshot. Returns the node's first tick.
+fn churn_enter<E: Endpoint>(
+    rt: &mut SdsoRuntime<E>,
+    plan: &MembershipPlan,
+    me: NodeId,
+) -> Result<u64, NetError> {
+    if plan.is_initial(me) {
+        rt.set_membership(plan.view_at(0));
+        return Ok(1);
+    }
+    let join = plan.join_tick_of(me).expect("non-initial churn node joins");
+    let change = plan.change_at(join).expect("join tick carries its change");
+    let view = plan.view_at(join);
+    let donor = view.donor_for(change).expect("a continuing member remains");
+    rt.set_membership(view);
+    rt.await_snapshot(donor).map_err(NetError::from)?;
+    Ok(join + 1)
+}
+
+/// BSYNC-style churn: every member writes the tick into its own object
+/// each tick; the leaver's last write is a tombstone. At the trigger the
+/// old view runs the barrier exchange, the leaver settles out, continuers
+/// apply the change and the donor pushes the joiner its snapshot.
+fn churn_lookahead_node(ep: SimEndpoint, trigger: u64) -> Result<NodeSnap, NetError> {
+    let me = ep.node_id();
+    let plan = churn_plan(trigger);
+    let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+    for id in 0..CHURN_CAPACITY as u32 {
+        rt.share(ObjectId(id), vec![0u8; 4]).map_err(NetError::from)?;
+    }
+    let start = churn_enter(&mut rt, &plan, me)?;
+    let mut la = Lookahead::new(rt, EveryTick).map_err(NetError::from)?;
+    let leave = plan.leave_tick_of(me);
+    let mut times = Vec::new();
+    for tick in start..=CHURN_TICKS {
+        let value = if leave == Some(tick) { CHURN_TOMBSTONE } else { tick as u8 };
+        la.runtime_mut().write(ObjectId(u32::from(me)), 0, &[value]).map_err(NetError::from)?;
+        let Some(change) = plan.change_at(tick) else {
+            times.push(la.step().map_err(NetError::from)?.time);
+            continue;
+        };
+        times.push(la.step_barrier().map_err(NetError::from)?.time);
+        if leave == Some(tick) {
+            let mut rt = la.into_runtime();
+            rt.settle().map_err(NetError::from)?;
+            return snapshot(&rt, times);
+        }
+        la.apply_view_change(change).map_err(NetError::from)?;
+        if la.runtime().membership().donor_for(change) == Some(me) {
+            for &joiner in &change.joined {
+                la.runtime_mut().send_snapshot(joiner).map_err(NetError::from)?;
+            }
+        }
+    }
+    let mut rt = la.into_runtime();
+    rt.exchange(true, SendMode::Broadcast, &mut Never).map_err(NetError::from)?;
+    rt.settle().map_err(NetError::from)?;
+    snapshot(&rt, times)
+}
+
+/// EC churn: two lock-protected counters, every member increments both
+/// each round. The managers straddle the view change (the leaver manages
+/// one counter in the old view), so lock state genuinely migrates.
+fn churn_ec_node(ep: SimEndpoint, trigger: u64) -> Result<NodeSnap, NetError> {
+    let me = ep.node_id();
+    let plan = churn_plan(trigger);
+    let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+    let lockset = [ObjectId(0), ObjectId(1)];
+    for &obj in &lockset {
+        rt.share(obj, vec![0u8; 1]).map_err(NetError::from)?;
+    }
+    let start = churn_enter(&mut rt, &plan, me)?;
+    let mut ec = EntryConsistency::new(rt);
+    let leave = plan.leave_tick_of(me);
+    for round in start..=CHURN_TICKS {
+        ec.service_pending().map_err(NetError::from)?;
+        let requests: Vec<LockRequest> = lockset.iter().map(|&o| LockRequest::write(o)).collect();
+        ec.acquire(&requests).map_err(NetError::from)?;
+        for &counter in &lockset {
+            let current = ec.read(counter).map_err(NetError::from)?[0];
+            ec.write(counter, 0, &[current + 1]).map_err(NetError::from)?;
+        }
+        ec.release_all(&lockset.into_iter().collect::<BTreeSet<_>>()).map_err(NetError::from)?;
+        let Some(change) = plan.change_at(round) else { continue };
+        ec.view_sync().map_err(NetError::from)?;
+        if leave == Some(round) {
+            ec.runtime_mut().settle().map_err(NetError::from)?;
+            return snapshot(ec.runtime(), Vec::new());
+        }
+        ec.apply_view_change(change).map_err(NetError::from)?;
+        if ec.runtime().membership().donor_for(change) == Some(me) {
+            for &joiner in &change.joined {
+                ec.runtime_mut().send_snapshot(joiner).map_err(NetError::from)?;
+            }
+        }
+    }
+    ec.finish().map_err(NetError::from)?;
+    ec.final_sync().map_err(NetError::from)?;
+    ec.runtime_mut().settle().map_err(NetError::from)?;
+    snapshot(ec.runtime(), Vec::new())
+}
+
+fn check_churn_invariants(
+    protocol: Protocol,
+    trigger: u64,
+    snaps: &[NodeSnap],
+) -> Result<(), String> {
+    for (id, snap) in snaps.iter().enumerate() {
+        for w in snap.times.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!(
+                    "logical clock not strictly monotone on node {id}: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+    }
+    // Every final-view member (all but the leaver) converges.
+    let survivors: Vec<usize> =
+        (0..CHURN_CAPACITY).filter(|&id| id != usize::from(CHURN_LEAVER)).collect();
+    for &id in &survivors[1..] {
+        if snaps[id].objects != snaps[survivors[0]].objects {
+            return Err(format!(
+                "replica divergence after churn at tick {trigger}: node {} holds {:?}, \
+                 node {id} holds {:?}",
+                survivors[0], snaps[survivors[0]].objects, snaps[id].objects
+            ));
+        }
+    }
+    let converged = &snaps[survivors[0]].objects;
+    match protocol {
+        Protocol::ChurnEc => {
+            // Per counter: nodes 0 and 2 increment every round, the leaver
+            // up to the trigger, the joiner after it — 3 * CHURN_TICKS in
+            // total regardless of the trigger tick.
+            let expected = (3 * CHURN_TICKS) as u8;
+            for (obj, bytes) in converged {
+                if bytes[0] != expected {
+                    return Err(format!(
+                        "EC counter {obj} is {} after churn at tick {trigger}, expected \
+                         {expected}: a lock grant or increment was lost across the view change",
+                        bytes[0]
+                    ));
+                }
+            }
+        }
+        Protocol::Churn => {
+            for (obj, bytes) in converged {
+                let expected = if *obj == u32::from(CHURN_LEAVER) {
+                    CHURN_TOMBSTONE // the leaver's final write survives
+                } else {
+                    CHURN_TICKS as u8 // last write of a full participant
+                };
+                if bytes[0] != expected {
+                    return Err(format!(
+                        "object {obj} holds {} after churn at tick {trigger}, expected \
+                         {expected}: an update was dropped across the epoch turn",
+                        bytes[0]
+                    ));
+                }
+            }
+        }
+        _ => unreachable!("static protocols use check_invariants"),
+    }
+    Ok(())
 }
 
 /// BSYNC / MSYNC / MSYNC2: every node owns one object and writes the tick
@@ -130,7 +383,9 @@ fn lookahead_node(ep: SimEndpoint, protocol: Protocol) -> Result<NodeSnap, NetEr
                     4
                 }
             }
-            Protocol::Ec => unreachable!("EC uses ec_node"),
+            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc => {
+                unreachable!("EC and churn have dedicated node runners")
+            }
         };
         Some(now.plus(gap))
     };
@@ -235,6 +490,7 @@ fn check_invariants(protocol: Protocol, snaps: &[NodeSnap]) -> Result<(), String
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdso_sim::Explorer;
 
     #[test]
     fn default_schedule_passes_for_every_protocol() {
@@ -252,6 +508,29 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{} under {preset:?}: {e}", p.name()));
             }
         }
+    }
+
+    #[test]
+    fn every_churn_trigger_satisfies_invariants() {
+        // Presets [0], [1], [2] resolve the synthetic first choice point to
+        // each trigger tick in turn.
+        for (i, &trigger) in CHURN_TRIGGERS.iter().enumerate() {
+            for p in [Protocol::Churn, Protocol::ChurnEc] {
+                run_once(p, Arc::new(ReplayOracle::new(vec![i])))
+                    .unwrap_or_else(|e| panic!("{} trigger {trigger}: {e}", p.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_explorer_branches_over_triggers_and_deliveries() {
+        let report = Explorer::new(3, 24).explore(scenario(Protocol::Churn));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(
+            report.distinct >= CHURN_TRIGGERS.len(),
+            "the synthetic choice point alone yields one run per trigger, got {}",
+            report.distinct
+        );
     }
 
     #[test]

@@ -63,6 +63,14 @@ impl LogicalClock {
         self.now = self.now.plus(1);
         self.now
     }
+
+    /// Jumps forward to `t` if it is ahead of the current time (never
+    /// moves backwards). A late joiner uses this to adopt its snapshot
+    /// donor's logical-clock frontier instead of replaying history tick by
+    /// tick.
+    pub fn advance_to(&mut self, t: LogicalTime) {
+        self.now = self.now.max(t);
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +84,16 @@ mod tests {
         assert_eq!(c.tick(), LogicalTime::from_ticks(1));
         assert_eq!(c.tick(), LogicalTime::from_ticks(2));
         assert_eq!(c.now(), LogicalTime::from_ticks(2));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = LogicalClock::new();
+        c.advance_to(LogicalTime::from_ticks(5));
+        assert_eq!(c.now(), LogicalTime::from_ticks(5));
+        c.advance_to(LogicalTime::from_ticks(3));
+        assert_eq!(c.now(), LogicalTime::from_ticks(5), "no rewind");
+        assert_eq!(c.tick(), LogicalTime::from_ticks(6));
     }
 
     #[test]

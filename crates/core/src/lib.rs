@@ -88,6 +88,7 @@ pub use exchange_list::ExchangeList;
 pub use metrics::DsoMetrics;
 pub use object::{ObjectId, Version};
 pub use runtime::{Event, ExchangeReport, SdsoRuntime, SendMode};
+pub use sdso_member::{Epoch, MemberError, MembershipPlan, MembershipView, ViewChange};
 pub use sdso_obs::{text_histogram_dump, Obs, ObsSet};
 pub use sfunction::{EveryTick, Never, SFunction};
 pub use slotted_buffer::{PendingUpdate, SlottedBuffer};

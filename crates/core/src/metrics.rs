@@ -35,6 +35,24 @@ pub struct DsoMetrics {
     /// Received messages discarded as duplicates by the reliability
     /// layer's per-link sequencing.
     pub duplicates_dropped: u64,
+    /// View changes applied (join/leave barriers crossed).
+    pub view_changes: u64,
+    /// Rendezvous messages dropped because they were stamped with a stale
+    /// membership epoch (residue from a departed peer).
+    pub cross_epoch_dropped: u64,
+    /// Pending slot updates compacted away when their peer left the group
+    /// (the would-be leak, made visible).
+    pub slots_compacted: u64,
+    /// Sends suppressed because the destination is not a member of the
+    /// current view.
+    pub non_member_dropped: u64,
+    /// State snapshots pushed to late joiners.
+    pub snapshots_sent: u64,
+    /// Encoded bytes of snapshot payloads pushed (O(objects), never
+    /// O(history) — asserted by the churn integration tests).
+    pub snapshot_bytes: u64,
+    /// Snapshots installed by this process as a late joiner.
+    pub snapshots_installed: u64,
     /// Virtual/wall time spent inside `exchange` (sending, waiting and
     /// applying) — the lookahead protocols' entire overhead.
     pub exchange_time: SimSpan,
@@ -56,6 +74,13 @@ impl DsoMetrics {
             resyncs: self.resyncs + other.resyncs,
             retransmits: self.retransmits + other.retransmits,
             duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
+            view_changes: self.view_changes + other.view_changes,
+            cross_epoch_dropped: self.cross_epoch_dropped + other.cross_epoch_dropped,
+            slots_compacted: self.slots_compacted + other.slots_compacted,
+            non_member_dropped: self.non_member_dropped + other.non_member_dropped,
+            snapshots_sent: self.snapshots_sent + other.snapshots_sent,
+            snapshot_bytes: self.snapshot_bytes + other.snapshot_bytes,
+            snapshots_installed: self.snapshots_installed + other.snapshots_installed,
             exchange_time: self.exchange_time + other.exchange_time,
             exchange_wait: self.exchange_wait + other.exchange_wait,
         }
@@ -85,6 +110,13 @@ pub(crate) struct DsoCounters {
     pub(crate) resyncs: Counter,
     pub(crate) retransmits: Counter,
     pub(crate) duplicates_dropped: Counter,
+    pub(crate) view_changes: Counter,
+    pub(crate) cross_epoch_dropped: Counter,
+    pub(crate) slots_compacted: Counter,
+    pub(crate) non_member_dropped: Counter,
+    pub(crate) snapshots_sent: Counter,
+    pub(crate) snapshot_bytes: Counter,
+    pub(crate) snapshots_installed: Counter,
     pub(crate) exchange_time_micros: Counter,
     pub(crate) exchange_wait_micros: Counter,
     /// Per-exchange latency distribution (microseconds).
@@ -105,6 +137,13 @@ impl DsoCounters {
             resyncs: registry.counter("dso.resyncs"),
             retransmits: registry.counter("dso.retransmits"),
             duplicates_dropped: registry.counter("dso.duplicates_dropped"),
+            view_changes: registry.counter("dso.member.view_changes"),
+            cross_epoch_dropped: registry.counter("dso.member.cross_epoch_dropped"),
+            slots_compacted: registry.counter("dso.member.slots_compacted"),
+            non_member_dropped: registry.counter("dso.member.non_member_dropped"),
+            snapshots_sent: registry.counter("dso.member.snapshots_sent"),
+            snapshot_bytes: registry.counter("dso.member.snapshot_bytes"),
+            snapshots_installed: registry.counter("dso.member.snapshots_installed"),
             exchange_time_micros: registry.counter("dso.exchange_time_micros"),
             exchange_wait_micros: registry.counter("dso.exchange_wait_micros"),
             exchange_latency: registry.histogram("dso.exchange_micros"),
@@ -124,6 +163,13 @@ impl DsoCounters {
             resyncs: self.resyncs.get(),
             retransmits: self.retransmits.get(),
             duplicates_dropped: self.duplicates_dropped.get(),
+            view_changes: self.view_changes.get(),
+            cross_epoch_dropped: self.cross_epoch_dropped.get(),
+            slots_compacted: self.slots_compacted.get(),
+            non_member_dropped: self.non_member_dropped.get(),
+            snapshots_sent: self.snapshots_sent.get(),
+            snapshot_bytes: self.snapshot_bytes.get(),
+            snapshots_installed: self.snapshots_installed.get(),
             exchange_time: SimSpan::from_micros(self.exchange_time_micros.get()),
             exchange_wait: SimSpan::from_micros(self.exchange_wait_micros.get()),
         }

@@ -1,5 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use sdso_member::{Epoch, MembershipView, ViewChange};
 use sdso_net::{Endpoint, MsgClass, NetError, NodeId, Payload, SimSpan};
 use sdso_obs::{EventKind, Obs};
 
@@ -102,6 +103,19 @@ impl ArqState {
             ready: VecDeque::new(),
         }
     }
+
+    /// Resets the per-link state for a departed peer: its unacked traffic
+    /// is undeliverable, its out-of-order residue must not poison a future
+    /// occupant of the slot, and sequencing restarts from zero if the slot
+    /// is ever reused by a joiner.
+    fn forget_peer(&mut self, peer: NodeId) {
+        let p = usize::from(peer);
+        self.tx_seq[p] = 0;
+        self.unacked[p].clear();
+        self.rx_next[p] = 0;
+        self.ooo[p].clear();
+        self.ready.retain(|(from, _)| *from != peer);
+    }
 }
 
 /// The S-DSO runtime: one per process.
@@ -140,6 +154,11 @@ pub struct SdsoRuntime<E: Endpoint> {
     acks_received: u64,
     /// Reliability layer state, present iff `config.reliability` is set.
     arq: Option<ArqState>,
+    /// The membership view every exchange is computed under. Starts as the
+    /// full static group (the paper's fixed cluster); churn-aware drivers
+    /// install an explicit initial view and advance it at view-change
+    /// barriers.
+    view: MembershipView,
     /// This node's observability bundle (recorder + registry).
     obs: Obs,
     /// Live `dso.*` counters in the bundle's registry.
@@ -179,6 +198,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
             app_inbox: VecDeque::new(),
             acks_received: 0,
             arq: config.reliability.map(|cfg| ArqState::new(cfg, n)),
+            view: MembershipView::full(n),
             obs,
             counters,
         }
@@ -240,6 +260,243 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// The exchange list (for inspection by tests and protocol layers).
     pub fn exchange_list(&self) -> &ExchangeList {
         &self.exchange_list
+    }
+
+    // ------------------------------------------------------------------
+    // Membership (epoch-scoped views, view-change barriers, snapshots)
+    // ------------------------------------------------------------------
+
+    /// The membership view exchanges are currently computed under.
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// The current membership epoch (stamped on all rendezvous traffic).
+    pub fn epoch(&self) -> Epoch {
+        self.view.epoch()
+    }
+
+    /// Installs an explicit membership view, reconciling the slotted
+    /// buffer so exactly the view's remote members have active slots.
+    /// Called once at startup by churn-aware drivers: initial members
+    /// install the plan's initial view; a late joiner installs the view of
+    /// the epoch it joins in (then obtains state via
+    /// [`SdsoRuntime::await_snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's capacity differs from the transport's node
+    /// count, or if this process is not a member of the view.
+    pub fn set_membership(&mut self, view: MembershipView) {
+        assert_eq!(
+            view.capacity(),
+            self.num_nodes(),
+            "membership capacity must match the transport"
+        );
+        assert!(view.contains(self.node_id()), "set_membership: local process not in view");
+        self.view = view;
+        self.reconcile_buffer_slots();
+    }
+
+    /// Applies one view change at a barrier: prunes departed peers from
+    /// every data structure (exchange list, slotted buffer, reliability
+    /// links, early-arrival buffer, transport), bumps the epoch, activates
+    /// slots for joiners and asks the s-function for their first exchange
+    /// times, and fires the s-function's membership-delta hook.
+    ///
+    /// Call this after the barrier exchange of the trigger tick has
+    /// completed (every old-view member has flushed and converged) — the
+    /// paper's static assumption holds within each epoch, and this method
+    /// is the only transition between epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoError::ProtocolViolation`] if the change is invalid
+    /// against the current view, or if the s-function schedules a
+    /// non-future first exchange for a joiner.
+    pub fn apply_view_change(
+        &mut self,
+        change: &ViewChange,
+        sfunc: &mut dyn SFunction,
+    ) -> Result<(), DsoError> {
+        let now = self.clock.now();
+        // Validate against an unmodified view before touching anything.
+        let mut next_view = self.view.clone();
+        next_view
+            .apply(change)
+            .map_err(|e| DsoError::ProtocolViolation(format!("invalid view change: {e}")))?;
+
+        // A continuer may still hold unacknowledged barrier frames for a
+        // leaver (every copy lost in flight). Forgetting them below would
+        // strand the leaver in its barrier with nobody left to retransmit,
+        // so drain each departing link first, while the leaver is still a
+        // member and acks flow normally.
+        if self.arq.is_some() {
+            for &leaver in &change.left {
+                if leaver != self.node_id() {
+                    self.settle_link(leaver)?;
+                }
+            }
+        }
+        for &leaver in &change.left {
+            self.exchange_list.remove(leaver);
+            if self.buffer.has_peer(leaver) {
+                let orphaned = self.buffer.remove_peer(leaver);
+                self.counters.slots_compacted.add(orphaned.len() as u64);
+            }
+            if let Some(arq) = &mut self.arq {
+                arq.forget_peer(leaver);
+            }
+            self.early.retain(|&(peer, _), _| peer != leaver);
+            self.endpoint.remove_peer(leaver);
+        }
+        self.view = next_view;
+        for &joiner in &change.joined {
+            if joiner == self.node_id() {
+                continue;
+            }
+            self.endpoint.add_peer(joiner);
+            if !self.buffer.has_peer(joiner) {
+                self.buffer.add_peer(joiner);
+            }
+            if let Some(t) = sfunc.next_exchange(joiner, now, &self.store) {
+                if t <= now {
+                    return Err(DsoError::ProtocolViolation(
+                        "s-function scheduled a non-future exchange for a joiner".into(),
+                    ));
+                }
+                self.exchange_list.schedule(joiner, t);
+            }
+        }
+        let joined: Vec<NodeId> = change.joined.iter().copied().collect();
+        let left: Vec<NodeId> = change.left.iter().copied().collect();
+        sfunc.on_view_change(&joined, &left);
+        self.counters.view_changes.inc();
+        self.obs.record(
+            self.endpoint.now().as_micros(),
+            EventKind::ViewChange,
+            self.view.epoch().0,
+            joined.len() as u32,
+            left.len() as u32,
+        );
+        Ok(())
+    }
+
+    /// Pushes a state snapshot to a late joiner: every object modified
+    /// since initialisation as a from-zero diff (the joiner shares the
+    /// same initial bodies, so pristine objects need no transfer), plus
+    /// this donor's logical-time and Lamport frontiers. O(objects) bytes,
+    /// never O(history). Returns the encoded snapshot size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn send_snapshot(&mut self, to: NodeId) -> Result<usize, DsoError> {
+        let updates: Vec<WireUpdate> = self
+            .store
+            .iter()
+            .filter(|(_, replica)| replica.version() != Version::INITIAL)
+            .map(|(id, replica)| WireUpdate {
+                object: id,
+                diff: Diff::single(0, replica.data().to_vec()),
+                version: replica.version(),
+            })
+            .collect();
+        let msg = DsoMessage::Snapshot {
+            epoch: self.view.epoch(),
+            time: self.clock.now(),
+            lamport: self.lamport,
+            updates,
+        };
+        let bytes = sdso_net::wire::encode(&msg).len();
+        self.counters.snapshots_sent.inc();
+        self.counters.snapshot_bytes.add(bytes as u64);
+        self.obs.record(
+            self.endpoint.now().as_micros(),
+            EventKind::SnapshotSend,
+            u32::from(to),
+            bytes as u32,
+            self.view.epoch().0,
+        );
+        self.send_msg(to, msg)?;
+        Ok(bytes)
+    }
+
+    /// Blocks until the designated donor's snapshot arrives, then installs
+    /// it: object bodies apply under last-writer-wins, the logical clock
+    /// jumps to the donor's frontier, and the Lamport clock folds in the
+    /// donor's stamp. Rendezvous traffic from other members that overtakes
+    /// the snapshot is early-buffered for the joiner's first exchanges;
+    /// protocol traffic is queued or serviced as usual.
+    ///
+    /// Returns the installed snapshot's logical time.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, or [`DsoError::ProtocolViolation`] if the
+    /// snapshot is stamped with a different epoch than this view's.
+    pub fn await_snapshot(&mut self, donor: NodeId) -> Result<LogicalTime, DsoError> {
+        loop {
+            let (from, msg) = self.next_msg_wait()?;
+            match msg {
+                DsoMessage::Snapshot { epoch, time, lamport, updates } if from == donor => {
+                    if epoch != self.view.epoch() {
+                        return Err(DsoError::ProtocolViolation(format!(
+                            "snapshot from {from} stamped {epoch}, joiner is at {}",
+                            self.view.epoch()
+                        )));
+                    }
+                    self.apply_updates(&updates)?;
+                    self.lamport = self.lamport.max(lamport);
+                    self.clock.advance_to(time);
+                    self.counters.snapshots_installed.inc();
+                    self.obs.record(
+                        self.endpoint.now().as_micros(),
+                        EventKind::SnapshotInstall,
+                        u32::from(from),
+                        updates.len() as u32,
+                        epoch.0,
+                    );
+                    return Ok(time);
+                }
+                DsoMessage::Data { epoch, time, updates } if epoch >= self.view.epoch() => {
+                    self.counters.early_buffered.inc();
+                    self.early.entry((from, time)).or_default().updates.extend(updates);
+                }
+                DsoMessage::Sync { epoch, time } if epoch >= self.view.epoch() => {
+                    self.counters.early_buffered.inc();
+                    self.early.entry((from, time)).or_default().sync = true;
+                }
+                DsoMessage::Data { .. } | DsoMessage::Sync { .. } => {
+                    self.counters.cross_epoch_dropped.inc();
+                }
+                other => {
+                    if let Some(Event::App { from, class, bytes }) = self.dispatch(from, other)? {
+                        self.app_inbox.push_back((from, class, bytes));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deactivates slotted-buffer slots for non-members and activates
+    /// slots for members, so buffered diffs accumulate for exactly the
+    /// current view's remote peers.
+    fn reconcile_buffer_slots(&mut self) {
+        let me = self.node_id();
+        for peer in 0..self.num_nodes() as NodeId {
+            if peer == me {
+                continue;
+            }
+            match (self.view.contains(peer), self.buffer.has_peer(peer)) {
+                (false, true) => {
+                    let orphaned = self.buffer.remove_peer(peer);
+                    self.counters.slots_compacted.add(orphaned.len() as u64);
+                }
+                (true, false) => self.buffer.add_peer(peer),
+                _ => {}
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -355,7 +612,10 @@ impl<E: Endpoint> SdsoRuntime<E> {
     // ------------------------------------------------------------------
 
     /// Seeds the exchange list by asking the s-function for an initial
-    /// exchange time for every remote peer (called once after `share`s).
+    /// exchange time for every remote peer in the current membership view
+    /// (called once after `share`s). The schedule is seeded from the
+    /// logical clock's current time — zero at program initialisation, or a
+    /// late joiner's snapshot frontier.
     ///
     /// # Errors
     ///
@@ -363,12 +623,10 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// non-future time.
     pub fn init_schedule(&mut self, sfunc: &mut dyn SFunction) -> Result<(), DsoError> {
         let me = self.node_id();
-        for peer in 0..self.num_nodes() as NodeId {
-            if peer == me {
-                continue;
-            }
-            if let Some(t) = sfunc.next_exchange(peer, LogicalTime::ZERO, &self.store) {
-                if t <= LogicalTime::ZERO {
+        let now = self.clock.now();
+        for peer in self.view.peers_of(me) {
+            if let Some(t) = sfunc.next_exchange(peer, now, &self.store) {
+                if t <= now {
                     return Err(DsoError::ProtocolViolation(
                         "s-function scheduled a non-future exchange".into(),
                     ));
@@ -413,7 +671,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let me = self.node_id();
 
         let due: Vec<NodeId> = match how {
-            SendMode::Broadcast => (0..self.num_nodes() as NodeId).filter(|&p| p != me).collect(),
+            SendMode::Broadcast => self.view.peers_of(me),
             SendMode::Multicast => self.exchange_list.due(t),
         };
         self.obs.record(
@@ -442,10 +700,11 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 version: *version,
             }));
             updates_sent += updates.len();
+            let epoch = self.view.epoch();
             if !updates.is_empty() {
-                self.send_msg(peer, DsoMessage::Data { time: t, updates })?;
+                self.send_msg(peer, DsoMessage::Data { epoch, time: t, updates })?;
             }
-            self.send_msg(peer, DsoMessage::Sync { time: t })?;
+            self.send_msg(peer, DsoMessage::Sync { epoch, time: t })?;
         }
 
         // Buffer this interval's modifications for everyone not exchanged
@@ -503,10 +762,18 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let mut applied = 0usize;
         while let Some((from, msg)) = self.next_msg_try()? {
             match msg {
-                DsoMessage::Data { updates, .. } => {
-                    applied += self.apply_updates(&updates)?;
+                DsoMessage::Data { epoch, updates, .. } => {
+                    if epoch < self.view.epoch() {
+                        self.counters.cross_epoch_dropped.inc();
+                    } else {
+                        applied += self.apply_updates(&updates)?;
+                    }
                 }
                 DsoMessage::Sync { .. } => {}
+                DsoMessage::SnapshotReq { .. } => {
+                    self.send_snapshot(from)?;
+                }
+                DsoMessage::Snapshot { .. } => {} // duplicate of an installed snapshot
                 other => {
                     return Err(DsoError::ProtocolViolation(format!(
                         "unexpected {other:?} from {from} during push-mode drain"
@@ -543,8 +810,16 @@ impl<E: Endpoint> SdsoRuntime<E> {
         );
         while !outstanding.is_empty() {
             let (from, msg) = self.next_msg_blocking()?;
+            // Cross-epoch traffic never errors the engine: residue from a
+            // peer that has since left is dropped (and counted), traffic
+            // from a peer that is an epoch ahead is buffered by its
+            // logical time like any early arrival.
+            if msg.epoch().is_some_and(|e| e < self.view.epoch()) {
+                self.counters.cross_epoch_dropped.inc();
+                continue;
+            }
             match msg {
-                DsoMessage::Data { time, updates } => {
+                DsoMessage::Data { time, updates, .. } => {
                     if time == t && due.contains(&from) {
                         applied += self.apply_updates(&updates)?;
                     } else if time > t {
@@ -556,7 +831,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
                         )));
                     }
                 }
-                DsoMessage::Sync { time } => {
+                DsoMessage::Sync { time, .. } => {
                     if time == t && outstanding.remove(&from) {
                         // Rendezvous with `from` complete.
                     } else if time > t {
@@ -568,6 +843,10 @@ impl<E: Endpoint> SdsoRuntime<E> {
                         )));
                     }
                 }
+                DsoMessage::SnapshotReq { .. } => {
+                    self.send_snapshot(from)?;
+                }
+                DsoMessage::Snapshot { .. } => {} // duplicate of an installed snapshot
                 other => {
                     return Err(DsoError::ProtocolViolation(format!(
                         "unexpected {other:?} from {from} during rendezvous at {t}"
@@ -619,6 +898,19 @@ impl<E: Endpoint> SdsoRuntime<E> {
         bytes: &[u8],
     ) -> Result<Option<(NodeId, DsoMessage)>, DsoError> {
         let msg: DsoMessage = sdso_net::wire::decode(bytes).map_err(DsoError::Net)?;
+        // Residue from a departed member (sequenced traffic stamped with a
+        // past epoch): pretend-ack it so the leaver's settle converges
+        // promptly, but keep its content and sequencing out of the live
+        // per-link state — a joiner reusing the slot starts from zero.
+        if self.arq.is_some() && !self.view.contains(from) {
+            if let DsoMessage::Env { seq, ref inner } = msg {
+                if inner.epoch().is_some_and(|e| e < self.view.epoch()) {
+                    self.counters.cross_epoch_dropped.inc();
+                    self.send_msg(from, DsoMessage::SeqAck { next: seq + 1 })?;
+                    return Ok(None);
+                }
+            }
+        }
         let Some(arq) = &mut self.arq else {
             return Ok(Some((from, msg)));
         };
@@ -698,6 +990,27 @@ impl<E: Endpoint> SdsoRuntime<E> {
         }
     }
 
+    /// Blocking receive without the silent-round retry budget: for a
+    /// joiner waiting to be admitted, where arbitrarily long silence is
+    /// expected (its join barrier lies at a far-future trigger tick) and
+    /// it holds no unacknowledged traffic whose recovery a timeout would
+    /// drive. A genuine group failure parks this process in the
+    /// transport and surfaces through the scheduler's stall detection
+    /// instead of a spurious retry-budget error.
+    fn next_msg_wait(&mut self) -> Result<(NodeId, DsoMessage), DsoError> {
+        if let Some(arq) = &mut self.arq {
+            if let Some(m) = arq.ready.pop_front() {
+                return Ok(m);
+            }
+        }
+        loop {
+            let incoming = self.endpoint.recv().map_err(DsoError::Net)?;
+            if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+                return Ok(m);
+            }
+        }
+    }
+
     /// Non-blocking receive of the next logical message.
     fn next_msg_try(&mut self) -> Result<Option<(NodeId, DsoMessage)>, DsoError> {
         if let Some(arq) = &mut self.arq {
@@ -720,9 +1033,77 @@ impl<E: Endpoint> SdsoRuntime<E> {
             .unacked
             .iter()
             .enumerate()
+            .filter(|&(p, _)| self.view.contains(p as NodeId))
             .flat_map(|(p, q)| q.iter().map(move |(&s, m)| (p as NodeId, s, m.clone())))
             .collect();
         for (peer, seq, inner) in pending {
+            self.counters.retransmits.inc();
+            self.obs.record(
+                self.endpoint.now().as_micros(),
+                EventKind::Retransmit,
+                u32::from(peer),
+                seq as u32,
+                0,
+            );
+            let payload = DsoMessage::Env { seq, inner: Box::new(inner) }
+                .into_payload(self.config.frame_wire_len);
+            self.endpoint.send(peer, payload).map_err(DsoError::Net)?;
+        }
+        Ok(())
+    }
+
+    /// Drains the reliability link toward a departing peer: waits
+    /// (retransmitting that link on each timeout) until the peer has
+    /// acknowledged every frame this process sent it. Messages from other
+    /// peers delivered along the way are queued for normal consumption.
+    ///
+    /// Bounded: returns after `LINK_SETTLE_ROUNDS` timeouts even if
+    /// acks never came — the peer then settled and exited already, and
+    /// nothing further is owed on the link.
+    fn settle_link(&mut self, peer: NodeId) -> Result<(), DsoError> {
+        const LINK_SETTLE_ROUNDS: u32 = 32;
+        let Some(arq) = &self.arq else { return Ok(()) };
+        let cfg = arq.cfg;
+        let mut silent = 0u32;
+        loop {
+            let link_empty =
+                self.arq.as_ref().is_none_or(|a| a.unacked[usize::from(peer)].is_empty());
+            if link_empty || silent >= LINK_SETTLE_ROUNDS.min(cfg.max_retries) {
+                return Ok(());
+            }
+            match self.endpoint.recv_deadline(cfg.rto).map_err(DsoError::Net)? {
+                Some(incoming) => {
+                    let queued = self.arq.as_ref().map_or(0, |a| a.ready.len());
+                    if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+                        if let Some(arq) = &mut self.arq {
+                            // Per-link FIFO: the head goes in front of the
+                            // successors `admit_raw` queued behind it.
+                            arq.ready.insert(queued, m);
+                        }
+                    }
+                }
+                None => {
+                    silent += 1;
+                    self.counters.resyncs.inc();
+                    self.obs.record(
+                        self.endpoint.now().as_micros(),
+                        EventKind::Resync,
+                        silent,
+                        0,
+                        0,
+                    );
+                    self.retransmit_link(peer)?;
+                }
+            }
+        }
+    }
+
+    /// Resends every unacknowledged frame on one link, oldest first.
+    fn retransmit_link(&mut self, peer: NodeId) -> Result<(), DsoError> {
+        let Some(arq) = &self.arq else { return Ok(()) };
+        let pending: Vec<(u64, DsoMessage)> =
+            arq.unacked[usize::from(peer)].iter().map(|(&s, m)| (s, m.clone())).collect();
+        for (seq, inner) in pending {
             self.counters.retransmits.inc();
             self.obs.record(
                 self.endpoint.now().as_micros(),
@@ -801,12 +1182,16 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// object traffic is serviced, app messages are queued, late rendezvous
     /// traffic is buffered (future) or ignored (already satisfied).
     fn absorb_settled(&mut self, from: NodeId, msg: DsoMessage) -> Result<(), DsoError> {
+        if msg.epoch().is_some_and(|e| e < self.view.epoch()) {
+            self.counters.cross_epoch_dropped.inc();
+            return Ok(());
+        }
         match msg {
-            DsoMessage::Data { time, updates } if time > self.clock.now() => {
+            DsoMessage::Data { time, updates, .. } if time > self.clock.now() => {
                 self.counters.early_buffered.inc();
                 self.early.entry((from, time)).or_default().updates.extend(updates);
             }
-            DsoMessage::Sync { time } if time > self.clock.now() => {
+            DsoMessage::Sync { time, .. } if time > self.clock.now() => {
                 self.counters.early_buffered.inc();
                 self.early.entry((from, time)).or_default().sync = true;
             }
@@ -1017,6 +1402,12 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 Ok(Some(Event::Ack { from }))
             }
             DsoMessage::App { class, bytes } => Ok(Some(Event::App { from, class, bytes })),
+            DsoMessage::SnapshotReq { .. } => {
+                self.send_snapshot(from)?;
+                Ok(None)
+            }
+            // A duplicate of a snapshot this process already installed.
+            DsoMessage::Snapshot { .. } => Ok(None),
             DsoMessage::Data { .. } | DsoMessage::Sync { .. } => Err(DsoError::ProtocolViolation(
                 format!("rendezvous message from {from} outside an exchange"),
             )),
@@ -1027,6 +1418,14 @@ impl<E: Endpoint> SdsoRuntime<E> {
     }
 
     fn send_msg(&mut self, peer: NodeId, msg: DsoMessage) -> Result<(), DsoError> {
+        // Suppress protocol traffic to non-members: a departed peer will
+        // never consume it, and queueing it on the reliability layer would
+        // leave permanently-unackable state. Sequence acks are exempt —
+        // they are what lets a leaver's final settle converge.
+        if !self.view.contains(peer) && !matches!(msg, DsoMessage::SeqAck { .. }) {
+            self.counters.non_member_dropped.inc();
+            return Ok(());
+        }
         let msg = match &mut self.arq {
             // Acks police the sequenced stream and must not join it.
             Some(arq) if !matches!(msg, DsoMessage::SeqAck { .. }) => {

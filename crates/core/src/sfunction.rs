@@ -50,6 +50,15 @@ pub trait SFunction {
         now: LogicalTime,
         view: &ObjectStore,
     ) -> Option<LogicalTime>;
+
+    /// Membership-delta hook: called once per view change, after the
+    /// runtime has pruned leavers and before it schedules first exchanges
+    /// with joiners. S-functions that cache per-peer spatial state (e.g.
+    /// interaction predictions keyed by peer) override this to recompute
+    /// their groups; stateless s-functions need not.
+    fn on_view_change(&mut self, joined: &[NodeId], left: &[NodeId]) {
+        let _ = (joined, left);
+    }
 }
 
 impl<F> SFunction for F

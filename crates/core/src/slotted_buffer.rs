@@ -45,6 +45,7 @@ pub struct SlottedBuffer {
     /// maps to one or more pending updates (more than one only when merging
     /// is disabled).
     slots: Vec<Option<BTreeMap<ObjectId, Vec<PendingUpdate>>>>,
+    me: usize,
     merge: bool,
     merged_count: u64,
 }
@@ -62,7 +63,7 @@ impl SlottedBuffer {
         let slots = (0..num_nodes)
             .map(|i| if i == usize::from(me) { None } else { Some(BTreeMap::new()) })
             .collect();
-        SlottedBuffer { slots, merge, merged_count: 0 }
+        SlottedBuffer { slots, me: usize::from(me), merge, merged_count: 0 }
     }
 
     /// Buffers a local modification for every remote peer except those in
@@ -119,6 +120,47 @@ impl SlottedBuffer {
             .values()
             .map(Vec::len)
             .sum()
+    }
+
+    /// Compacts away a departed peer's slot, returning whatever pending
+    /// updates it still held so the caller can account for (rather than
+    /// silently leak) undelivered work. Subsequent `buffer_for_all` calls
+    /// skip the peer; `drain_slot`/`slot_len` panic on it like they do for
+    /// the local process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the local process, out of range, or already
+    /// removed.
+    pub fn remove_peer(&mut self, peer: NodeId) -> Vec<PendingUpdate> {
+        let slot = self.slots[usize::from(peer)]
+            .take()
+            .expect("remove_peer: peer must be an active remote");
+        slot.into_values().flatten().collect()
+    }
+
+    /// (Re-)activates a slot for a peer that joined the group, starting
+    /// empty: a joiner is brought up to date by snapshot transfer, not by
+    /// replaying history, so no back-fill of past diffs is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the local process or already active.
+    pub fn add_peer(&mut self, peer: NodeId) {
+        let idx = usize::from(peer);
+        assert!(idx != self.me, "add_peer: peer must be remote");
+        if idx == self.slots.len() {
+            self.slots.push(Some(BTreeMap::new()));
+            return;
+        }
+        let slot = &mut self.slots[idx];
+        assert!(slot.is_none(), "add_peer: slot already active");
+        *slot = Some(BTreeMap::new());
+    }
+
+    /// Whether `peer` currently has an active slot.
+    pub fn has_peer(&self, peer: NodeId) -> bool {
+        self.slots.get(usize::from(peer)).is_some_and(Option::is_some)
     }
 
     /// How many per-object merges have occurred (for the diff-merging
@@ -214,6 +256,69 @@ mod tests {
     fn draining_own_slot_panics() {
         let mut b = buf();
         let _ = b.drain_slot(1);
+    }
+
+    #[test]
+    fn remove_peer_compacts_pending_updates_instead_of_leaking() {
+        // The leak scenario: a peer departs while its slot still holds
+        // merged diffs that were never delivered. Removal must surface
+        // those updates to the caller and drop the slot from all
+        // accounting, so `total_pending` cannot count phantom work for a
+        // peer that will never rendezvous again.
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1, 1]), v(1, 1), &[]);
+        b.buffer_for_all(ObjectId(1), &Diff::single(1, vec![2, 2]), v(2, 1), &[]);
+        b.buffer_for_all(ObjectId(5), &Diff::single(0, vec![9]), v(3, 1), &[]);
+        assert_eq!(b.total_pending(), 6, "2 objects x 3 remote peers, merged");
+
+        let orphaned = b.remove_peer(3);
+        assert_eq!(orphaned.len(), 2, "both merged objects surfaced");
+        assert_eq!(orphaned[0].object, ObjectId(1));
+        assert_eq!(orphaned[0].version, v(2, 1), "merge preserved up to removal");
+        assert_eq!(orphaned[1].object, ObjectId(5));
+        assert_eq!(b.total_pending(), 4, "departed peer's slot no longer counted");
+        assert!(!b.has_peer(3));
+
+        // New modifications must not accumulate for the departed peer.
+        b.buffer_for_all(ObjectId(7), &Diff::single(2, vec![7]), v(4, 1), &[]);
+        assert_eq!(b.total_pending(), 6, "only the two live remotes buffered");
+        assert_eq!(b.slot_len(0), 3);
+        assert_eq!(b.slot_len(2), 3);
+    }
+
+    #[test]
+    fn add_peer_reactivates_an_empty_slot() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        let _ = b.remove_peer(2);
+        b.add_peer(2);
+        assert!(b.has_peer(2));
+        assert_eq!(b.slot_len(2), 0, "joiner starts with an empty slot");
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![2]), v(2, 1), &[]);
+        assert_eq!(b.slot_len(2), 1);
+    }
+
+    #[test]
+    fn add_peer_can_grow_capacity() {
+        let mut b = SlottedBuffer::new(2, 0, true);
+        b.add_peer(2);
+        assert!(b.has_peer(2));
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 0), &[]);
+        assert_eq!(b.slot_len(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "active remote")]
+    fn removing_own_slot_panics() {
+        let mut b = buf();
+        let _ = b.remove_peer(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn adding_an_active_peer_panics() {
+        let mut b = buf();
+        b.add_peer(0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! consistency's lock traffic, LRC's write notices, …) travel inside the
 //! [`DsoMessage::App`] escape hatch so that one framing layer serves all.
 
+use sdso_member::Epoch;
 use sdso_net::wire::{Wire, WireReader, WireWriter};
 use sdso_net::{MsgClass, NetError, Payload};
 
@@ -41,8 +42,11 @@ impl Wire for WireUpdate {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DsoMessage {
     /// The data half of a rendezvous `(data, SYNC)` pair: buffered plus
-    /// current-interval updates, stamped with the sender's logical time.
+    /// current-interval updates, stamped with the sender's logical time and
+    /// the membership epoch the exchange was computed under.
     Data {
+        /// Membership epoch the sender computed this exchange under.
+        epoch: Epoch,
         /// Sender's logical time.
         time: LogicalTime,
         /// The updates carried.
@@ -52,6 +56,8 @@ pub enum DsoMessage {
     /// has no updates to report (e.g. it lost a contention arbitration and
     /// held still this interval).
     Sync {
+        /// Membership epoch the sender computed this exchange under.
+        epoch: Epoch,
         /// Sender's logical time.
         time: LogicalTime,
     },
@@ -106,6 +112,28 @@ pub enum DsoMessage {
         /// The receiver's next expected sequence number.
         next: u64,
     },
+    /// A late joiner asking its designated donor for a state snapshot in
+    /// `epoch` (the donor usually pushes unprompted at the view-change
+    /// barrier; the request covers a joiner that raced ahead of it).
+    SnapshotReq {
+        /// The epoch the joiner is entering.
+        epoch: Epoch,
+    },
+    /// A full-state transfer to a late joiner: every shared object's
+    /// current body (as a from-zero diff reusing the rendezvous wire
+    /// encoding) plus the donor's logical-clock frontier. O(objects) bytes,
+    /// never O(history).
+    Snapshot {
+        /// The epoch this snapshot is consistent with.
+        epoch: Epoch,
+        /// The donor's logical time at the view-change barrier.
+        time: LogicalTime,
+        /// The donor's Lamport stamp, so the joiner's future writes order
+        /// after everything folded into the snapshot.
+        lamport: u64,
+        /// Current state of every modified object.
+        updates: Vec<WireUpdate>,
+    },
 }
 
 const TAG_DATA: u8 = 1;
@@ -117,18 +145,40 @@ const TAG_ACK: u8 = 6;
 const TAG_APP: u8 = 7;
 const TAG_ENV: u8 = 8;
 const TAG_SEQ_ACK: u8 = 9;
+const TAG_SNAPSHOT_REQ: u8 = 10;
+const TAG_SNAPSHOT: u8 = 11;
 
 impl DsoMessage {
+    /// The membership epoch stamped on this message, for the kinds that
+    /// carry one (rendezvous and snapshot traffic; unwrapping envelopes).
+    pub fn epoch(&self) -> Option<Epoch> {
+        match self {
+            DsoMessage::Data { epoch, .. }
+            | DsoMessage::Sync { epoch, .. }
+            | DsoMessage::SnapshotReq { epoch }
+            | DsoMessage::Snapshot { epoch, .. } => Some(*epoch),
+            DsoMessage::Env { inner, .. } => inner.epoch(),
+            DsoMessage::Put { .. }
+            | DsoMessage::GetReq { .. }
+            | DsoMessage::GetRep { .. }
+            | DsoMessage::Ack
+            | DsoMessage::App { .. }
+            | DsoMessage::SeqAck { .. } => None,
+        }
+    }
+
     /// The accounting class of this message (data messages carry object
     /// state; everything else is control).
     pub fn class(&self) -> MsgClass {
         match self {
-            DsoMessage::Data { .. } | DsoMessage::Put { .. } | DsoMessage::GetRep { .. } => {
-                MsgClass::Data
-            }
-            DsoMessage::Sync { .. } | DsoMessage::GetReq { .. } | DsoMessage::Ack => {
-                MsgClass::Control
-            }
+            DsoMessage::Data { .. }
+            | DsoMessage::Put { .. }
+            | DsoMessage::GetRep { .. }
+            | DsoMessage::Snapshot { .. } => MsgClass::Data,
+            DsoMessage::Sync { .. }
+            | DsoMessage::GetReq { .. }
+            | DsoMessage::Ack
+            | DsoMessage::SnapshotReq { .. } => MsgClass::Control,
             DsoMessage::App { class, .. } => *class,
             DsoMessage::Env { inner, .. } => inner.class(),
             DsoMessage::SeqAck { .. } => MsgClass::Control,
@@ -152,13 +202,15 @@ impl DsoMessage {
 impl Wire for DsoMessage {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            DsoMessage::Data { time, updates } => {
+            DsoMessage::Data { epoch, time, updates } => {
                 w.put_u8(TAG_DATA);
+                w.put_u32(epoch.0);
                 w.put_u64(time.as_ticks());
                 w.put_seq(updates, |w, u| u.encode(w));
             }
-            DsoMessage::Sync { time } => {
+            DsoMessage::Sync { epoch, time } => {
                 w.put_u8(TAG_SYNC);
+                w.put_u32(epoch.0);
                 w.put_u64(time.as_ticks());
             }
             DsoMessage::Put { object, version, body, wants_ack } => {
@@ -193,17 +245,33 @@ impl Wire for DsoMessage {
                 w.put_u8(TAG_SEQ_ACK);
                 w.put_u64(*next);
             }
+            DsoMessage::SnapshotReq { epoch } => {
+                w.put_u8(TAG_SNAPSHOT_REQ);
+                w.put_u32(epoch.0);
+            }
+            DsoMessage::Snapshot { epoch, time, lamport, updates } => {
+                w.put_u8(TAG_SNAPSHOT);
+                w.put_u32(epoch.0);
+                w.put_u64(time.as_ticks());
+                w.put_u64(*lamport);
+                w.put_seq(updates, |w, u| u.encode(w));
+            }
         }
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         match r.get_u8()? {
             TAG_DATA => {
+                let epoch = Epoch(r.get_u32()?);
                 let time = LogicalTime::from_ticks(r.get_u64()?);
                 let updates = r.get_seq(WireUpdate::decode)?;
-                Ok(DsoMessage::Data { time, updates })
+                Ok(DsoMessage::Data { epoch, time, updates })
             }
-            TAG_SYNC => Ok(DsoMessage::Sync { time: LogicalTime::from_ticks(r.get_u64()?) }),
+            TAG_SYNC => {
+                let epoch = Epoch(r.get_u32()?);
+                let time = LogicalTime::from_ticks(r.get_u64()?);
+                Ok(DsoMessage::Sync { epoch, time })
+            }
             TAG_PUT => {
                 let object = ObjectId::decode(r)?;
                 let version = Version::decode(r)?;
@@ -236,6 +304,14 @@ impl Wire for DsoMessage {
                 Ok(DsoMessage::Env { seq, inner: Box::new(inner) })
             }
             TAG_SEQ_ACK => Ok(DsoMessage::SeqAck { next: r.get_u64()? }),
+            TAG_SNAPSHOT_REQ => Ok(DsoMessage::SnapshotReq { epoch: Epoch(r.get_u32()?) }),
+            TAG_SNAPSHOT => {
+                let epoch = Epoch(r.get_u32()?);
+                let time = LogicalTime::from_ticks(r.get_u64()?);
+                let lamport = r.get_u64()?;
+                let updates = r.get_seq(WireUpdate::decode)?;
+                Ok(DsoMessage::Snapshot { epoch, time, lamport, updates })
+            }
             tag => Err(NetError::Codec(format!("unknown DsoMessage tag {tag:#x}"))),
         }
     }
@@ -279,6 +355,7 @@ mod tests {
     fn all_variants_roundtrip() {
         let v = Version::new(LogicalTime::from_ticks(4), 2);
         roundtrip(DsoMessage::Data {
+            epoch: Epoch(2),
             time: LogicalTime::from_ticks(9),
             updates: vec![WireUpdate {
                 object: ObjectId(3),
@@ -286,7 +363,7 @@ mod tests {
                 version: v,
             }],
         });
-        roundtrip(DsoMessage::Sync { time: LogicalTime::from_ticks(1) });
+        roundtrip(DsoMessage::Sync { epoch: Epoch(1), time: LogicalTime::from_ticks(1) });
         roundtrip(DsoMessage::Put {
             object: ObjectId(1),
             version: v,
@@ -299,18 +376,33 @@ mod tests {
         roundtrip(DsoMessage::App { class: MsgClass::Control, bytes: vec![9, 9] });
         roundtrip(DsoMessage::Env { seq: 17, inner: Box::new(DsoMessage::Ack) });
         roundtrip(DsoMessage::SeqAck { next: 42 });
+        roundtrip(DsoMessage::SnapshotReq { epoch: Epoch(3) });
+        roundtrip(DsoMessage::Snapshot {
+            epoch: Epoch(3),
+            time: LogicalTime::from_ticks(40),
+            lamport: 77,
+            updates: vec![WireUpdate {
+                object: ObjectId(0),
+                diff: Diff::single(0, vec![5; 8]),
+                version: v,
+            }],
+        });
     }
 
     #[test]
     fn envelope_class_follows_inner() {
         let env = DsoMessage::Env {
             seq: 0,
-            inner: Box::new(DsoMessage::Sync { time: LogicalTime::ZERO }),
+            inner: Box::new(DsoMessage::Sync { epoch: Epoch::ZERO, time: LogicalTime::ZERO }),
         };
         assert_eq!(env.class(), MsgClass::Control);
         let env = DsoMessage::Env {
             seq: 0,
-            inner: Box::new(DsoMessage::Data { time: LogicalTime::ZERO, updates: vec![] }),
+            inner: Box::new(DsoMessage::Data {
+                epoch: Epoch::ZERO,
+                time: LogicalTime::ZERO,
+                updates: vec![],
+            }),
         };
         assert_eq!(env.class(), MsgClass::Data);
         assert_eq!(DsoMessage::SeqAck { next: 0 }.class(), MsgClass::Control);
@@ -332,10 +424,26 @@ mod tests {
     fn classes_match_paper_accounting() {
         let v = Version::INITIAL;
         assert_eq!(
-            DsoMessage::Data { time: LogicalTime::ZERO, updates: vec![] }.class(),
+            DsoMessage::Data { epoch: Epoch::ZERO, time: LogicalTime::ZERO, updates: vec![] }
+                .class(),
             MsgClass::Data
         );
-        assert_eq!(DsoMessage::Sync { time: LogicalTime::ZERO }.class(), MsgClass::Control);
+        assert_eq!(
+            DsoMessage::Sync { epoch: Epoch::ZERO, time: LogicalTime::ZERO }.class(),
+            MsgClass::Control
+        );
+        assert_eq!(DsoMessage::SnapshotReq { epoch: Epoch::ZERO }.class(), MsgClass::Control);
+        assert_eq!(
+            DsoMessage::Snapshot {
+                epoch: Epoch::ZERO,
+                time: LogicalTime::ZERO,
+                lamport: 0,
+                updates: vec![],
+            }
+            .class(),
+            MsgClass::Data,
+            "snapshots carry object state"
+        );
         assert_eq!(
             DsoMessage::Put { object: ObjectId(0), version: v, body: vec![], wants_ack: false }
                 .class(),
@@ -351,7 +459,7 @@ mod tests {
 
     #[test]
     fn payload_padding_models_fixed_frames() {
-        let msg = DsoMessage::Sync { time: LogicalTime::ZERO };
+        let msg = DsoMessage::Sync { epoch: Epoch::ZERO, time: LogicalTime::ZERO };
         let padded = msg.clone().into_payload(Some(2048));
         assert_eq!(padded.wire_len(), 2048);
         let unpadded = msg.into_payload(None);
@@ -368,6 +476,7 @@ mod tests {
         let v = Version::new(LogicalTime::from_ticks(4), 2);
         vec![
             DsoMessage::Data {
+                epoch: Epoch(1),
                 time: LogicalTime::from_ticks(9),
                 updates: vec![WireUpdate {
                     object: ObjectId(3),
@@ -375,13 +484,24 @@ mod tests {
                     version: v,
                 }],
             },
-            DsoMessage::Sync { time: LogicalTime::from_ticks(1) },
+            DsoMessage::Sync { epoch: Epoch(1), time: LogicalTime::from_ticks(1) },
             DsoMessage::Put { object: ObjectId(1), version: v, body: vec![0; 16], wants_ack: true },
             DsoMessage::GetReq { object: ObjectId(8) },
             DsoMessage::GetRep { object: ObjectId(8), version: v, body: vec![7; 4] },
             DsoMessage::App { class: MsgClass::Data, bytes: vec![9, 9, 9] },
             DsoMessage::Env { seq: 17, inner: Box::new(DsoMessage::Ack) },
             DsoMessage::SeqAck { next: 42 },
+            DsoMessage::SnapshotReq { epoch: Epoch(2) },
+            DsoMessage::Snapshot {
+                epoch: Epoch(2),
+                time: LogicalTime::from_ticks(12),
+                lamport: 30,
+                updates: vec![WireUpdate {
+                    object: ObjectId(1),
+                    diff: Diff::single(0, vec![4, 4]),
+                    version: v,
+                }],
+            },
         ]
     }
 

@@ -311,6 +311,24 @@ impl GameCore {
         Ok(self.modifications - mods_before)
     }
 
+    /// The team's final act before leaving the group: clear its tank off
+    /// the board so the view-change barrier propagates the departure to
+    /// every remaining process. Counts as this process's trigger-tick
+    /// iteration. Returns the number of object modifications made.
+    ///
+    /// # Errors
+    ///
+    /// Propagates port errors.
+    pub fn retire(&mut self, port: &mut impl BlockPort) -> Result<u64, DsoError> {
+        let mods_before = self.modifications;
+        self.tick += 1;
+        if self.tank.alive {
+            self.write(port, self.tank.pos, Block::Empty)?;
+            self.tank.alive = false;
+        }
+        Ok(self.modifications - mods_before)
+    }
+
     /// Victim-side damage: scan for enemy fire records targeting this
     /// tank's position. Records carry the shooter's iteration count; only
     /// records newer than the last processed one (per shooter) and at most
@@ -427,9 +445,9 @@ impl GameCore {
 
 /// Port over the S-DSO runtime (lookahead family and causal pushes go
 /// through protocol-specific wrappers below).
-struct RuntimePort<'a, E: Endpoint> {
-    runtime: &'a mut SdsoRuntime<E>,
-    scenario: &'a Scenario,
+pub(crate) struct RuntimePort<'a, E: Endpoint> {
+    pub(crate) runtime: &'a mut SdsoRuntime<E>,
+    pub(crate) scenario: &'a Scenario,
 }
 
 impl<E: Endpoint> BlockPort for RuntimePort<'_, E> {
@@ -446,10 +464,10 @@ impl<E: Endpoint> BlockPort for RuntimePort<'_, E> {
 
 /// Port over entry consistency: writes go through the lock layer and the
 /// modified set is recorded for the release.
-struct EcPort<'a, E: Endpoint> {
-    ec: &'a mut EntryConsistency<E>,
-    scenario: &'a Scenario,
-    modified: &'a mut BTreeSet<ObjectId>,
+pub(crate) struct EcPort<'a, E: Endpoint> {
+    pub(crate) ec: &'a mut EntryConsistency<E>,
+    pub(crate) scenario: &'a Scenario,
+    pub(crate) modified: &'a mut BTreeSet<ObjectId>,
 }
 
 impl<E: Endpoint> BlockPort for EcPort<'_, E> {
@@ -524,7 +542,7 @@ fn build_runtime<E: Endpoint>(
 }
 
 /// Decodes a runtime's final replica of the whole grid.
-fn snapshot_world<E: Endpoint>(rt: &SdsoRuntime<E>, scenario: &Scenario) -> Vec<Block> {
+pub(crate) fn snapshot_world<E: Endpoint>(rt: &SdsoRuntime<E>, scenario: &Scenario) -> Vec<Block> {
     scenario
         .grid
         .iter()
@@ -538,12 +556,12 @@ fn snapshot_world<E: Endpoint>(rt: &SdsoRuntime<E>, scenario: &Scenario) -> Vec<
 }
 
 /// Per-tick modelled compute: the look phase plus the decision.
-fn think_cost(scenario: &Scenario) -> SimSpan {
+pub(crate) fn think_cost(scenario: &Scenario) -> SimSpan {
     let blocks_looked = 4 * u64::from(scenario.range);
     SimSpan::from_micros(scenario.look_cost.as_micros() * blocks_looked) + scenario.decide_cost
 }
 
-fn write_cost(scenario: &Scenario, mods: u64) -> SimSpan {
+pub(crate) fn write_cost(scenario: &Scenario, mods: u64) -> SimSpan {
     SimSpan::from_micros(scenario.write_cost.as_micros() * mods)
 }
 
@@ -730,6 +748,7 @@ fn run_entry<E: Endpoint>(
         exec_time: ec.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
         net: ec.runtime_mut().net_metrics_delta(),
+        dso: ec.runtime().metrics(),
         ec: ec.metrics(),
         final_world: snapshot_world(ec.runtime(), scenario),
         ..NodeStats::default()

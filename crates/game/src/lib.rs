@@ -23,6 +23,8 @@
 //! * [`sfuncs`] — the MSYNC/MSYNC2 semantic functions (BSYNC reuses
 //!   [`sdso_core::EveryTick`]);
 //! * [`driver`] — per-protocol node runners producing [`NodeStats`];
+//! * [`churn`] — the same runners under a membership plan (players leave
+//!   and join mid-game through epoch-numbered view changes);
 //! * [`mod@render`] — ASCII display of (possibly stale) world replicas.
 //!
 //! # Example
@@ -52,6 +54,7 @@
 
 pub mod ai;
 pub mod block;
+pub mod churn;
 pub mod driver;
 pub mod render;
 pub mod scenario;
@@ -60,6 +63,7 @@ pub mod world;
 
 pub use ai::{decide, Action, WorldView};
 pub use block::{Block, FireRecord};
+pub use churn::{run_churn_node, run_churn_node_obs};
 pub use driver::{
     ec_lockset, run_node, run_node_obs, BlockPort, GameCore, NodeStats, Protocol, TankState,
 };

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod chaos;
+mod churn;
 mod experiment;
 mod figures;
 mod table;
 
 pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chaos_experiment};
+pub use churn::{churn_converged, churn_table, default_churn_plan, run_churn_experiment};
 pub use experiment::{mean_of, run_experiment, run_experiment_obs, run_seeds, RunSummary};
 pub use figures::Sweep;
 pub use table::Table;

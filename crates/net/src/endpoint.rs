@@ -7,6 +7,19 @@ use crate::time::{SimInstant, SimSpan};
 /// `0..num_nodes`.
 pub type NodeId = u16;
 
+/// A first-class link/membership event surfaced by a transport, consumed
+/// via [`Endpoint::take_peer_events`]. Transports queue these instead of
+/// burying link failures inside reconnect loops, so the layers above can
+/// react (and the flight recorder can trace) when a peer goes away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// The link to this peer went down: its connection was lost, or it was
+    /// administratively removed from the mesh.
+    Down(NodeId),
+    /// The link to this peer came (back) up.
+    Up(NodeId),
+}
+
 /// The transport abstraction every consistency protocol is written against.
 ///
 /// An endpoint belongs to exactly one node of a fixed-size cluster and can
@@ -100,6 +113,27 @@ pub trait Endpoint: Send {
     /// recorder — transports that can trace override this.
     fn attach_recorder(&mut self, recorder: sdso_obs::Recorder) {
         let _ = recorder;
+    }
+
+    /// Marks the link to `peer` as administratively removed (the peer left
+    /// the group): send failures on it become expected and are dropped
+    /// silently instead of surfacing as transport errors. The default is a
+    /// no-op for transports that do not track per-peer liveness.
+    fn remove_peer(&mut self, peer: NodeId) {
+        let _ = peer;
+    }
+
+    /// (Re-)activates the link to `peer` (the peer joined the group).
+    /// Inverse of [`Endpoint::remove_peer`]; a no-op by default.
+    fn add_peer(&mut self, peer: NodeId) {
+        let _ = peer;
+    }
+
+    /// Drains link events observed since the previous call: peer
+    /// disconnects detected by the transport (and reconnects, where the
+    /// transport can tell). The default returns none.
+    fn take_peer_events(&mut self) -> Vec<PeerEvent> {
+        Vec::new()
     }
 
     /// Sends a copy of `payload` to every other node in the cluster.

@@ -55,7 +55,7 @@ pub mod memory;
 pub mod tcp;
 pub mod wire;
 
-pub use endpoint::{Endpoint, NodeId};
+pub use endpoint::{Endpoint, NodeId, PeerEvent};
 pub use error::NetError;
 pub use fault::{DetRng, FaultInjector, FaultPlan, Partition};
 pub use faulty::FaultyEndpoint;

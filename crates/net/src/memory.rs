@@ -10,7 +10,7 @@ use std::time::Instant;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use sdso_obs::{EventKind, Recorder};
 
-use crate::endpoint::{check_peer, Endpoint, NodeId};
+use crate::endpoint::{check_peer, Endpoint, NodeId, PeerEvent};
 use crate::error::NetError;
 use crate::message::{Incoming, Payload};
 use crate::metrics::{obs_class, NetMetrics, NetMetricsSnapshot};
@@ -59,6 +59,9 @@ impl MemoryHub {
                 start,
                 metrics: NetMetrics::new(),
                 recorder: Recorder::disabled(),
+                active: vec![true; n],
+                down_noted: vec![false; n],
+                peer_events: Vec::new(),
             })
             .collect();
         MemoryHub { endpoints }
@@ -80,9 +83,28 @@ pub struct MemoryEndpoint {
     start: Instant,
     metrics: NetMetrics,
     recorder: Recorder,
+    /// Membership flags: a removed peer's link drops send failures silently
+    /// instead of surfacing them (the peer is expected to be gone). While
+    /// the removed peer's endpoint is still alive, delivery still works —
+    /// a leaver keeps receiving acks while it settles.
+    active: Vec<bool>,
+    down_noted: Vec<bool>,
+    peer_events: Vec<PeerEvent>,
 }
 
 impl MemoryEndpoint {
+    /// Queues a [`PeerEvent::Down`] (once per downtime) when a peer's
+    /// receive channel is found closed.
+    fn note_peer_down(&mut self, peer: NodeId) {
+        let idx = usize::from(peer);
+        if self.down_noted[idx] {
+            return;
+        }
+        self.down_noted[idx] = true;
+        self.peer_events.push(PeerEvent::Down(peer));
+        self.recorder.record(self.now().as_micros(), EventKind::PeerDown, u32::from(peer), 0, 0);
+    }
+
     fn note_recv(&self, msg: &Incoming) {
         self.metrics.record_recv(msg.payload.class, msg.payload.wire_len());
         self.recorder.record(
@@ -114,9 +136,13 @@ impl Endpoint for MemoryEndpoint {
             obs_class(payload.class),
             payload.wire_len(),
         );
-        self.peers[usize::from(to)]
-            .send(Incoming { from: self.id, payload })
-            .map_err(|_| NetError::Disconnected)
+        if self.peers[usize::from(to)].send(Incoming { from: self.id, payload }).is_err() {
+            self.note_peer_down(to);
+            if self.active[usize::from(to)] {
+                return Err(NetError::Disconnected);
+            }
+        }
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Incoming, NetError> {
@@ -173,6 +199,20 @@ impl Endpoint for MemoryEndpoint {
 
     fn attach_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    fn remove_peer(&mut self, peer: NodeId) {
+        self.active[usize::from(peer)] = false;
+    }
+
+    fn add_peer(&mut self, peer: NodeId) {
+        let idx = usize::from(peer);
+        self.active[idx] = true;
+        self.down_noted[idx] = false;
+    }
+
+    fn take_peer_events(&mut self) -> Vec<PeerEvent> {
+        std::mem::take(&mut self.peer_events)
     }
 }
 
@@ -238,6 +278,40 @@ mod tests {
         assert_eq!(r.total_recv(), 2);
         assert_eq!(r.data_recv.bytes, 2048);
         let _ = MsgClass::Data; // silence unused import lint in some cfgs
+    }
+
+    #[test]
+    fn removed_peer_still_receives_while_alive() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.remove_peer(1);
+        a.send(1, Payload::control(vec![9])).unwrap();
+        assert_eq!(b.recv().unwrap().payload.bytes[0], 9);
+    }
+
+    #[test]
+    fn send_to_removed_exited_peer_is_silently_dropped() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.remove_peer(1);
+        drop(b);
+        a.send(1, Payload::control(vec![1])).unwrap();
+        assert_eq!(a.take_peer_events(), vec![PeerEvent::Down(1)]);
+    }
+
+    #[test]
+    fn unexpected_peer_exit_errors_and_queues_one_down_event() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        assert!(matches!(a.send(1, Payload::data(vec![1])), Err(NetError::Disconnected)));
+        assert!(matches!(a.send(1, Payload::data(vec![2])), Err(NetError::Disconnected)));
+        // The repeated failure is reported but the event is queued once.
+        assert_eq!(a.take_peer_events(), vec![PeerEvent::Down(1)]);
+        assert!(a.take_peer_events().is_empty());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use parking_lot::Mutex;
 use sdso_obs::{EventKind, MonoClock, Recorder};
 
-use crate::endpoint::{check_peer, Endpoint, NodeId};
+use crate::endpoint::{check_peer, Endpoint, NodeId, PeerEvent};
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame};
 use crate::message::{Incoming, Payload};
@@ -202,9 +202,15 @@ fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, NetError> {
 
 /// Spawns the per-connection reader thread: frames go into `tx` until the
 /// connection ends. Tear-down conditions (EOF, reset, abort) end the thread
-/// silently — the connection may come back; genuine wire corruption is
-/// forwarded to the application.
-fn spawn_reader(stream: TcpStream, tx: Sender<Result<Incoming, NetError>>) -> JoinHandle<()> {
+/// and queue a [`PeerEvent::Down`] — the connection may come back, but the
+/// disconnect itself is a first-class event instead of being swallowed;
+/// genuine wire corruption is forwarded to the application.
+fn spawn_reader(
+    peer: NodeId,
+    stream: TcpStream,
+    tx: Sender<Result<Incoming, NetError>>,
+    events: Arc<Mutex<Vec<PeerEvent>>>,
+) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut r = BufReader::new(stream);
         loop {
@@ -214,7 +220,10 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Result<Incoming, NetError>>) -> Jo
                         return; // endpoint dropped
                     }
                 }
-                Err(NetError::Disconnected) => return,
+                Err(NetError::Disconnected) => {
+                    events.lock().push(PeerEvent::Down(peer));
+                    return;
+                }
                 Err(NetError::Io(e))
                     if matches!(
                         e.kind(),
@@ -223,7 +232,8 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Result<Incoming, NetError>>) -> Jo
                             | std::io::ErrorKind::BrokenPipe
                     ) =>
                 {
-                    return
+                    events.lock().push(PeerEvent::Down(peer));
+                    return;
                 }
                 Err(e) => {
                     let _ = tx.send(Err(e));
@@ -259,6 +269,12 @@ pub struct TcpEndpoint {
     clock: MonoClock,
     metrics: NetMetrics,
     recorder: Recorder,
+    /// Membership flags: write failures to a removed peer are dropped
+    /// silently (no redial storm toward a process that exited on purpose).
+    active: Vec<bool>,
+    /// Link events queued by reader threads / the acceptor, drained via
+    /// [`Endpoint::take_peer_events`].
+    peer_events: Arc<Mutex<Vec<PeerEvent>>>,
 }
 
 impl TcpEndpoint {
@@ -273,14 +289,20 @@ impl TcpEndpoint {
         let (tx, rx) = unbounded::<Result<Incoming, NetError>>();
         let mut writer_slots = Vec::with_capacity(num_nodes);
         let readers = Arc::new(Mutex::new(Vec::new()));
-        for stream in peers {
+        let peer_events = Arc::new(Mutex::new(Vec::new()));
+        for (peer, stream) in peers.into_iter().enumerate() {
             match stream {
                 None => writer_slots.push(Mutex::new(None)),
                 Some(stream) => {
                     stream.set_write_timeout(Some(tuning.write_timeout))?;
                     let read_half = stream.try_clone()?;
                     writer_slots.push(Mutex::new(Some(BufWriter::new(stream))));
-                    readers.lock().push(spawn_reader(read_half, tx.clone()));
+                    readers.lock().push(spawn_reader(
+                        peer as NodeId,
+                        read_half,
+                        tx.clone(),
+                        Arc::clone(&peer_events),
+                    ));
                 }
             }
         }
@@ -298,6 +320,7 @@ impl TcpEndpoint {
             Arc::clone(&shutting_down),
             tuning,
             metrics.clone(),
+            Arc::clone(&peer_events),
         ));
         Ok(TcpEndpoint {
             id,
@@ -314,6 +337,8 @@ impl TcpEndpoint {
             clock: MonoClock::new(),
             metrics,
             recorder: Recorder::disabled(),
+            active: vec![true; num_nodes],
+            peer_events,
         })
     }
 
@@ -391,8 +416,14 @@ impl TcpEndpoint {
                     match fresh {
                         Ok(read_half) => {
                             *self.writers[usize::from(to)].lock() = Some(BufWriter::new(stream));
-                            self.readers.lock().push(spawn_reader(read_half, self.tx.clone()));
+                            self.readers.lock().push(spawn_reader(
+                                to,
+                                read_half,
+                                self.tx.clone(),
+                                Arc::clone(&self.peer_events),
+                            ));
                             self.metrics.record_reconnect();
+                            self.peer_events.lock().push(PeerEvent::Up(to));
                             match self.write_to(to, payload) {
                                 Ok(()) => return Ok(()),
                                 Err(e) => last_err = e,
@@ -424,6 +455,7 @@ fn spawn_acceptor(
     shutting_down: Arc<AtomicBool>,
     tuning: TcpTuning,
     metrics: NetMetrics,
+    events: Arc<Mutex<Vec<PeerEvent>>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || loop {
         let Ok((mut stream, _)) = listener.accept() else {
@@ -460,7 +492,8 @@ fn spawn_acceptor(
             *slot = Some(BufWriter::new(stream));
         }
         metrics.record_reconnect();
-        readers.lock().push(spawn_reader(read_half, tx.clone()));
+        readers.lock().push(spawn_reader(peer, read_half, tx.clone(), Arc::clone(&events)));
+        events.lock().push(PeerEvent::Up(peer));
     })
 }
 
@@ -480,6 +513,9 @@ impl Endpoint for TcpEndpoint {
                 self.note_send(to, &payload);
                 Ok(())
             }
+            // The peer left the group: its torn link is expected. Drop the
+            // message instead of redialling a process that exited.
+            Err(_) if !self.active[usize::from(to)] => Ok(()),
             // The higher-numbered side of a pair owns re-dialling; the
             // lower-numbered side reports the failure and waits to be
             // re-dialled.
@@ -547,6 +583,30 @@ impl Endpoint for TcpEndpoint {
 
     fn attach_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    fn remove_peer(&mut self, peer: NodeId) {
+        self.active[usize::from(peer)] = false;
+    }
+
+    fn add_peer(&mut self, peer: NodeId) {
+        self.active[usize::from(peer)] = true;
+    }
+
+    fn take_peer_events(&mut self) -> Vec<PeerEvent> {
+        let events: Vec<PeerEvent> = std::mem::take(&mut *self.peer_events.lock());
+        for ev in &events {
+            if let PeerEvent::Down(peer) = ev {
+                self.recorder.record(
+                    self.clock.micros(),
+                    EventKind::PeerDown,
+                    u32::from(*peer),
+                    0,
+                    0,
+                );
+            }
+        }
+        events
     }
 }
 
@@ -683,5 +743,43 @@ mod tests {
         // Traffic keeps flowing both ways on the fresh connection.
         a.send(1, Payload::control(b"ack".as_ref())).unwrap();
         assert_eq!(&b.recv().unwrap().payload.bytes[..], b"ack");
+
+        // The torn link surfaced as a first-class Down, the fresh one as Up.
+        let events = b.take_peer_events();
+        assert!(events.contains(&PeerEvent::Down(0)), "torn link must surface: {events:?}");
+        assert!(events.contains(&PeerEvent::Up(0)), "redial must surface: {events:?}");
+    }
+
+    #[test]
+    fn peer_exit_surfaces_as_down_event() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        // The reader thread notices the EOF asynchronously.
+        let mut seen = Vec::new();
+        for _ in 0..200 {
+            seen.extend(a.take_peer_events());
+            if seen.contains(&PeerEvent::Down(1)) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(seen.contains(&PeerEvent::Down(1)), "EOF must surface as Down: {seen:?}");
+    }
+
+    #[test]
+    fn sends_to_removed_peer_are_dropped_silently() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.remove_peer(1);
+        drop(b);
+        // Without removal this loop eventually errors (drop_disconnects_peers
+        // above); with the peer removed every send must stay Ok.
+        for _ in 0..100 {
+            a.send(1, Payload::control(vec![0u8; 1024])).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 }

@@ -38,10 +38,19 @@ pub enum EventKind {
     /// The fault layer acted on a message.
     /// `(bits: 1=drop 2=dup 4=delay, 0, 0)`.
     FaultInjected = 12,
+    /// A membership view change was applied. `(epoch, joined, left)`.
+    ViewChange = 13,
+    /// A state snapshot was pushed to a late joiner.
+    /// `(peer, encoded_bytes, epoch)`.
+    SnapshotSend = 14,
+    /// A late joiner installed a snapshot. `(donor, objects, epoch)`.
+    SnapshotInstall = 15,
+    /// A transport-level peer disconnect was observed. `(peer, 0, 0)`.
+    PeerDown = 16,
 }
 
 /// Number of distinct event kinds (size of the per-kind counter array).
-pub const KIND_COUNT: usize = 13;
+pub const KIND_COUNT: usize = 17;
 
 impl EventKind {
     /// Every kind, indexable by its `u8` value.
@@ -59,6 +68,10 @@ impl EventKind {
         EventKind::Resync,
         EventKind::Retransmit,
         EventKind::FaultInjected,
+        EventKind::ViewChange,
+        EventKind::SnapshotSend,
+        EventKind::SnapshotInstall,
+        EventKind::PeerDown,
     ];
 
     /// Stable lower-case name used by exporters and dumps.
@@ -77,6 +90,10 @@ impl EventKind {
             EventKind::Resync => "resync",
             EventKind::Retransmit => "retransmit",
             EventKind::FaultInjected => "fault",
+            EventKind::ViewChange => "view_change",
+            EventKind::SnapshotSend => "snapshot_send",
+            EventKind::SnapshotInstall => "snapshot_install",
+            EventKind::PeerDown => "peer_down",
         }
     }
 }

@@ -162,6 +162,41 @@ pub fn chrome_trace(nodes: &[(u16, Vec<EventRecord>)]) -> String {
                     &mut out,
                     &mut first,
                 ),
+                EventKind::ViewChange => emit(
+                    instant(
+                        tid,
+                        "view_change",
+                        ev.at,
+                        &format!("\"epoch\":{},\"joined\":{},\"left\":{}", ev.a, ev.b, ev.c),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::SnapshotSend => emit(
+                    instant(
+                        tid,
+                        "snapshot_send",
+                        ev.at,
+                        &format!("\"peer\":{},\"bytes\":{},\"epoch\":{}", ev.a, ev.b, ev.c),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::SnapshotInstall => emit(
+                    instant(
+                        tid,
+                        "snapshot_install",
+                        ev.at,
+                        &format!("\"donor\":{},\"objects\":{},\"epoch\":{}", ev.a, ev.b, ev.c),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::PeerDown => emit(
+                    instant(tid, "peer_down", ev.at, &format!("\"peer\":{}", ev.a)),
+                    &mut out,
+                    &mut first,
+                ),
                 EventKind::Send | EventKind::Recv => {}
             }
         }

@@ -17,7 +17,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use sdso_core::{Diff, DsoError, LogicalTime, ObjectId, SdsoRuntime, Version};
+use sdso_core::{
+    Diff, DsoError, Epoch, LogicalTime, Never, ObjectId, SdsoRuntime, Version, ViewChange,
+};
 use sdso_net::wire::{Wire, WireReader, WireWriter};
 use sdso_net::{Endpoint, EventKind, MsgClass, NetError, NodeId, SimSpan};
 
@@ -76,11 +78,19 @@ impl LockRequest {
 }
 
 /// EC's wire messages (all control class, per the paper's accounting).
+///
+/// `Acquire` and `SyncDone` carry the sender's membership epoch: both can
+/// legitimately arrive from a process that has already crossed a
+/// view-change barrier this manager is still waiting in, and acting on
+/// them under the doomed pre-change lock state would lose the grant (or
+/// mis-count the barrier). Future-epoch copies are deferred until
+/// [`EntryConsistency::apply_view_change`] brings this process level.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EcMessage {
     Acquire {
         object: ObjectId,
         mode: LockMode,
+        epoch: Epoch,
     },
     Grant {
         object: ObjectId,
@@ -102,7 +112,9 @@ enum EcMessage {
         bytes: Vec<u8>,
     },
     /// Final-sync barrier: "I have pushed all my owned state".
-    SyncDone,
+    SyncDone {
+        epoch: Epoch,
+    },
 }
 
 const TAG_ACQUIRE: u8 = 1;
@@ -115,10 +127,11 @@ const TAG_SYNC_DONE: u8 = 6;
 impl Wire for EcMessage {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            EcMessage::Acquire { object, mode } => {
+            EcMessage::Acquire { object, mode, epoch } => {
                 w.put_u8(TAG_ACQUIRE);
                 object.encode(w);
                 mode.encode(w);
+                w.put_u32(epoch.0);
             }
             EcMessage::Grant { object, owner, version } => {
                 w.put_u8(TAG_GRANT);
@@ -139,14 +152,19 @@ impl Wire for EcMessage {
                 version.encode(w);
                 w.put_bytes(bytes);
             }
-            EcMessage::SyncDone => w.put_u8(TAG_SYNC_DONE),
+            EcMessage::SyncDone { epoch } => {
+                w.put_u8(TAG_SYNC_DONE);
+                w.put_u32(epoch.0);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         match r.get_u8()? {
-            TAG_ACQUIRE => {
-                Ok(EcMessage::Acquire { object: ObjectId::decode(r)?, mode: LockMode::decode(r)? })
-            }
+            TAG_ACQUIRE => Ok(EcMessage::Acquire {
+                object: ObjectId::decode(r)?,
+                mode: LockMode::decode(r)?,
+                epoch: Epoch(r.get_u32()?),
+            }),
             TAG_GRANT => Ok(EcMessage::Grant {
                 object: ObjectId::decode(r)?,
                 owner: r.get_u16()?,
@@ -163,7 +181,7 @@ impl Wire for EcMessage {
                 version: Version::decode(r)?,
                 bytes: r.get_bytes()?.to_vec(),
             }),
-            TAG_SYNC_DONE => Ok(EcMessage::SyncDone),
+            TAG_SYNC_DONE => Ok(EcMessage::SyncDone { epoch: Epoch(r.get_u32()?) }),
             tag => Err(NetError::Codec(format!("unknown EcMessage tag {tag:#x}"))),
         }
     }
@@ -267,6 +285,10 @@ pub struct EntryConsistency<E: Endpoint> {
     dones_seen: usize,
     /// Peers that have completed their final-sync state pushes.
     sync_dones_seen: usize,
+    /// Epoch-stamped messages from peers that already crossed a
+    /// view-change barrier this process has not reached yet; drained
+    /// after [`EntryConsistency::apply_view_change`].
+    deferred: VecDeque<(NodeId, EcMessage)>,
     metrics: EcMetrics,
 }
 
@@ -280,15 +302,30 @@ impl<E: Endpoint> EntryConsistency<E> {
             held: BTreeMap::new(),
             dones_seen: 0,
             sync_dones_seen: 0,
+            deferred: VecDeque::new(),
             metrics: EcMetrics::default(),
         }
     }
 
     /// The manager of `object` in a cluster of `n`: process `object mod n`
     /// ("the lock managers are distributed evenly and statically amongst
-    /// the processors").
+    /// the processors"). The static-membership special case of
+    /// [`EntryConsistency::manager_of_view`].
     pub fn manager_of(object: ObjectId, n: usize) -> NodeId {
         (object.0 % n as u32) as NodeId
+    }
+
+    /// The manager of `object` under the current membership view: the live
+    /// members sorted ascending, indexed by `object mod |members|`. With
+    /// the full static group this reduces to the paper's `object mod n`;
+    /// under churn the mapping re-distributes manager duty over exactly
+    /// the processes that exist.
+    pub fn manager_of_view(&self, object: ObjectId) -> NodeId {
+        let members = self.runtime.membership().members();
+        let idx = object.0 as usize % members.len();
+        // The index is in range by construction; a view always contains at
+        // least this process, so the fallback cannot be reached.
+        members.iter().copied().nth(idx).unwrap_or_else(|| self.runtime.node_id())
     }
 
     /// The underlying runtime (object reads, metrics).
@@ -327,7 +364,6 @@ impl<E: Endpoint> EntryConsistency<E> {
             }
         }
         let me = self.runtime.node_id();
-        let n = self.runtime.num_nodes();
         for req in sorted {
             if self.held.contains_key(&req.object) {
                 return Err(DsoError::ProtocolViolation(format!(
@@ -343,12 +379,16 @@ impl<E: Endpoint> EntryConsistency<E> {
                 obs_mode(req.mode),
                 0,
             );
-            let manager = Self::manager_of(req.object, n);
+            let manager = self.manager_of_view(req.object);
             if manager == me {
                 self.metrics.local_grants += 1;
                 self.local_acquire(req.object, req.mode)?;
             } else {
-                self.send_ec(manager, EcMessage::Acquire { object: req.object, mode: req.mode })?;
+                let epoch = self.runtime.epoch();
+                self.send_ec(
+                    manager,
+                    EcMessage::Acquire { object: req.object, mode: req.mode, epoch },
+                )?;
             }
             // Wait for the grant (self-grants land in `granted` too).
             let (owner, version) = loop {
@@ -415,7 +455,6 @@ impl<E: Endpoint> EntryConsistency<E> {
     /// Propagates transport failures.
     pub fn release_all(&mut self, modified: &BTreeSet<ObjectId>) -> Result<(), DsoError> {
         let me = self.runtime.node_id();
-        let n = self.runtime.num_nodes();
         let held = std::mem::take(&mut self.held);
         for (object, _mode) in held {
             self.runtime.obs().record(
@@ -427,7 +466,7 @@ impl<E: Endpoint> EntryConsistency<E> {
             );
             let was_modified = modified.contains(&object);
             let version = self.runtime.version_of(object)?;
-            let manager = Self::manager_of(object, n);
+            let manager = self.manager_of_view(object);
             if manager == me {
                 self.local_release(object, me, was_modified, version)?;
             } else {
@@ -450,12 +489,11 @@ impl<E: Endpoint> EntryConsistency<E> {
     /// Propagates transport failures.
     pub fn finish(&mut self) -> Result<(), DsoError> {
         let me = self.runtime.node_id();
-        for peer in 0..self.runtime.num_nodes() as NodeId {
-            if peer != me {
-                self.send_ec(peer, EcMessage::Done)?;
-            }
+        let peers = self.runtime.membership().peers_of(me);
+        for &peer in &peers {
+            self.send_ec(peer, EcMessage::Done)?;
         }
-        while self.dones_seen < self.runtime.num_nodes() - 1 {
+        while self.dones_seen < peers.len() {
             self.pump_one()?;
         }
         Ok(())
@@ -476,27 +514,69 @@ impl<E: Endpoint> EntryConsistency<E> {
     ///
     /// Propagates transport failures.
     pub fn final_sync(&mut self) -> Result<(), DsoError> {
+        self.view_sync()
+    }
+
+    /// Flush barrier over the current view: every member pushes its
+    /// last-written object bodies and waits for every other member's
+    /// pushes, leaving all live replicas convergent. Reusable — the
+    /// barrier counter resets on completion — so churn drivers run one
+    /// flush per view change (with no locks held) before
+    /// [`EntryConsistency::apply_view_change`], and a leaver's newest
+    /// writes are disseminated before it exits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn view_sync(&mut self) -> Result<(), DsoError> {
         let me = self.runtime.node_id();
-        let n = self.runtime.num_nodes();
+        let peers = self.runtime.membership().peers_of(me);
         for object in self.runtime.object_ids() {
             let version = self.runtime.version_of(object)?;
             if version.writer != me || version.time == LogicalTime::ZERO {
                 continue;
             }
             let bytes = self.runtime.read(object)?.to_vec();
-            for peer in 0..n as NodeId {
-                if peer != me {
-                    self.send_ec(peer, EcMessage::State { object, version, bytes: bytes.clone() })?;
-                }
+            for &peer in &peers {
+                self.send_ec(peer, EcMessage::State { object, version, bytes: bytes.clone() })?;
             }
         }
-        for peer in 0..n as NodeId {
-            if peer != me {
-                self.send_ec(peer, EcMessage::SyncDone)?;
-            }
+        let epoch = self.runtime.epoch();
+        for &peer in &peers {
+            self.send_ec(peer, EcMessage::SyncDone { epoch })?;
         }
-        while self.sync_dones_seen < n - 1 {
+        while self.sync_dones_seen < peers.len() {
             self.pump_one()?;
+        }
+        self.sync_dones_seen = 0;
+        Ok(())
+    }
+
+    /// Applies one membership change at a view-change barrier.
+    ///
+    /// Contract: every member of the *old* view has completed a
+    /// [`EntryConsistency::view_sync`] flush with no locks held, so all
+    /// live replicas hold the newest copy of every object and no lock or
+    /// pull traffic is in flight. Under that contract lock state restarts
+    /// from scratch in the new view: a leaver's holds and queue entries
+    /// are implicitly revoked, and ownership of every object transfers to
+    /// its (re-mapped) manager. The fresh `Version::INITIAL` owner floor
+    /// is correct post-flush — no grant can name a newer copy than the
+    /// acquirer already holds, so no stale pull is ever issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime view-change failures.
+    pub fn apply_view_change(&mut self, change: &ViewChange) -> Result<(), DsoError> {
+        self.runtime.apply_view_change(change, &mut Never)?;
+        self.managed.clear();
+        self.granted.clear();
+        // Replay traffic from peers that crossed this barrier first: their
+        // new-epoch acquires now land on the fresh lock state (re-deferring
+        // anything stamped even further ahead).
+        let deferred = std::mem::take(&mut self.deferred);
+        for (from, msg) in deferred {
+            self.handle(from, msg)?;
         }
         Ok(())
     }
@@ -522,10 +602,20 @@ impl<E: Endpoint> EntryConsistency<E> {
         self.handle(from, msg)
     }
 
-    /// Manager-side + client-side message dispatch.
+    /// Manager-side + client-side message dispatch. Epoch-stamped messages
+    /// from beyond the next view-change barrier are deferred, not acted on:
+    /// granting (or barrier-counting) them under lock state the barrier is
+    /// about to reset would leak the grant when
+    /// [`EntryConsistency::apply_view_change`] clears it.
     fn handle(&mut self, from: NodeId, msg: EcMessage) -> Result<(), DsoError> {
+        if let EcMessage::Acquire { epoch, .. } | EcMessage::SyncDone { epoch } = msg {
+            if epoch > self.runtime.epoch() {
+                self.deferred.push_back((from, msg));
+                return Ok(());
+            }
+        }
         match msg {
-            EcMessage::Acquire { object, mode } => {
+            EcMessage::Acquire { object, mode, epoch: _ } => {
                 let me = self.runtime.node_id();
                 let lock = self.managed.entry(object).or_insert_with(|| ManagedLock::new(me));
                 if lock.queue.is_empty() && lock.compatible(mode) {
@@ -553,7 +643,7 @@ impl<E: Endpoint> EntryConsistency<E> {
                 self.runtime.apply_remote(object, &diff, version)?;
                 Ok(())
             }
-            EcMessage::SyncDone => {
+            EcMessage::SyncDone { epoch: _ } => {
                 self.sync_dones_seen += 1;
                 Ok(())
             }
@@ -564,7 +654,8 @@ impl<E: Endpoint> EntryConsistency<E> {
     /// possible, otherwise enqueue self and wait via the pump.
     fn local_acquire(&mut self, object: ObjectId, mode: LockMode) -> Result<(), DsoError> {
         let me = self.runtime.node_id();
-        self.handle(me, EcMessage::Acquire { object, mode })
+        let epoch = self.runtime.epoch();
+        self.handle(me, EcMessage::Acquire { object, mode, epoch })
     }
 
     /// Release processing at the manager (local or remote requester).
@@ -640,7 +731,8 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         for msg in [
-            EcMessage::Acquire { object: ObjectId(5), mode: LockMode::Write },
+            EcMessage::Acquire { object: ObjectId(5), mode: LockMode::Write, epoch: Epoch(3) },
+            EcMessage::SyncDone { epoch: Epoch(7) },
             EcMessage::Grant {
                 object: ObjectId(5),
                 owner: 2,
@@ -745,7 +837,11 @@ mod tests {
         // release drains the queue.
         node.acquire(&[LockRequest::read(ObjectId(0))]).unwrap();
         // A (simulated) remote writer request goes into the queue.
-        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
+        node.handle(
+            9,
+            EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write, epoch: Epoch::ZERO },
+        )
+        .unwrap();
         assert_eq!(node.managed[&ObjectId(0)].queue.len(), 1);
         node.release_all(&BTreeSet::new()).unwrap();
         // Release drained the queue: the writer got the lock.
@@ -754,15 +850,75 @@ mod tests {
     }
 
     #[test]
+    fn manager_mapping_follows_the_view() {
+        let mut nodes = cluster(4, 4);
+        let view = sdso_core::MembershipView::initial(4, [0, 2, 3]).unwrap();
+        nodes[0].runtime_mut().set_membership(view);
+        // Members sorted {0, 2, 3}: object k maps to the k-mod-3rd member,
+        // never to absent node 1.
+        assert_eq!(nodes[0].manager_of_view(ObjectId(0)), 0);
+        assert_eq!(nodes[0].manager_of_view(ObjectId(1)), 2);
+        assert_eq!(nodes[0].manager_of_view(ObjectId(2)), 3);
+        assert_eq!(nodes[0].manager_of_view(ObjectId(3)), 0);
+    }
+
+    #[test]
+    fn view_change_revokes_leaver_holds_and_remaps() {
+        use sdso_core::ViewChange;
+        // Node 0 manages object 0 and has granted a write lock to node 3;
+        // node 3 then leaves at a barrier without releasing.
+        let mut nodes = cluster(4, 2);
+        let node = &mut nodes[0];
+        node.handle(
+            3,
+            EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write, epoch: Epoch::ZERO },
+        )
+        .unwrap();
+        assert_eq!(node.managed[&ObjectId(0)].writer, Some(3));
+        node.apply_view_change(&ViewChange::leave([3])).unwrap();
+        assert!(node.managed.is_empty(), "the leaver's hold is revoked");
+        // Fresh acquires succeed under the new 3-member view (objects 0
+        // and 1 both manage locally at node 0 now: {0,1,2}[k mod 3]).
+        node.acquire(&[LockRequest::write(ObjectId(0))]).unwrap();
+        node.write(ObjectId(0), 0, &[5]).unwrap();
+        node.release_all(&BTreeSet::from([ObjectId(0)])).unwrap();
+        assert_eq!(node.managed[&ObjectId(0)].owner, 0);
+    }
+
+    #[test]
+    fn future_epoch_acquire_defers_until_the_barrier() {
+        use sdso_core::ViewChange;
+        // A peer one barrier ahead acquires under epoch 1 while this
+        // manager is still at epoch 0 (inside the view-change barrier):
+        // acting on it now would grant under lock state the view change is
+        // about to clear, silently losing the lock.
+        let mut nodes = cluster(4, 2);
+        let node = &mut nodes[0];
+        node.handle(
+            2,
+            EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write, epoch: Epoch(1) },
+        )
+        .unwrap();
+        assert!(node.managed.is_empty(), "future-epoch acquire must not touch lock state");
+        node.apply_view_change(&ViewChange::leave([3])).unwrap();
+        assert_eq!(
+            node.managed[&ObjectId(0)].writer,
+            Some(2),
+            "deferred acquire granted once the barrier is crossed"
+        );
+    }
+
+    #[test]
     fn fifo_prevents_queue_jumping() {
         let mut nodes = cluster(10, 1);
         let node = &mut nodes[0];
+        let acq = |mode| EcMessage::Acquire { object: ObjectId(0), mode, epoch: Epoch::ZERO };
         // Simulated remote writer holds the lock...
-        node.handle(7, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
+        node.handle(7, acq(LockMode::Write)).unwrap();
         // ...a remote writer queues...
-        node.handle(8, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Write }).unwrap();
+        node.handle(8, acq(LockMode::Write)).unwrap();
         // ...then a compatible-looking reader must still queue behind it.
-        node.handle(9, EcMessage::Acquire { object: ObjectId(0), mode: LockMode::Read }).unwrap();
+        node.handle(9, acq(LockMode::Read)).unwrap();
         assert_eq!(node.managed[&ObjectId(0)].queue.len(), 2);
         // First release grants the writer only; second grants the reader.
         node.handle(

@@ -92,6 +92,30 @@ impl<E: Endpoint, S: SFunction> Lookahead<E, S> {
         self.runtime.exchange(false, self.mode, &mut self.sfunc)
     }
 
+    /// Performs one full-rendezvous broadcast exchange regardless of the
+    /// configured mode: every current-view peer is met and the schedule is
+    /// recomputed from the converged state. This is the view-change
+    /// barrier — churn drivers call it on every old-view member at the
+    /// trigger tick before [`Lookahead::apply_view_change`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and schedule violations.
+    pub fn step_barrier(&mut self) -> Result<ExchangeReport, DsoError> {
+        self.runtime.exchange(true, SendMode::Broadcast, &mut self.sfunc)
+    }
+
+    /// Applies one membership change through the runtime, letting this
+    /// node's s-function schedule first exchanges for joiners. Call only
+    /// after the [`Lookahead::step_barrier`] of the trigger tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sdso_core::SdsoRuntime::apply_view_change`] errors.
+    pub fn apply_view_change(&mut self, change: &sdso_core::ViewChange) -> Result<(), DsoError> {
+        self.runtime.apply_view_change(change, &mut self.sfunc)
+    }
+
     /// The underlying runtime.
     pub fn runtime(&self) -> &SdsoRuntime<E> {
         &self.runtime

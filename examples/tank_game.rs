@@ -20,9 +20,16 @@
 //! for exchanges/waits/lock holds) — open it at
 //! <https://ui.perfetto.dev>. The merged counters and latency
 //! histograms are printed to stdout as well.
+//!
+//! Add `--churn` to run under dynamic membership: two players leave at
+//! staggered mid-run barriers and two late joiners take their slots via
+//! snapshot transfer (needs ≥ 4 teams and a lookahead/EC protocol).
 
 use sdso_core::{text_histogram_dump, ObsSet};
-use sdso_game::{render, run_node_obs, scoreboard, Pos, Protocol, RenderOptions, Scenario};
+use sdso_game::{
+    render, run_churn_node_obs, run_node_obs, scoreboard, Pos, Protocol, RenderOptions, Scenario,
+};
+use sdso_harness::default_churn_plan;
 use sdso_net::TraceConfig;
 use sdso_sim::{NetworkModel, SimCluster};
 
@@ -42,6 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let do_render = args.iter().any(|a| a == "--render");
     args.retain(|a| a != "--render");
+    let do_churn = args.iter().any(|a| a == "--churn");
+    args.retain(|a| a != "--churn");
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
@@ -64,21 +73,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let range: u16 = args.get(2).map(|a| a.parse()).transpose()?.unwrap_or(1);
     let ticks: u64 = args.get(3).map(|a| a.parse()).transpose()?.unwrap_or(200);
 
+    let plan = if do_churn {
+        if !Protocol::PAPER.contains(&protocol) {
+            return Err(format!(
+                "{protocol} has no view-change barrier; --churn needs one of \
+                                bsync/msync/msync2/ec"
+            )
+            .into());
+        }
+        if teams < 4 {
+            return Err("--churn needs at least 4 teams (donor, leavers, spare slots)".into());
+        }
+        Some(default_churn_plan(usize::from(teams), ticks))
+    } else {
+        None
+    };
+
     let scenario = Scenario::paper(teams, range).with_ticks(ticks);
     println!(
-        "running {protocol} with {teams} teams, range {range}, {ticks} ticks \
+        "running {protocol} with {teams} teams, range {range}, {ticks} ticks{} \
          on a simulated {}-node cluster (10 Mbps switched Ethernet model)…",
+        if do_churn { ", with mid-run churn" } else { "" },
         teams
     );
+    if let Some(plan) = &plan {
+        for (tick, change) in plan.changes() {
+            println!("  tick {tick}: {:?} join, {:?} leave", change.joined, change.left);
+        }
+    }
 
     let config = if trace_path.is_some() { TraceConfig::full() } else { TraceConfig::off() };
     let obs_set = ObsSet::new(teams, config);
     let obs_for_nodes = obs_set.clone();
     let run_scenario = scenario.clone();
+    let run_plan = plan.clone();
     let outcome =
         SimCluster::new(usize::from(teams), NetworkModel::paper_testbed()).run(move |ep| {
             let obs = obs_for_nodes.node(sdso_net::Endpoint::node_id(&ep));
-            run_node_obs(ep, &run_scenario, protocol, obs).map_err(sdso_net::NetError::from)
+            match &run_plan {
+                Some(plan) => run_churn_node_obs(ep, &run_scenario, protocol, plan, obs)
+                    .map_err(sdso_net::NetError::from),
+                None => {
+                    run_node_obs(ep, &run_scenario, protocol, obs).map_err(sdso_net::NetError::from)
+                }
+            }
         })?;
 
     println!(
@@ -109,6 +147,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total.bytes_sent() as f64 / 1e6,
     );
     println!("virtual makespan: {}", outcome.makespan());
+
+    if plan.is_some() {
+        let stats: Vec<_> = outcome.nodes.iter().filter_map(|n| n.result.as_ref().ok()).collect();
+        let view_changes: u64 = stats.iter().map(|s| s.dso.view_changes).sum();
+        let snapshots: u64 = stats.iter().map(|s| s.dso.snapshots_sent).sum();
+        let snapshot_bytes: u64 = stats.iter().map(|s| s.dso.snapshot_bytes).sum();
+        let compacted: u64 = stats.iter().map(|s| s.dso.slots_compacted).sum();
+        println!(
+            "membership: {view_changes} view-change applications, {snapshots} snapshot(s) \
+             ({snapshot_bytes} bytes) to late joiners, {compacted} diff slot(s) compacted"
+        );
+    }
 
     if let Some(path) = &trace_path {
         std::fs::write(path, obs_set.chrome_trace())?;
