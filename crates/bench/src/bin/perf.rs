@@ -3,14 +3,21 @@
 //! ```text
 //! cargo run --release -p sdso-bench --bin perf -- record [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- check  [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- micro record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- micro check  [FLAGS]
 //!
 //! COMMANDS
-//!   record      Run the fixed scenario matrix and write a new baseline
-//!   check       Run the matrix and compare against a committed baseline
+//!   record        Run the fixed scenario matrix and write a new baseline
+//!   check         Run the matrix and compare against a committed baseline
+//!   micro record  Run the hot-path micro suite, write BENCH_2.json
+//!   micro check   Run the micro suite, compare work metrics against the
+//!                 committed BENCH_2.json and enforce the >=2x tracked-diff
+//!                 speedup floor
 //!
 //! FLAGS
-//!   --out FILE        record: where to write the baseline (default BENCH_0.json)
-//!   --baseline FILE   check: baseline to compare against (default BENCH_0.json)
+//!   --out FILE        record: where to write the baseline (default
+//!                     BENCH_0.json; BENCH_2.json for micro)
+//!   --baseline FILE   check: baseline to compare against (same defaults)
 //!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
 //!   --ticks N         iterations per process (default 120; check inherits
 //!                     the baseline's value and flags a mismatch)
@@ -28,6 +35,7 @@
 use std::time::{Duration, Instant};
 
 use sdso_bench::baseline::{BenchCell, BenchReport, MATRIX_NODES, MATRIX_RANGES, SCHEMA_VERSION};
+use sdso_bench::micro::{self, MicroReport, MICRO_SPEEDUP_FLOOR};
 use sdso_game::{Protocol, Scenario};
 use sdso_harness::run_experiment_obs;
 use sdso_net::TraceConfig;
@@ -136,21 +144,35 @@ fn export_trace(path: &str, ticks: u64) -> Result<(), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: perf record [--out FILE] [--ticks N] [--trace-out FILE]\n\
-        \x20      perf check  [--baseline FILE] [--tolerance F] [--trace-out FILE]"
+        \x20      perf check  [--baseline FILE] [--tolerance F] [--trace-out FILE]\n\
+        \x20      perf micro record [--out FILE]\n\
+        \x20      perf micro check  [--baseline FILE] [--tolerance F]"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else { usage() };
-    let mut out = String::from("BENCH_0.json");
-    let mut baseline_path = String::from("BENCH_0.json");
+    let Some(first) = args.first() else { usage() };
+    // `micro record` / `micro check` fold into one command token; the
+    // shared flag loop then applies with micro-suite defaults.
+    let (command, flags_from) = if first == "micro" {
+        match args.get(1).map(String::as_str) {
+            Some("record") => ("micro-record".to_owned(), 2),
+            Some("check") => ("micro-check".to_owned(), 2),
+            _ => usage(),
+        }
+    } else {
+        (first.clone(), 1)
+    };
+    let default_file = if flags_from == 2 { "BENCH_2.json" } else { "BENCH_0.json" };
+    let mut out = String::from(default_file);
+    let mut baseline_path = String::from(default_file);
     let mut tolerance = 0.25f64;
     let mut ticks: Option<u64> = None;
     let mut trace_out: Option<String> = None;
 
-    let mut it = args[1..].iter();
+    let mut it = args[flags_from..].iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> String {
             match it.next() {
@@ -176,6 +198,8 @@ fn main() {
     let result = match command.as_str() {
         "record" => cmd_record(&out, ticks.unwrap_or(DEFAULT_TICKS), trace_out.as_deref()),
         "check" => cmd_check(&baseline_path, tolerance, ticks, trace_out.as_deref()),
+        "micro-record" => cmd_micro_record(&out),
+        "micro-check" => cmd_micro_check(&baseline_path, tolerance),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -250,5 +274,53 @@ fn cmd_check(
             violations.len(),
             baseline.cells.len() * 5
         ))
+    }
+}
+
+fn cmd_micro_record(out: &str) -> Result<(), String> {
+    eprintln!("recording hot-path micro baseline:");
+    let report = micro::run_suite();
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "micro baseline written to {out} ({} cells, tracked diff {:.1}x)",
+        report.cells.len(),
+        report.diff_speedup
+    );
+    Ok(())
+}
+
+fn cmd_micro_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = MicroReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    eprintln!(
+        "checking hot-path micro suite against {baseline_path} ({} cells, ±{:.0}%):",
+        baseline.cells.len(),
+        tolerance * 100.0
+    );
+    let current = micro::run_suite();
+    let mut violations = baseline.compare(&current, tolerance);
+    // The one timing gate: the change-proportional diff path must beat
+    // the full scan by the contract floor, measured fresh on this host.
+    if current.diff_speedup < MICRO_SPEEDUP_FLOOR {
+        violations.push(format!(
+            "[diff_tracked_64k] speedup {:.2}x below the {MICRO_SPEEDUP_FLOOR}x floor",
+            current.diff_speedup
+        ));
+    }
+    if violations.is_empty() {
+        println!(
+            "perf micro passed: {} cells within ±{:.0}% of {baseline_path}, \
+             tracked diff {:.1}x (floor {MICRO_SPEEDUP_FLOOR}x)",
+            baseline.cells.len(),
+            tolerance * 100.0,
+            current.diff_speedup
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!("{} micro checks failed against {baseline_path}", violations.len()))
     }
 }

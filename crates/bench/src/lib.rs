@@ -11,3 +11,4 @@
 
 pub mod baseline;
 pub mod json;
+pub mod micro;

@@ -1,0 +1,448 @@
+//! The hot-path micro-benchmark suite behind `perf micro`.
+//!
+//! Where the macro matrix ([`crate::baseline`]) gates whole-protocol
+//! behaviour, this suite gates the data path itself: diff construction
+//! (full scan vs dirty-range guided), slotted-buffer merging, frame
+//! encode/decode through the buffer pool, and batched vs per-frame
+//! sending over the in-memory transport.
+//!
+//! Every cell carries two deterministic work metrics — `items` and
+//! `bytes`, exact counts derived from the data structures — plus an
+//! informational `ns_per_op`. Only the work metrics are gated (same
+//! ±tolerance idea as the macro baseline): they drift only when the
+//! algorithms change, never with the host. The one host-dependent number
+//! that IS gated is the tracked-vs-full diff speedup, which the check
+//! re-measures fresh and requires to stay at or above
+//! [`MICRO_SPEEDUP_FLOOR`] — the hot-path contract that a 64 KiB object
+//! at ≤1% dirty diffs change-proportionally, not size-proportionally.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sdso_core::{Diff, DirtyRanges, LogicalTime, ObjectId, SlottedBuffer, Version};
+use sdso_net::frame::{append_frame, read_frame};
+use sdso_net::memory::MemoryHub;
+use sdso_net::{Endpoint, Payload};
+
+use crate::json::{obj, Json};
+
+/// Bumped when the report layout changes incompatibly.
+pub const MICRO_SCHEMA_VERSION: u64 = 1;
+
+/// Minimum tracked-vs-full diff-build speedup the check enforces for a
+/// 64 KiB object with ≤1% of its bytes dirty.
+pub const MICRO_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Object size for the diff cells: the paper's large-object regime.
+const OBJ_SIZE: usize = 64 * 1024;
+/// Dirty spans written into the object: 8 spans of 80 bytes = 640 bytes,
+/// just under 1% of 64 KiB.
+const DIRTY_SPANS: &[(u32, u32)] = &[
+    (1_024, 80),
+    (9_000, 80),
+    (17_500, 80),
+    (25_000, 80),
+    (33_333, 80),
+    (44_000, 80),
+    (52_000, 80),
+    (63_000, 80),
+];
+
+/// One micro-benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroCell {
+    /// Stable cell identifier (`diff_full_64k`, `send_batched`, ...).
+    pub name: String,
+    /// Deterministic item count the operation produced or processed
+    /// (runs, merges, frames, messages). Gated.
+    pub items: u64,
+    /// Deterministic byte count the operation produced or processed.
+    /// Gated.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds per operation (best of several batches).
+    /// Informational only — never gated.
+    pub ns_per_op: f64,
+}
+
+/// A full micro-benchmark report (`BENCH_2.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroReport {
+    /// Schema version ([`MICRO_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// All cells, in suite order.
+    pub cells: Vec<MicroCell>,
+    /// Measured tracked-vs-full diff-build speedup on the recording
+    /// host. Recorded for the log; the check re-measures it fresh.
+    pub diff_speedup: f64,
+}
+
+impl MicroReport {
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("name", Json::Str(c.name.clone())),
+                    ("items", Json::Num(c.items as f64)),
+                    ("bytes", Json::Num(c.bytes as f64)),
+                    ("ns_per_op", Json::Num(c.ns_per_op)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", Json::Num(self.schema as f64)),
+            ("diff_speedup", Json::Num(self.diff_speedup)),
+            ("cells", Json::Arr(cells)),
+        ])
+        .pretty()
+    }
+
+    /// Parses a report previously written by [`MicroReport::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn parse(text: &str) -> Result<MicroReport, String> {
+        let root = Json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing numeric `schema`".to_owned())?;
+        let diff_speedup = root
+            .get("diff_speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "missing numeric `diff_speedup`".to_owned())?;
+        let raw_cells = root
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "missing `cells` array".to_owned())?;
+        let mut cells = Vec::with_capacity(raw_cells.len());
+        for (i, c) in raw_cells.iter().enumerate() {
+            let field = |key: &str| -> Result<f64, String> {
+                c.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("cell {i}: missing numeric `{key}`"))
+            };
+            cells.push(MicroCell {
+                name: c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("cell {i}: missing `name`"))?
+                    .to_owned(),
+                items: field("items")? as u64,
+                bytes: field("bytes")? as u64,
+                ns_per_op: field("ns_per_op")?,
+            });
+        }
+        Ok(MicroReport { schema, cells, diff_speedup })
+    }
+
+    /// Compares `current` against this baseline: every baseline cell must
+    /// exist in `current` with `items` and `bytes` within ±`tolerance`
+    /// relative, and `current` must introduce no unknown cells. Timing
+    /// fields are never compared. Returns human-readable violations.
+    #[must_use]
+    pub fn compare(&self, current: &MicroReport, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.schema != current.schema {
+            violations.push(format!(
+                "schema changed: baseline {} vs current {}",
+                self.schema, current.schema
+            ));
+            return violations;
+        }
+        for base in &self.cells {
+            let Some(cur) = current.cells.iter().find(|c| c.name == base.name) else {
+                violations.push(format!("[{}] cell missing from current run", base.name));
+                continue;
+            };
+            for (metric, b, c) in
+                [("items", base.items, cur.items), ("bytes", base.bytes, cur.bytes)]
+            {
+                if !within_rel(b as f64, c as f64, tolerance) {
+                    violations.push(format!(
+                        "[{}] {metric}: baseline {b} vs current {c} (>±{:.0}%)",
+                        base.name,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        for cur in &current.cells {
+            if !self.cells.iter().any(|b| b.name == cur.name) {
+                violations.push(format!(
+                    "[{}] new cell not in baseline; re-record BENCH_2.json",
+                    cur.name
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// `b` within ±`tol` relative of `a` (both sides, exact zeros must match).
+fn within_rel(a: f64, b: f64, tol: f64) -> bool {
+    if a == 0.0 {
+        return b == 0.0;
+    }
+    ((b - a) / a).abs() <= tol
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+/// Best-of-3 batches of `reps` calls, as nanoseconds per call.
+fn time_ns_per_op<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(reps));
+    }
+    best
+}
+
+/// The 64 KiB diff fixture: old image, new image with ~1% dirty, and the
+/// dirty-range record of exactly the spans written.
+fn diff_fixture() -> (Vec<u8>, Vec<u8>, DirtyRanges) {
+    let old = vec![0u8; OBJ_SIZE];
+    let mut new = old.clone();
+    let mut dirty = DirtyRanges::new();
+    for &(off, len) in DIRTY_SPANS {
+        new[off as usize..(off + len) as usize].fill(0xC7);
+        dirty.record(off, len);
+    }
+    (old, new, dirty)
+}
+
+/// Runs the full suite and assembles the report.
+///
+/// Work metrics are exact and reproducible; timings are host-dependent.
+/// Progress lines go to stderr like the macro matrix's.
+#[must_use]
+pub fn run_suite() -> MicroReport {
+    let mut cells = Vec::new();
+
+    // --- diff build: full scan vs dirty-range guided -----------------
+    let (old, new, dirty) = diff_fixture();
+    let full = Diff::between(&old, &new);
+    let tracked = Diff::between_ranges(&old, &new, &dirty);
+    assert_eq!(full, tracked, "tracked diff must be bit-identical to the full scan");
+    let full_ns = time_ns_per_op(400, || {
+        black_box(Diff::between(black_box(&old), black_box(&new)));
+    });
+    let tracked_ns = time_ns_per_op(4000, || {
+        black_box(Diff::between_ranges(black_box(&old), black_box(&new), black_box(&dirty)));
+    });
+    let diff_speedup = full_ns / tracked_ns;
+    cells.push(MicroCell {
+        name: "diff_full_64k".to_owned(),
+        items: full.run_count() as u64,
+        bytes: full.byte_count() as u64,
+        ns_per_op: full_ns,
+    });
+    cells.push(MicroCell {
+        name: "diff_tracked_64k".to_owned(),
+        items: tracked.run_count() as u64,
+        bytes: tracked.byte_count() as u64,
+        ns_per_op: tracked_ns,
+    });
+    eprintln!(
+        "  diff 64KiB ({} dirty bytes): full {full_ns:.0} ns, tracked {tracked_ns:.0} ns \
+         = {diff_speedup:.1}x",
+        full.byte_count()
+    );
+
+    // --- slotted-buffer merge ----------------------------------------
+    let writes: Vec<(ObjectId, Diff, Version)> = (0..256u64)
+        .map(|i| {
+            let obj = ObjectId((i % 4) as u32);
+            let offset = ((i * 37) % 1_000) as u32;
+            let diff = Diff::single(offset, vec![i as u8; 16]);
+            (obj, diff, Version::new(LogicalTime::from_ticks(i + 1), 0))
+        })
+        .collect();
+    let merge_pass = || {
+        let mut buf = SlottedBuffer::new(4, 0, true);
+        for (obj, diff, stamp) in &writes {
+            buf.buffer_for_all(*obj, diff, *stamp, &[]);
+        }
+        buf
+    };
+    let reference = merge_pass();
+    let pending_bytes: usize = [1u16, 2, 3]
+        .into_iter()
+        .flat_map(|peer| {
+            let mut b = merge_pass();
+            b.drain_slot(peer).into_iter().map(|u| u.diff.encoded_len()).collect::<Vec<_>>()
+        })
+        .sum();
+    let merge_ns = time_ns_per_op(200, || {
+        black_box(merge_pass());
+    });
+    cells.push(MicroCell {
+        name: "slotted_merge_256w".to_owned(),
+        items: reference.merged_count(),
+        bytes: pending_bytes as u64,
+        ns_per_op: merge_ns / 256.0, // per buffered write
+    });
+    eprintln!(
+        "  slotted merge: {} merges across 256 writes, {:.0} ns/write",
+        reference.merged_count(),
+        merge_ns / 256.0
+    );
+
+    // --- frame encode / decode through the pool -----------------------
+    let bodies: Vec<Payload> =
+        (0..16u8).map(|i| Payload::data(vec![i; 64 + usize::from(i) * 24])).collect();
+    let wire_bytes: usize = bodies.iter().map(|p| 4 + 7 + p.bytes.len()).sum();
+    let pool = sdso_net::pool::BufPool::new(8, 1 << 20);
+    let encode_ns = time_ns_per_op(2000, || {
+        let mut scratch = pool.get();
+        for p in &bodies {
+            append_frame(&mut scratch, 3, p);
+        }
+        black_box(scratch.len());
+        pool.put(scratch);
+    });
+    let mut encoded = pool.get();
+    for p in &bodies {
+        append_frame(&mut encoded, 3, p);
+    }
+    let encoded = encoded.freeze();
+    assert_eq!(encoded.len(), wire_bytes);
+    let decode_ns = time_ns_per_op(2000, || {
+        let mut cursor = std::io::Cursor::new(&encoded[..]);
+        for _ in &bodies {
+            black_box(read_frame(&mut cursor).expect("suite frames are well-formed"));
+        }
+    });
+    cells.push(MicroCell {
+        name: "frame_encode_16".to_owned(),
+        items: bodies.len() as u64,
+        bytes: wire_bytes as u64,
+        ns_per_op: encode_ns / bodies.len() as f64,
+    });
+    cells.push(MicroCell {
+        name: "frame_decode_16".to_owned(),
+        items: bodies.len() as u64,
+        bytes: wire_bytes as u64,
+        ns_per_op: decode_ns / bodies.len() as f64,
+    });
+    eprintln!(
+        "  frame: 16 frames / {wire_bytes} B, encode {:.0} ns/frame, decode {:.0} ns/frame",
+        encode_ns / 16.0,
+        decode_ns / 16.0
+    );
+
+    // --- batched vs per-frame send over the in-memory transport -------
+    for (name, batched) in [("send_unbatched_16", false), ("send_batched_16", true)] {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut rx = eps.pop().expect("two endpoints");
+        let mut tx = eps.pop().expect("two endpoints");
+        let payload_bytes: usize = bodies.iter().map(|p| p.bytes.len()).sum();
+        let send_ns = time_ns_per_op(500, || {
+            if batched {
+                tx.send_batch(1, bodies.clone()).expect("memory send");
+            } else {
+                for p in &bodies {
+                    tx.send(1, p.clone()).expect("memory send");
+                }
+            }
+            for _ in &bodies {
+                black_box(rx.recv().expect("memory recv"));
+            }
+        });
+        cells.push(MicroCell {
+            name: name.to_owned(),
+            items: bodies.len() as u64,
+            bytes: payload_bytes as u64,
+            ns_per_op: send_ns / bodies.len() as f64,
+        });
+        eprintln!("  {name}: 16 msgs / {payload_bytes} B, {:.0} ns/msg", send_ns / 16.0);
+    }
+
+    MicroReport { schema: MICRO_SCHEMA_VERSION, cells, diff_speedup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MicroReport {
+        MicroReport {
+            schema: MICRO_SCHEMA_VERSION,
+            diff_speedup: 11.5,
+            cells: vec![
+                MicroCell {
+                    name: "diff_full_64k".to_owned(),
+                    items: 8,
+                    bytes: 640,
+                    ns_per_op: 5_000.0,
+                },
+                MicroCell {
+                    name: "send_batched_16".to_owned(),
+                    items: 16,
+                    bytes: 4_000,
+                    ns_per_op: 150.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample();
+        let parsed = MicroReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compare_flags_work_drift_but_ignores_timing() {
+        let base = sample();
+        let mut current = sample();
+        current.cells[0].ns_per_op = 999_999.0; // timing may drift freely
+        assert!(base.compare(&current, 0.25).is_empty());
+        current.cells[0].items = 20; // work counts may not
+        let violations = base.compare(&current, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("diff_full_64k"));
+    }
+
+    #[test]
+    fn compare_flags_missing_and_unknown_cells() {
+        let base = sample();
+        let mut current = sample();
+        current.cells[1].name = "send_batched_32".to_owned();
+        let violations = base.compare(&current, 0.25);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+
+    #[test]
+    fn suite_work_metrics_are_deterministic() {
+        let a = run_suite();
+        let b = run_suite();
+        let work = |r: &MicroReport| {
+            r.cells.iter().map(|c| (c.name.clone(), c.items, c.bytes)).collect::<Vec<_>>()
+        };
+        assert_eq!(work(&a), work(&b));
+        // The diff fixture writes 8 spans of 80 bytes, so the change-
+        // proportional path has exactly that much work to do.
+        let full = a.cells.iter().find(|c| c.name == "diff_full_64k").unwrap();
+        assert_eq!((full.items, full.bytes), (8, 640));
+    }
+
+    #[test]
+    fn suite_measures_a_real_tracked_speedup() {
+        // Not asserting the CI floor here (unit tests run unoptimized);
+        // just that the measurement is sane and positive.
+        let report = run_suite();
+        assert!(report.diff_speedup > 1.0, "speedup {}", report.diff_speedup);
+    }
+}

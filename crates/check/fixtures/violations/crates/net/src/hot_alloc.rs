@@ -1,0 +1,8 @@
+//! Fixture: per-call allocation in a marked hot path (must trip
+//! `no-alloc-in-hot-path`).
+
+/// Encodes one frame into `out`. sdso-check: hot-path
+pub fn append_frame_badly(out: &mut Vec<u8>, payload: &Payload) {
+    let copy = payload.bytes.to_vec();
+    out.extend_from_slice(&copy);
+}

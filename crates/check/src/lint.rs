@@ -111,7 +111,9 @@ mod tests {
         let report = run(&fixture, None).unwrap();
         let rules: std::collections::BTreeSet<&str> =
             report.diagnostics.iter().map(|d| d.rule).collect();
-        for rule in ["no-panic", "wall-clock", "lock-order", "exhaustive-match"] {
+        for rule in
+            ["no-panic", "wall-clock", "lock-order", "exhaustive-match", "no-alloc-in-hot-path"]
+        {
             assert!(rules.contains(rule), "fixture must trip {rule}; got {rules:?}");
         }
     }

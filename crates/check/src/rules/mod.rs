@@ -8,6 +8,7 @@
 
 pub mod exhaustive_match;
 pub mod lock_order;
+pub mod no_alloc_hot_path;
 pub mod no_panic;
 pub mod wall_clock;
 
@@ -51,5 +52,6 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     out.extend(wall_clock::check(ctx));
     out.extend(lock_order::check(ctx));
     out.extend(exhaustive_match::check(ctx));
+    out.extend(no_alloc_hot_path::check(ctx));
     out
 }

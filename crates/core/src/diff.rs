@@ -6,6 +6,7 @@
 //! process" (paper §3.1). [`Diff`] is that representation: a sorted,
 //! non-overlapping run-list of `(offset, bytes)` pairs.
 
+use crate::dirty::DirtyRanges;
 use sdso_net::wire::{Wire, WireReader, WireWriter};
 use sdso_net::NetError;
 
@@ -46,6 +47,47 @@ impl Run {
     fn end(&self) -> u32 {
         self.offset + self.bytes.len() as u32
     }
+
+    /// The run's bytes from absolute offset `from` to its end.
+    fn slice_from(&self, from: u32) -> &[u8] {
+        &self.bytes[(from - self.offset) as usize..]
+    }
+
+    /// The run's bytes between absolute offsets `from` and `to`.
+    fn slice_between(&self, from: u32, to: u32) -> &[u8] {
+        &self.bytes[(from - self.offset) as usize..(to - self.offset) as usize]
+    }
+}
+
+/// Appends `bytes` at `offset` to a normalized run list, extending the last
+/// run when exactly adjacent — the same normalization [`Diff::merge`]'s
+/// overlay rebuild produces.
+fn push_run(out: &mut Vec<Run>, offset: u32, bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    match out.last_mut() {
+        Some(last) if last.end() == offset => last.bytes.extend_from_slice(bytes),
+        _ => out.push(Run { offset, bytes: bytes.to_vec() }),
+    }
+}
+
+/// Debug check: every byte a run carries at a position where `old == new`
+/// (a coalesced gap) must equal the source image, so applying the diff to
+/// the image it was computed from can never smuggle in stale bytes.
+#[cfg(debug_assertions)]
+fn gap_bytes_match_source(runs: &[Run], old: &[u8], new: &[u8]) -> bool {
+    runs.iter().all(|run| {
+        run.bytes.iter().enumerate().all(|(k, &b)| {
+            let pos = run.offset as usize + k;
+            old[pos] != new[pos] || b == old[pos]
+        })
+    })
+}
+
+#[cfg(not(debug_assertions))]
+fn gap_bytes_match_source(_runs: &[Run], _old: &[u8], _new: &[u8]) -> bool {
+    true
 }
 
 impl Diff {
@@ -104,6 +146,68 @@ impl Diff {
             runs.push(Run { offset: start as u32, bytes: new[start..=last_dirty].to_vec() });
             i = last_dirty + 1;
         }
+        debug_assert!(
+            gap_bytes_match_source(&runs, old, new),
+            "coalesced gap bytes must be byte-identical to the source image"
+        );
+        Diff { runs }
+    }
+
+    /// Like [`Diff::between`], but scans only the spans recorded in `dirty`
+    /// instead of the whole image. Falls back to the full scan when tracking
+    /// degraded ([`DirtyRanges::is_untracked`]).
+    ///
+    /// The result is byte-identical to the full scan **provided** `dirty`
+    /// covers every byte where `old` and `new` differ — which holds whenever
+    /// the spans were recorded by the same mutations that produced `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn between_ranges(old: &[u8], new: &[u8], dirty: &DirtyRanges) -> Self {
+        assert_eq!(old.len(), new.len(), "objects never change size");
+        if dirty.is_untracked() {
+            return Diff::between(old, new);
+        }
+        let mut runs: Vec<Run> = Vec::new();
+        // First byte not yet consumed: a run started in one span may extend
+        // across the gap into the next (COALESCE_GAP joining), so later spans
+        // must not rescan bytes an earlier run already swallowed.
+        let mut consumed = 0usize;
+        for (off, len) in dirty.spans() {
+            let lo = (off as usize).max(consumed);
+            let hi = (off as usize).saturating_add(len as usize).min(new.len());
+            let mut i = lo;
+            while i < hi {
+                if old[i] == new[i] {
+                    i += 1;
+                    continue;
+                }
+                // Identical inner loop to `between`: the extension scan runs
+                // over the full image so runs coalesce across span
+                // boundaries exactly as the full scan would.
+                let start = i;
+                let mut last_dirty = i;
+                i += 1;
+                while i < new.len() {
+                    if old[i] != new[i] {
+                        last_dirty = i;
+                        i += 1;
+                    } else if i - last_dirty <= COALESCE_GAP {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                runs.push(Run { offset: start as u32, bytes: new[start..=last_dirty].to_vec() });
+                i = last_dirty + 1;
+            }
+            consumed = consumed.max(i);
+        }
+        debug_assert!(
+            gap_bytes_match_source(&runs, old, new),
+            "coalesced gap bytes must be byte-identical to the source image"
+        );
         Diff { runs }
     }
 
@@ -158,6 +262,65 @@ impl Diff {
             }
         }
         Diff { runs }
+    }
+
+    /// In-place [`Diff::merge`]: overlays `newer` onto `self` with a single
+    /// two-pointer pass over the run lists, producing the same normalized
+    /// result without the per-byte overlay map or the output clone.
+    ///
+    /// This is the exchange hot path — every buffered update merge and every
+    /// `write` on an already-modified object lands here.
+    pub fn merge_in_place(&mut self, newer: &Diff) {
+        if newer.runs.is_empty() {
+            return;
+        }
+        if self.runs.is_empty() {
+            self.runs = newer.runs.clone();
+            return;
+        }
+        let old_runs = std::mem::take(&mut self.runs);
+        let mut out: Vec<Run> = Vec::with_capacity(old_runs.len() + newer.runs.len());
+        let mut old_iter = old_runs.iter();
+        let mut cur_old = old_iter.next();
+        // Everything below this offset is already emitted or overwritten by a
+        // newer run; surviving old fragments start at or after it.
+        let mut floor: u32 = 0;
+
+        for nrun in &newer.runs {
+            // Zero-length runs (legal on the wire) paint nothing.
+            if nrun.bytes.is_empty() {
+                continue;
+            }
+            // Emit the parts of older runs that end before this newer run,
+            // and the head fragment of one that overlaps it.
+            while let Some(orun) = cur_old {
+                let frag_start = floor.max(orun.offset);
+                if orun.end() <= frag_start {
+                    cur_old = old_iter.next();
+                    continue;
+                }
+                if orun.end() <= nrun.offset {
+                    push_run(&mut out, frag_start, orun.slice_from(frag_start));
+                    cur_old = old_iter.next();
+                    continue;
+                }
+                if frag_start < nrun.offset {
+                    push_run(&mut out, frag_start, orun.slice_between(frag_start, nrun.offset));
+                }
+                break;
+            }
+            push_run(&mut out, nrun.offset, &nrun.bytes);
+            floor = floor.max(nrun.end());
+        }
+        // Tails of older runs past the last newer run.
+        while let Some(orun) = cur_old {
+            let frag_start = floor.max(orun.offset);
+            if frag_start < orun.end() {
+                push_run(&mut out, frag_start, orun.slice_from(frag_start));
+            }
+            cur_old = old_iter.next();
+        }
+        self.runs = out;
     }
 
     /// Number of runs.
@@ -353,5 +516,132 @@ mod tests {
     #[test]
     fn single_empty_bytes_is_empty_diff() {
         assert!(Diff::single(5, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn coalesced_gap_bytes_match_source_image() {
+        // Dirty bytes at 10 and 13 with distinctive clean bytes in between:
+        // the joined run must carry the *source* gap bytes, so applying it to
+        // the image it was computed from changes nothing in the gap.
+        let mut old = vec![0u8; 32];
+        old[11] = 0xAA;
+        old[12] = 0xBB;
+        let mut new = old.clone();
+        new[10] = 1;
+        new[13] = 1;
+        let diff = Diff::between(&old, &new);
+        assert_eq!(diff.run_count(), 1);
+        let mut patched = old.clone();
+        diff.apply(&mut patched).unwrap();
+        assert_eq!(patched, new);
+        assert_eq!(patched[11], 0xAA);
+        assert_eq!(patched[12], 0xBB);
+    }
+
+    #[test]
+    fn merge_in_place_matches_overlay_merge() {
+        let cases: &[(Diff, Diff)] = &[
+            (Diff::single(2, vec![1; 4]), Diff::single(4, vec![2; 4])),
+            (Diff::single(4, vec![1; 8]), Diff::single(0, vec![2; 16])),
+            (Diff::single(0, vec![1; 16]), Diff::single(4, vec![2; 4])),
+            (Diff::single(0, vec![1, 1]), Diff::single(10, vec![2, 2])),
+            (Diff::single(0, vec![1, 1]), Diff::single(2, vec![2, 2])),
+            (Diff::single(8, vec![1, 1]), Diff::single(0, vec![2, 2])),
+            (Diff::empty(), Diff::single(3, vec![9])),
+            (Diff::single(3, vec![9]), Diff::empty()),
+        ];
+        for (a, b) in cases {
+            let expected = a.merge(b);
+            let mut got = a.clone();
+            got.merge_in_place(b);
+            assert_eq!(got, expected, "merge_in_place({a:?}, {b:?})");
+        }
+    }
+
+    #[test]
+    fn merge_in_place_splits_old_run_around_newer() {
+        // Old covers [0,10); newer overwrites [3,6). The old run must split
+        // into head + tail with the newer bytes between, fully normalized.
+        let old_diff = Diff::single(0, (0u8..10).collect());
+        let newer = Diff::single(3, vec![99; 3]);
+        let mut merged = old_diff.clone();
+        merged.merge_in_place(&newer);
+        assert_eq!(merged, old_diff.merge(&newer));
+        assert_eq!(merged.run_count(), 1); // contiguous coverage stays one run
+        let mut buf = vec![0u8; 10];
+        merged.apply(&mut buf).unwrap();
+        assert_eq!(buf, vec![0, 1, 2, 99, 99, 99, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_in_place_newer_spans_multiple_old_runs() {
+        let mut a = Diff::single(0, vec![1, 1]);
+        a.merge_in_place(&Diff::single(10, vec![1, 1]));
+        a.merge_in_place(&Diff::single(20, vec![1, 1]));
+        let bridge = Diff::single(1, vec![2; 15]); // covers tail of run 0 through run 1
+        let expected = a.merge(&bridge);
+        a.merge_in_place(&bridge);
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn between_ranges_matches_full_scan_when_spans_cover_writes() {
+        let old = vec![0u8; 256];
+        let mut new = old.clone();
+        let mut dirty = crate::dirty::DirtyRanges::new();
+        for &(off, len) in &[(3u32, 5u32), (40, 1), (43, 2), (250, 6)] {
+            for i in off..off + len {
+                new[i as usize] = 7;
+            }
+            dirty.record(off, len);
+        }
+        let tracked = Diff::between_ranges(&old, &new, &dirty);
+        assert_eq!(tracked, Diff::between(&old, &new));
+    }
+
+    #[test]
+    fn between_ranges_coalesces_across_span_boundary() {
+        // Two spans whose dirty bytes sit COALESCE_GAP apart must join into
+        // one run exactly as the full scan joins them.
+        let old = vec![0u8; 64];
+        let mut new = old.clone();
+        new[10] = 1;
+        new[13] = 1;
+        let mut dirty = crate::dirty::DirtyRanges::new();
+        dirty.record(10, 1);
+        dirty.record(13, 1);
+        assert_eq!(dirty.span_count(), 2);
+        let tracked = Diff::between_ranges(&old, &new, &dirty);
+        let full = Diff::between(&old, &new);
+        assert_eq!(full.run_count(), 1);
+        assert_eq!(tracked, full);
+    }
+
+    #[test]
+    fn between_ranges_with_overwritten_clean_span_is_empty() {
+        // A span was recorded but the bytes ended up identical (write of the
+        // same value): tracked scan finds nothing, like the full scan.
+        let old = vec![9u8; 32];
+        let new = old.clone();
+        let mut dirty = crate::dirty::DirtyRanges::new();
+        dirty.record(4, 8);
+        assert!(Diff::between_ranges(&old, &new, &dirty).is_empty());
+    }
+
+    #[test]
+    fn between_ranges_untracked_falls_back_to_full_scan() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[5] = 1;
+        let mut dirty = crate::dirty::DirtyRanges::new();
+        dirty.mark_untracked();
+        assert_eq!(Diff::between_ranges(&old, &new, &dirty), Diff::between(&old, &new));
+    }
+
+    #[test]
+    fn between_ranges_clean_is_empty() {
+        let buf = vec![1u8; 64];
+        let dirty = crate::dirty::DirtyRanges::new();
+        assert!(Diff::between_ranges(&buf, &buf, &dirty).is_empty());
     }
 }

@@ -70,6 +70,7 @@
 mod clock;
 mod config;
 mod diff;
+mod dirty;
 mod error;
 mod exchange_list;
 mod metrics;
@@ -83,6 +84,7 @@ pub mod wire;
 pub use clock::{LogicalClock, LogicalTime};
 pub use config::{DsoConfig, RetryConfig};
 pub use diff::Diff;
+pub use dirty::DirtyRanges;
 pub use error::DsoError;
 pub use exchange_list::ExchangeList;
 pub use metrics::DsoMetrics;

@@ -556,7 +556,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let diff = Diff::single(offset, bytes.to_vec());
         let merging = self.current_mods.contains_key(&id);
         let entry = self.current_mods.entry(id).or_insert_with(|| (Diff::empty(), stamp));
-        entry.0 = entry.0.merge(&diff);
+        entry.0.merge_in_place(&diff);
         entry.1 = entry.1.max(stamp);
         if merging {
             self.obs.record(self.endpoint.now().as_micros(), EventKind::DiffMerge, id.0, 0, 0);
@@ -701,10 +701,12 @@ impl<E: Endpoint> SdsoRuntime<E> {
             }));
             updates_sent += updates.len();
             let epoch = self.view.epoch();
+            let mut msgs = Vec::with_capacity(2);
             if !updates.is_empty() {
-                self.send_msg(peer, DsoMessage::Data { epoch, time: t, updates })?;
+                msgs.push(DsoMessage::Data { epoch, time: t, updates });
             }
-            self.send_msg(peer, DsoMessage::Sync { epoch, time: t })?;
+            msgs.push(DsoMessage::Sync { epoch, time: t });
+            self.send_msgs(peer, msgs)?;
         }
 
         // Buffer this interval's modifications for everyone not exchanged
@@ -956,6 +958,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let Some(arq) = &mut self.arq else {
             let incoming = self.endpoint.recv().map_err(DsoError::Net)?;
             let msg = sdso_net::wire::decode(&incoming.payload.bytes).map_err(DsoError::Net)?;
+            reclaim_incoming(incoming.payload);
             return Ok((incoming.from, msg));
         };
         if let Some(m) = arq.ready.pop_front() {
@@ -967,7 +970,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
             match self.endpoint.recv_deadline(cfg.rto).map_err(DsoError::Net)? {
                 Some(incoming) => {
                     silent = 0;
-                    if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+                    let admitted = self.admit_raw(incoming.from, &incoming.payload.bytes)?;
+                    reclaim_incoming(incoming.payload);
+                    if let Some(m) = admitted {
                         return Ok(m);
                     }
                 }
@@ -1005,7 +1010,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
         }
         loop {
             let incoming = self.endpoint.recv().map_err(DsoError::Net)?;
-            if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+            let admitted = self.admit_raw(incoming.from, &incoming.payload.bytes)?;
+            reclaim_incoming(incoming.payload);
+            if let Some(m) = admitted {
                 return Ok(m);
             }
         }
@@ -1019,7 +1026,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
             }
         }
         while let Some(incoming) = self.endpoint.try_recv().map_err(DsoError::Net)? {
-            if let Some(m) = self.admit_raw(incoming.from, &incoming.payload.bytes)? {
+            let admitted = self.admit_raw(incoming.from, &incoming.payload.bytes)?;
+            reclaim_incoming(incoming.payload);
+            if let Some(m) = admitted {
                 return Ok(Some(m));
             }
         }
@@ -1150,7 +1159,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
                 Ok(Some(incoming)) => {
                     silent = 0;
                     let (from, bytes) = (incoming.from, incoming.payload.bytes);
-                    if let Some((from, msg)) = self.admit_raw(from, &bytes)? {
+                    let admitted = self.admit_raw(from, &bytes)?;
+                    sdso_net::pool::global().reclaim(bytes);
+                    if let Some((from, msg)) = admitted {
                         self.absorb_settled(from, msg)?;
                     }
                     while let Some((from, msg)) =
@@ -1426,6 +1437,37 @@ impl<E: Endpoint> SdsoRuntime<E> {
             self.counters.non_member_dropped.inc();
             return Ok(());
         }
+        let payload = self.wrap_for_send(peer, msg);
+        self.endpoint.send(peer, payload).map_err(DsoError::Net)
+    }
+
+    /// Sends several messages to `peer`, flushing them as one batched
+    /// transport write when [`DsoConfig::batch_frames`] is on. Message
+    /// content, order, and per-message accounting are identical to sending
+    /// each with [`SdsoRuntime::send_msg`]; only the number of underlying
+    /// transport writes changes.
+    fn send_msgs(&mut self, peer: NodeId, msgs: Vec<DsoMessage>) -> Result<(), DsoError> {
+        if !self.config.batch_frames || msgs.len() < 2 {
+            for msg in msgs {
+                self.send_msg(peer, msg)?;
+            }
+            return Ok(());
+        }
+        // Exchange batches never carry SeqAck, so suppression is all-or-none.
+        if !self.view.contains(peer) {
+            self.counters.non_member_dropped.add(msgs.len() as u64);
+            return Ok(());
+        }
+        let mut payloads = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            payloads.push(self.wrap_for_send(peer, msg));
+        }
+        self.endpoint.send_batch(peer, payloads).map_err(DsoError::Net)
+    }
+
+    /// Wraps `msg` in the reliability envelope (when configured) and encodes
+    /// it for the wire. Callers must have done non-member suppression.
+    fn wrap_for_send(&mut self, peer: NodeId, msg: DsoMessage) -> Payload {
         let msg = match &mut self.arq {
             // Acks police the sequenced stream and must not join it.
             Some(arq) if !matches!(msg, DsoMessage::SeqAck { .. }) => {
@@ -1437,9 +1479,16 @@ impl<E: Endpoint> SdsoRuntime<E> {
             }
             _ => msg,
         };
-        let payload: Payload = msg.into_payload(self.config.frame_wire_len);
-        self.endpoint.send(peer, payload).map_err(DsoError::Net)
+        msg.into_payload(self.config.frame_wire_len)
     }
+}
+
+/// Hands a fully-consumed incoming payload's storage back to the global
+/// buffer pool, closing the pooled-encode recycle loop. A no-op when the
+/// bytes are still shared (e.g. a fault layer kept a duplicate) or the
+/// pool is full.
+fn reclaim_incoming(payload: Payload) {
+    sdso_net::pool::global().reclaim(payload.bytes);
 }
 
 #[cfg(test)]

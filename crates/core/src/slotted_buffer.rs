@@ -86,7 +86,7 @@ impl SlottedBuffer {
             let entries = slot.entry(object).or_default();
             match entries.last_mut() {
                 Some(pending) if self.merge => {
-                    pending.diff = pending.diff.merge(diff);
+                    pending.diff.merge_in_place(diff);
                     pending.version = pending.version.max(version);
                     self.merged_count += 1;
                 }

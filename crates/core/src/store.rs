@@ -1,6 +1,7 @@
 use std::collections::BTreeMap;
 
 use crate::diff::Diff;
+use crate::dirty::DirtyRanges;
 use crate::error::DsoError;
 use crate::object::{ObjectId, Version};
 
@@ -9,6 +10,9 @@ use crate::object::{ObjectId, Version};
 pub struct Replica {
     data: Vec<u8>,
     version: Version,
+    /// Spans touched since the last [`ObjectStore::clear_dirty`]; lets diff
+    /// builders scan only changed regions ([`Diff::between_ranges`]).
+    dirty: DirtyRanges,
 }
 
 impl Replica {
@@ -25,6 +29,26 @@ impl Replica {
     /// Object size in bytes (fixed at `share` time).
     pub fn size(&self) -> usize {
         self.data.len()
+    }
+
+    /// Byte spans mutated since the last baseline
+    /// ([`ObjectStore::clear_dirty`]); untracked means "assume anything
+    /// changed" and forces a full scan.
+    pub fn dirty_ranges(&self) -> &DirtyRanges {
+        &self.dirty
+    }
+
+    /// Diff from `baseline` to the replica's current bytes, scanning only
+    /// dirty spans (full scan when tracking degraded).
+    ///
+    /// `baseline` must be a snapshot of this replica taken when the dirty set
+    /// was last cleared, so the spans cover every byte that differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` has a different length than the replica.
+    pub fn diff_since(&self, baseline: &[u8]) -> Diff {
+        Diff::between_ranges(baseline, &self.data, &self.dirty)
     }
 }
 
@@ -54,7 +78,10 @@ impl ObjectStore {
         if self.objects.contains_key(&id) {
             return Err(DsoError::AlreadyShared(id));
         }
-        self.objects.insert(id, Replica { data: initial, version: Version::INITIAL });
+        self.objects.insert(
+            id,
+            Replica { data: initial, version: Version::INITIAL, dirty: DirtyRanges::new() },
+        );
         Ok(())
     }
 
@@ -100,6 +127,7 @@ impl ObjectStore {
         }
         replica.data[offset as usize..end].copy_from_slice(bytes);
         replica.version = replica.version.max(version);
+        replica.dirty.record(offset, bytes.len() as u32);
         Ok(())
     }
 
@@ -122,6 +150,7 @@ impl ObjectStore {
         }
         replica.data.copy_from_slice(body);
         replica.version = version;
+        replica.dirty.record(0, body.len() as u32);
         Ok(())
     }
 
@@ -169,7 +198,23 @@ impl ObjectStore {
         }
         diff.apply(&mut replica.data).map_err(DsoError::Net)?;
         replica.version = version;
+        for (offset, bytes) in diff.runs() {
+            replica.dirty.record(offset, bytes.len() as u32);
+        }
         Ok(true)
+    }
+
+    /// Resets `id`'s dirty tracking — call after capturing a baseline
+    /// snapshot so subsequent [`Replica::diff_since`] calls scan only what
+    /// changed from that snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoError::UnknownObject`] if `id` was never shared.
+    pub fn clear_dirty(&mut self, id: ObjectId) -> Result<(), DsoError> {
+        let replica = self.objects.get_mut(&id).ok_or(DsoError::UnknownObject(id))?;
+        replica.dirty.clear();
+        Ok(())
     }
 
     /// Number of shared objects.
@@ -256,6 +301,61 @@ mod tests {
         assert!(s.replace(ObjectId(1), &[1; 3], v(1, 0)).is_err());
         s.replace(ObjectId(1), &[1; 4], v(1, 0)).unwrap();
         assert_eq!(s.replica(ObjectId(1)).unwrap().version(), v(1, 0));
+    }
+
+    #[test]
+    fn writes_record_dirty_spans_and_diff_since_matches_full_scan() {
+        let mut s = ObjectStore::new();
+        s.share(ObjectId(1), vec![0u8; 128]).unwrap();
+        let baseline = s.read(ObjectId(1)).unwrap().to_vec();
+
+        s.write(ObjectId(1), 8, &[1, 2, 3], v(1, 0)).unwrap();
+        s.write(ObjectId(1), 100, &[4; 10], v(2, 0)).unwrap();
+        let replica = s.replica(ObjectId(1)).unwrap();
+        assert_eq!(replica.dirty_ranges().span_count(), 2);
+        assert_eq!(replica.dirty_ranges().dirty_bytes(), 13);
+
+        let tracked = replica.diff_since(&baseline);
+        assert_eq!(tracked, Diff::between(&baseline, replica.data()));
+        assert_eq!(tracked.byte_count(), 13);
+    }
+
+    #[test]
+    fn clear_dirty_starts_a_new_baseline() {
+        let mut s = ObjectStore::new();
+        s.share(ObjectId(1), vec![0u8; 32]).unwrap();
+        s.write(ObjectId(1), 0, &[1; 4], v(1, 0)).unwrap();
+        s.clear_dirty(ObjectId(1)).unwrap();
+        assert!(s.replica(ObjectId(1)).unwrap().dirty_ranges().is_clean());
+
+        let baseline = s.read(ObjectId(1)).unwrap().to_vec();
+        s.write(ObjectId(1), 10, &[2; 2], v(2, 0)).unwrap();
+        let replica = s.replica(ObjectId(1)).unwrap();
+        let tracked = replica.diff_since(&baseline);
+        assert_eq!(tracked, Diff::between(&baseline, replica.data()));
+        assert_eq!(tracked.byte_count(), 2);
+
+        assert!(s.clear_dirty(ObjectId(9)).is_err());
+    }
+
+    #[test]
+    fn replace_and_apply_remote_record_dirty() {
+        let mut s = ObjectStore::new();
+        s.share(ObjectId(1), vec![0u8; 16]).unwrap();
+        s.replace(ObjectId(1), &[1; 16], v(1, 0)).unwrap();
+        assert_eq!(s.replica(ObjectId(1)).unwrap().dirty_ranges().dirty_bytes(), 16);
+
+        s.clear_dirty(ObjectId(1)).unwrap();
+        let remote = Diff::single(4, vec![9; 4]);
+        assert!(s.apply_remote(ObjectId(1), &remote, v(2, 1)).unwrap());
+        let replica = s.replica(ObjectId(1)).unwrap();
+        assert_eq!(replica.dirty_ranges().span_count(), 1);
+        assert_eq!(replica.dirty_ranges().dirty_bytes(), 4);
+
+        // A stale remote diff is discarded and must not dirty anything.
+        s.clear_dirty(ObjectId(1)).unwrap();
+        assert!(!s.apply_remote(ObjectId(1), &remote, v(1, 0)).unwrap());
+        assert!(s.replica(ObjectId(1)).unwrap().dirty_ranges().is_clean());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests of the core data structures' invariants.
 
 use proptest::prelude::*;
-use sdso_core::{Diff, ExchangeList, LogicalTime, ObjectId, SlottedBuffer, Version};
+use sdso_core::{Diff, DirtyRanges, ExchangeList, LogicalTime, ObjectId, SlottedBuffer, Version};
 
 // ---------------------------------------------------------------------
 // ExchangeList: earliest-first ordering, uniqueness, due semantics
@@ -124,6 +124,92 @@ proptest! {
             update.diff.apply(&mut replayed[update.object.0 as usize]).unwrap();
         }
         prop_assert_eq!(replayed, direct);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dirty-range tracking: the change-proportional diff path is
+// indistinguishable from the full scan
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tracked_diff_matches_full_scan(
+        size in 16usize..192,
+        writes in proptest::collection::vec((0u32..192, 1u32..24, any::<u8>()), 0..24),
+    ) {
+        // Apply random write spans to an image, recording each span in a
+        // DirtyRanges. The range-guided diff must equal the full scan
+        // byte for byte — including coalescing across span boundaries.
+        let old = vec![0u8; size];
+        let mut new = old.clone();
+        let mut dirty = DirtyRanges::new();
+        for &(off, len, byte) in &writes {
+            let off = (off as usize) % size;
+            let len = (len as usize).min(size - off);
+            for b in &mut new[off..off + len] {
+                *b = byte;
+            }
+            dirty.record(off as u32, len as u32);
+        }
+        let tracked = Diff::between_ranges(&old, &new, &dirty);
+        let full = Diff::between(&old, &new);
+        prop_assert_eq!(tracked, full);
+    }
+
+    #[test]
+    fn tracked_diff_survives_span_overflow(
+        writes in proptest::collection::vec((0u32..4096, 1u32..8), 60..120),
+    ) {
+        // Enough scattered writes overflow the span cap and collapse the
+        // tracker to "untracked"; the diff must still be the full scan.
+        const SIZE: usize = 4096;
+        let old = vec![0u8; SIZE];
+        let mut new = old.clone();
+        let mut dirty = DirtyRanges::new();
+        for &(off, len) in &writes {
+            let off = (off as usize) % SIZE;
+            let len = (len as usize).min(SIZE - off);
+            for b in &mut new[off..off + len] {
+                *b = 0xAB;
+            }
+            dirty.record(off as u32, len as u32);
+        }
+        prop_assert_eq!(
+            Diff::between_ranges(&old, &new, &dirty),
+            Diff::between(&old, &new)
+        );
+    }
+
+    #[test]
+    fn merge_in_place_is_equivalent_to_overlay_merge(
+        size in 8usize..96,
+        old_writes in proptest::collection::vec((0u32..96, 1u32..12, any::<u8>()), 0..12),
+        new_writes in proptest::collection::vec((0u32..96, 1u32..12, any::<u8>()), 0..12),
+    ) {
+        // Build two well-formed diffs from random images and merge them
+        // both ways: the in-place run-list merge must produce exactly the
+        // diff the allocating overlay merge produces.
+        let base = vec![0u8; size];
+        let mut img_a = base.clone();
+        for &(off, len, byte) in &old_writes {
+            let off = (off as usize) % size;
+            let len = (len as usize).min(size - off);
+            img_a[off..off + len].fill(byte);
+        }
+        let mut img_b = base.clone();
+        for &(off, len, byte) in &new_writes {
+            let off = (off as usize) % size;
+            let len = (len as usize).min(size - off);
+            img_b[off..off + len].fill(byte);
+        }
+        let older = Diff::between(&base, &img_a);
+        let newer = Diff::between(&base, &img_b);
+
+        let overlay = older.merge(&newer);
+        let mut in_place = older.clone();
+        in_place.merge_in_place(&newer);
+        prop_assert_eq!(in_place, overlay);
     }
 }
 

@@ -151,6 +151,7 @@ fn build_churn_runtime<E: Endpoint>(
         frame_wire_len: scenario.frame_wire_len,
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
+        batch_frames: true,
     };
     let mut rt = SdsoRuntime::with_obs(endpoint, config, obs);
     let mut world = scenario.initial_world();

@@ -533,6 +533,7 @@ fn build_runtime<E: Endpoint>(
         frame_wire_len: scenario.frame_wire_len,
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
+        batch_frames: true,
     };
     let mut rt = SdsoRuntime::with_obs(endpoint, config, obs);
     for (idx, block) in scenario.initial_world().iter().enumerate() {

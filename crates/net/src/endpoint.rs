@@ -54,6 +54,24 @@ pub trait Endpoint: Send {
     /// this node, and [`NetError::Disconnected`] if the peer is gone.
     fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError>;
 
+    /// Sends several payloads to `to` back-to-back, preserving order.
+    ///
+    /// Semantically identical to calling [`Endpoint::send`] once per payload
+    /// — same delivery order, same per-message metrics and trace events.
+    /// Transports with real per-write costs (locks, syscalls) override this
+    /// to flush the whole batch in one write; the default simply loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure; earlier payloads in the batch may
+    /// already have been sent.
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        for payload in payloads {
+            self.send(to, payload)?;
+        }
+        Ok(())
+    }
+
     /// Receives the next message, blocking until one is available.
     ///
     /// # Errors

@@ -149,6 +149,35 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
         self.inner.send(to, payload)
     }
 
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        crate::endpoint::check_peer(self.node_id(), to, self.num_nodes())?;
+        // Judge every sub-payload in order, exactly as a loop of `send`
+        // calls would, so a fixed seed yields the same verdict stream
+        // whether or not batching is enabled. Survivors (with duplicates
+        // doubled in place) still go down as one batch.
+        let mut surviving = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let verdict = self.injector.judge(self.node_id(), to, self.inner.now());
+            let send_side = crate::fault::Verdict {
+                extra_delay: SimSpan::ZERO, // delay is applied on the receive side
+                ..verdict
+            };
+            self.fault_metrics.record_fault(&send_side);
+            self.note_fault(&send_side);
+            if verdict.dropped {
+                continue;
+            }
+            if verdict.duplicated {
+                surviving.push(payload.clone());
+            }
+            surviving.push(payload);
+        }
+        if surviving.is_empty() {
+            return Ok(());
+        }
+        self.inner.send_batch(to, surviving)
+    }
+
     fn recv(&mut self) -> Result<Incoming, NetError> {
         loop {
             if let Some(msg) = self.release_expired() {
@@ -278,6 +307,42 @@ mod tests {
         assert_eq!(b.recv().unwrap().payload.bytes[0], 9);
         assert_eq!(a.metrics().dups_injected, 1);
         assert_eq!(a.metrics().data_sent.msgs, 2);
+    }
+
+    #[test]
+    fn send_batch_draws_the_same_verdict_stream_as_looped_sends() {
+        // Same seed, same traffic: a batch must consume verdicts exactly
+        // like the equivalent loop of single sends.
+        let plan = FaultPlan::new(77).with_drop(0.5);
+        let (mut a, mut b) = pair(plan);
+        a.send_batch(1, (0..20u8).map(|i| Payload::data(vec![i])).collect()).unwrap();
+        let mut batched = Vec::new();
+        while let Some(msg) = b.try_recv().unwrap() {
+            batched.push(msg.payload.bytes[0]);
+        }
+
+        let (mut a2, mut b2) = pair(FaultPlan::new(77).with_drop(0.5));
+        for i in 0..20u8 {
+            a2.send(1, Payload::data(vec![i])).unwrap();
+        }
+        let mut looped = Vec::new();
+        while let Some(msg) = b2.try_recv().unwrap() {
+            looped.push(msg.payload.bytes[0]);
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(a.metrics().drops_injected, a2.metrics().drops_injected);
+    }
+
+    #[test]
+    fn send_batch_doubles_duplicated_payloads_in_place() {
+        let (mut a, mut b) = pair(FaultPlan::new(5).with_dup(1.0));
+        a.send_batch(1, vec![Payload::data(vec![1]), Payload::data(vec![2])]).unwrap();
+        let mut seen = Vec::new();
+        while let Some(msg) = b.try_recv().unwrap() {
+            seen.push(msg.payload.bytes[0]);
+        }
+        assert_eq!(seen, vec![1, 1, 2, 2]);
+        assert_eq!(a.metrics().dups_injected, 2);
     }
 
     #[test]

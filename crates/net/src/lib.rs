@@ -52,6 +52,7 @@ pub mod fault;
 pub mod faulty;
 pub mod frame;
 pub mod memory;
+pub mod pool;
 pub mod tcp;
 pub mod wire;
 

@@ -145,6 +145,25 @@ impl Endpoint for MemoryEndpoint {
         Ok(())
     }
 
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        let msgs = payloads.len();
+        let wire_bytes: u64 = payloads.iter().map(|p| u64::from(p.wire_len())).sum();
+        for payload in payloads {
+            self.send(to, payload)?;
+        }
+        if msgs > 0 {
+            self.metrics.record_batch(msgs, wire_bytes);
+            self.recorder.record(
+                self.now().as_micros(),
+                EventKind::BatchSend,
+                u32::from(to),
+                msgs as u32,
+                wire_bytes as u32,
+            );
+        }
+        Ok(())
+    }
+
     fn recv(&mut self) -> Result<Incoming, NetError> {
         let before = self.now();
         let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
@@ -278,6 +297,24 @@ mod tests {
         assert_eq!(r.total_recv(), 2);
         assert_eq!(r.data_recv.bytes, 2048);
         let _ = MsgClass::Data; // silence unused import lint in some cfgs
+    }
+
+    #[test]
+    fn send_batch_delivers_in_order_with_per_message_metrics() {
+        let mut eps = MemoryHub::new(2).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send_batch(
+            1,
+            vec![Payload::data(vec![1]), Payload::control(vec![2]), Payload::data(vec![3])],
+        )
+        .unwrap();
+        for expect in [1u8, 2, 3] {
+            assert_eq!(b.recv().unwrap().payload.bytes[0], expect);
+        }
+        // Per-message accounting is unchanged by batching.
+        let s = a.metrics();
+        assert_eq!(s.total_sent(), 3);
     }
 
     #[test]

@@ -138,8 +138,12 @@ pub struct NetMetrics {
     delays_injected: Counter,
     retries: Counter,
     reconnects: Counter,
+    batch_count: Counter,
+    batch_msgs: Counter,
+    batch_bytes: Counter,
     wire_bytes: Histogram,
     blocked_waits: Histogram,
+    batch_occupancy: Histogram,
     last: Arc<Mutex<NetMetricsSnapshot>>,
 }
 
@@ -174,8 +178,12 @@ impl NetMetrics {
             delays_injected: registry.counter("net.faults.delays"),
             retries: registry.counter("net.retries"),
             reconnects: registry.counter("net.reconnects"),
+            batch_count: registry.counter("net.batch.count"),
+            batch_msgs: registry.counter("net.batch.msgs"),
+            batch_bytes: registry.counter("net.batch.bytes"),
             wire_bytes: registry.histogram("net.wire_bytes"),
             blocked_waits: registry.histogram("net.blocked_wait_micros"),
+            batch_occupancy: registry.histogram("net.batch.occupancy"),
             last: Arc::new(Mutex::new(NetMetricsSnapshot::default())),
         }
     }
@@ -223,6 +231,20 @@ impl NetMetrics {
         if verdict.extra_delay > SimSpan::ZERO {
             self.delays_injected.inc();
         }
+    }
+
+    /// Records one batched transport flush carrying `msgs` messages and
+    /// `wire_bytes` modelled bytes.
+    ///
+    /// Per-message send accounting still happens via
+    /// [`NetMetrics::record_send`] — batch counters only live in the
+    /// registry (`net.batch.*`), never in [`NetMetricsSnapshot`], so they
+    /// measure write collapsing without disturbing the Figure 6/7 totals.
+    pub fn record_batch(&self, msgs: usize, wire_bytes: u64) {
+        self.batch_count.inc();
+        self.batch_msgs.add(msgs as u64);
+        self.batch_bytes.add(wire_bytes);
+        self.batch_occupancy.observe(msgs as u64);
     }
 
     /// Records one retried send attempt.
@@ -330,6 +352,21 @@ mod tests {
         assert_eq!(snap.counter("net.data.sent.bytes"), 256);
         assert_eq!(snap.counter("net.control.recv.msgs"), 1);
         assert_eq!(snap.histograms["net.wire_bytes"].count, 1);
+    }
+
+    #[test]
+    fn batch_counters_surface_in_registry_but_not_snapshot() {
+        let registry = MetricsRegistry::new();
+        let m = NetMetrics::in_registry(&registry);
+        let before = m.snapshot();
+        m.record_batch(3, 6144);
+        m.record_batch(1, 2048);
+        assert_eq!(m.snapshot(), before, "batching must not disturb class counters");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.batch.count"), 2);
+        assert_eq!(snap.counter("net.batch.msgs"), 4);
+        assert_eq!(snap.counter("net.batch.bytes"), 8192);
+        assert_eq!(snap.histograms["net.batch.occupancy"].count, 2);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use sdso_obs::{EventKind, MonoClock, Recorder};
 
 use crate::endpoint::{check_peer, Endpoint, NodeId, PeerEvent};
 use crate::error::NetError;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_batch, write_frame};
 use crate::message::{Incoming, Payload};
 use crate::metrics::{obs_class, NetMetrics, NetMetricsSnapshot};
 use crate::time::{SimInstant, SimSpan};
@@ -397,6 +397,35 @@ impl TcpEndpoint {
         }
     }
 
+    /// Writes a whole batch of frames to `peer`'s current connection as a
+    /// single buffered write (one lock acquisition, one `write_all`, one
+    /// flush); poisons the slot on failure so the reconnect path takes
+    /// over. The encode scratch buffer is borrowed from the global
+    /// [`BufPool`](crate::pool::BufPool) and returned afterwards.
+    ///
+    /// sdso-check: hot-path
+    fn write_batch_to(&self, to: NodeId, payloads: &[Payload]) -> Result<(), NetError> {
+        let pool = crate::pool::global();
+        let mut scratch = pool.get();
+        let result = {
+            let mut slot = self.writers[usize::from(to)].lock();
+            match slot.as_mut() {
+                None => Err(NetError::Disconnected),
+                Some(w) => match write_batch(w, self.id, payloads, &mut scratch) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        if let Some(w) = slot.take() {
+                            let _ = w.get_ref().shutdown(Shutdown::Both);
+                        }
+                        Err(e)
+                    }
+                },
+            }
+        };
+        pool.put(scratch);
+        result
+    }
+
     /// Re-dials `peer` with exponential backoff and retries the write.
     /// Only valid on the dialling side of the pair (`self.id > peer`).
     fn redial_and_send(&mut self, to: NodeId, payload: &Payload) -> Result<(), NetError> {
@@ -511,6 +540,7 @@ impl Endpoint for TcpEndpoint {
         match self.write_to(to, &payload) {
             Ok(()) => {
                 self.note_send(to, &payload);
+                crate::pool::global().reclaim(payload.bytes);
                 Ok(())
             }
             // The peer left the group: its torn link is expected. Drop the
@@ -522,9 +552,47 @@ impl Endpoint for TcpEndpoint {
             Err(_) if self.id > to => {
                 self.redial_and_send(to, &payload)?;
                 self.note_send(to, &payload);
+                crate::pool::global().reclaim(payload.bytes);
                 Ok(())
             }
             Err(e) => Err(e),
+        }
+    }
+
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        check_peer(self.id, to, self.num_nodes)?;
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        match self.write_batch_to(to, &payloads) {
+            Ok(()) => {
+                let wire_bytes: u64 = payloads.iter().map(|p| u64::from(p.wire_len())).sum();
+                for payload in &payloads {
+                    self.note_send(to, payload);
+                }
+                self.metrics.record_batch(payloads.len(), wire_bytes);
+                self.recorder.record(
+                    self.clock.micros(),
+                    EventKind::BatchSend,
+                    u32::from(to),
+                    payloads.len() as u32,
+                    wire_bytes as u32,
+                );
+                let pool = crate::pool::global();
+                for payload in payloads {
+                    pool.reclaim(payload.bytes);
+                }
+                Ok(())
+            }
+            Err(_) if !self.active[usize::from(to)] => Ok(()),
+            // Degrade to per-frame sends: `send` owns the redial policy and
+            // its own per-message accounting.
+            Err(_) => {
+                for payload in payloads {
+                    self.send(to, payload)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -676,6 +744,40 @@ mod tests {
             assert_eq!(m.total_sent(), 3);
             assert_eq!(m.total_recv(), 3);
         }
+    }
+
+    #[test]
+    fn send_batch_flushes_in_order_over_one_connection() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send_batch(
+            1,
+            vec![
+                Payload::data(b"one".as_ref()),
+                Payload::control(b"two".as_ref()),
+                Payload::data(b"three".as_ref()),
+            ],
+        )
+        .unwrap();
+        for expect in [b"one".as_ref(), b"two".as_ref(), b"three".as_ref()] {
+            let got = b.recv().unwrap();
+            assert_eq!(got.from, 0);
+            assert_eq!(&got.payload.bytes[..], expect);
+        }
+        assert_eq!(a.metrics().total_sent(), 3, "batch keeps per-message accounting");
+    }
+
+    #[test]
+    fn send_batch_after_forced_drop_degrades_to_redial() {
+        let mut eps = TcpMesh::local(2).unwrap();
+        let mut b = eps.pop().unwrap(); // id 1: the dialling side
+        let mut a = eps.pop().unwrap(); // id 0: the accepting side
+        b.inject_disconnect(0).unwrap();
+        b.send_batch(0, vec![Payload::data(b"x".as_ref()), Payload::data(b"y".as_ref())]).unwrap();
+        assert_eq!(&a.recv().unwrap().payload.bytes[..], b"x");
+        assert_eq!(&a.recv().unwrap().payload.bytes[..], b"y");
+        assert_eq!(b.metrics().reconnects, 1);
     }
 
     #[test]

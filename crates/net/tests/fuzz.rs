@@ -1,8 +1,9 @@
 //! Fuzz-style property tests of the wire and framing layers: malformed
 //! input must produce errors, never panics or bogus successes.
 
+use bytes::BytesMut;
 use proptest::prelude::*;
-use sdso_net::frame::{read_frame, write_frame};
+use sdso_net::frame::{read_frame, write_batch, write_frame};
 use sdso_net::wire::{WireReader, WireWriter};
 use sdso_net::{MsgClass, Payload};
 
@@ -42,6 +43,78 @@ proptest! {
         let cut_at = cut.index(buf.len().saturating_sub(1)).max(1);
         buf.truncate(cut_at);
         prop_assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn batched_frames_roundtrip_as_a_read_frame_loop(
+        bodies in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..512), any::<bool>()), 0..8),
+        from in 0u16..64,
+    ) {
+        let payloads: Vec<Payload> = bodies
+            .iter()
+            .map(|(body, data)| {
+                let class = if *data { MsgClass::Data } else { MsgClass::Control };
+                Payload::new(class, body.clone())
+            })
+            .collect();
+        let mut wire = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut wire, from, &payloads, &mut scratch).unwrap();
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        for p in &payloads {
+            let got = read_frame(&mut cursor).unwrap();
+            prop_assert_eq!(got.from, from);
+            prop_assert_eq!(got.payload.class, p.class);
+            prop_assert_eq!(&got.payload.bytes[..], &p.bytes[..]);
+        }
+        prop_assert!(read_frame(&mut cursor).is_err(), "batch fully consumed");
+    }
+
+    #[test]
+    fn truncated_batches_error_and_never_panic(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let payloads: Vec<Payload> =
+            bodies.into_iter().map(Payload::data).collect();
+        let mut wire = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut wire, 5, &payloads, &mut scratch).unwrap();
+        wire.truncate(cut.index(wire.len()));
+        // Reading the truncated batch yields some whole frames, then an
+        // error — never a panic, never a phantom frame.
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        let mut whole = 0usize;
+        while read_frame(&mut cursor).is_ok() {
+            whole += 1;
+        }
+        prop_assert!(whole <= payloads.len());
+    }
+
+    #[test]
+    fn corrupted_batch_bytes_never_panic_the_reader(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48), 1..5),
+        corrupt_at in any::<proptest::sample::Index>(),
+        corrupt_to in any::<u8>(),
+    ) {
+        let payloads: Vec<Payload> =
+            bodies.into_iter().map(Payload::data).collect();
+        let mut wire = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut wire, 5, &payloads, &mut scratch).unwrap();
+        let at = corrupt_at.index(wire.len());
+        wire[at] = corrupt_to;
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        // Smashed length prefixes / class bytes may poison the rest of the
+        // stream; each read must still end in Ok or Err, never a panic.
+        for _ in 0..payloads.len() {
+            if read_frame(&mut cursor).is_err() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -47,10 +47,14 @@ pub enum EventKind {
     SnapshotInstall = 15,
     /// A transport-level peer disconnect was observed. `(peer, 0, 0)`.
     PeerDown = 16,
+    /// A batched transport flush: several frames to one peer left in a
+    /// single write. `(peer, msgs_in_batch, wire_bytes)`. Emitted *in
+    /// addition to* the per-message `Send` events.
+    BatchSend = 17,
 }
 
 /// Number of distinct event kinds (size of the per-kind counter array).
-pub const KIND_COUNT: usize = 17;
+pub const KIND_COUNT: usize = 18;
 
 impl EventKind {
     /// Every kind, indexable by its `u8` value.
@@ -72,6 +76,7 @@ impl EventKind {
         EventKind::SnapshotSend,
         EventKind::SnapshotInstall,
         EventKind::PeerDown,
+        EventKind::BatchSend,
     ];
 
     /// Stable lower-case name used by exporters and dumps.
@@ -94,6 +99,7 @@ impl EventKind {
             EventKind::SnapshotSend => "snapshot_send",
             EventKind::SnapshotInstall => "snapshot_install",
             EventKind::PeerDown => "peer_down",
+            EventKind::BatchSend => "batch_send",
         }
     }
 }

@@ -197,6 +197,16 @@ pub fn chrome_trace(nodes: &[(u16, Vec<EventRecord>)]) -> String {
                     &mut out,
                     &mut first,
                 ),
+                EventKind::BatchSend => emit(
+                    instant(
+                        tid,
+                        "batch_send",
+                        ev.at,
+                        &format!("\"peer\":{},\"msgs\":{},\"bytes\":{}", ev.a, ev.b, ev.c),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
                 EventKind::Send | EventKind::Recv => {}
             }
         }
@@ -288,6 +298,7 @@ mod tests {
             ev(200, EventKind::LockGrant, 7, 1, 0),
             ev(260, EventKind::LockRelease, 7, 0, 0),
             ev(300, EventKind::FaultInjected, FAULT_DROP, 0, 0),
+            ev(310, EventKind::BatchSend, 2, 3, 6144),
         ];
         let json = chrome_trace(&[(4, events)]);
         assert!(json.contains("\"name\":\"node 4\""));
@@ -297,6 +308,8 @@ mod tests {
         assert!(json.contains("\"name\":\"lock_hold\""));
         assert!(json.contains("\"mode\":\"write\""));
         assert!(json.contains("\"verdict\":\"drop\""));
+        assert!(json.contains("\"name\":\"batch_send\""));
+        assert!(json.contains("\"msgs\":3,\"bytes\":6144"));
         // Structural sanity: balanced braces/brackets means parseable JSON
         // for this escape-free subset.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -117,6 +117,29 @@ impl Endpoint for SimEndpoint {
         Ok(())
     }
 
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        // The simulated network has no per-write cost to amortize, and every
+        // `scheduler.send` is a choice point the explorer may perturb — so a
+        // batch MUST consume exactly the same choice-point sequence as the
+        // equivalent loop of single sends. Only the batch accounting is new.
+        let msgs = payloads.len();
+        let wire_bytes: u64 = payloads.iter().map(|p| u64::from(p.wire_len())).sum();
+        for payload in payloads {
+            self.send(to, payload)?;
+        }
+        if msgs > 0 {
+            self.metrics.record_batch(msgs, wire_bytes);
+            self.recorder.record(
+                self.now().as_micros(),
+                EventKind::BatchSend,
+                u32::from(to),
+                msgs as u32,
+                wire_bytes as u32,
+            );
+        }
+        Ok(())
+    }
+
     fn recv(&mut self) -> Result<Incoming, NetError> {
         let (msg, blocked) = self.scheduler.recv(usize::from(self.id))?;
         self.metrics.record_blocked(blocked);

@@ -48,6 +48,21 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.inner.as_ref().clone()
     }
+
+    /// Converts back into a [`BytesMut`] without copying when this is the
+    /// only handle to the storage; returns `self` unchanged otherwise.
+    /// Mirrors the real crate's `Bytes::try_into_mut`, and is what lets a
+    /// buffer pool reclaim frozen buffers once their last clone is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` if other clones still share the storage.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(vec) => Ok(BytesMut { inner: vec }),
+            Err(inner) => Err(Bytes { inner }),
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -145,6 +160,21 @@ impl BytesMut {
         self.inner.extend_from_slice(data);
     }
 
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -199,5 +229,31 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(&[1u8; 48]);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        b.reserve(128);
+        assert!(b.capacity() >= 128);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_storage() {
+        let unique = Bytes::from(vec![1u8, 2, 3]);
+        let mut reclaimed = unique.try_into_mut().expect("sole owner reclaims");
+        assert_eq!(&reclaimed[..], &[1, 2, 3]);
+        reclaimed.clear();
+        assert!(reclaimed.is_empty());
+
+        let shared = Bytes::from(vec![9u8; 4]);
+        let other = shared.clone();
+        let back = shared.try_into_mut().expect_err("shared storage stays frozen");
+        assert_eq!(back, other);
     }
 }
