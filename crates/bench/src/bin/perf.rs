@@ -5,6 +5,8 @@
 //! cargo run --release -p sdso-bench --bin perf -- check  [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- micro record [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- micro check  [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- net record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- net check  [FLAGS]
 //!
 //! COMMANDS
 //!   record        Run the fixed scenario matrix and write a new baseline
@@ -13,14 +15,23 @@
 //!   micro check   Run the micro suite, compare work metrics against the
 //!                 committed BENCH_2.json and enforce the >=2x tracked-diff
 //!                 speedup floor
+//!   net record    Run the 256-peer star echo over the reactor and the
+//!                 thread-per-peer mesh, write BENCH_3.json
+//!   net check     Run the same exchange, compare work metrics and p99
+//!                 against the committed BENCH_3.json, and enforce the
+//!                 reactor >= threaded-throughput parity floor fresh
 //!
 //! FLAGS
 //!   --out FILE        record: where to write the baseline (default
-//!                     BENCH_0.json; BENCH_2.json for micro)
+//!                     BENCH_0.json; BENCH_2.json for micro, BENCH_3.json
+//!                     for net)
 //!   --baseline FILE   check: baseline to compare against (same defaults)
 //!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
 //!   --ticks N         iterations per process (default 120; check inherits
 //!                     the baseline's value and flags a mismatch)
+//!   --spokes N        net: spoke count (default 256; check inherits the
+//!                     baseline's value)
+//!   --pings N         net: pings per spoke (default 100; check inherits)
 //!   --trace-out FILE  also export a Chrome trace (Perfetto-loadable) of a
 //!                     fully-traced 16-process MSYNC2 run
 //! ```
@@ -36,6 +47,9 @@ use std::time::{Duration, Instant};
 
 use sdso_bench::baseline::{BenchCell, BenchReport, MATRIX_NODES, MATRIX_RANGES, SCHEMA_VERSION};
 use sdso_bench::micro::{self, MicroReport, MICRO_SPEEDUP_FLOOR};
+use sdso_bench::netbench::{
+    run_net_suite, NetReport, NET_DEFAULT_PINGS, NET_DEFAULT_SPOKES, NET_PARITY_FLOOR,
+};
 use sdso_game::{Protocol, Scenario};
 use sdso_harness::run_experiment_obs;
 use sdso_net::TraceConfig;
@@ -146,7 +160,9 @@ fn usage() -> ! {
         "usage: perf record [--out FILE] [--ticks N] [--trace-out FILE]\n\
         \x20      perf check  [--baseline FILE] [--tolerance F] [--trace-out FILE]\n\
         \x20      perf micro record [--out FILE]\n\
-        \x20      perf micro check  [--baseline FILE] [--tolerance F]"
+        \x20      perf micro check  [--baseline FILE] [--tolerance F]\n\
+        \x20      perf net record [--out FILE] [--spokes N] [--pings N]\n\
+        \x20      perf net check  [--baseline FILE] [--tolerance F]"
     );
     std::process::exit(2)
 }
@@ -156,20 +172,28 @@ fn main() {
     let Some(first) = args.first() else { usage() };
     // `micro record` / `micro check` fold into one command token; the
     // shared flag loop then applies with micro-suite defaults.
-    let (command, flags_from) = if first == "micro" {
+    let (command, flags_from) = if first == "micro" || first == "net" {
         match args.get(1).map(String::as_str) {
-            Some("record") => ("micro-record".to_owned(), 2),
-            Some("check") => ("micro-check".to_owned(), 2),
+            Some("record") => (format!("{first}-record"), 2),
+            Some("check") => (format!("{first}-check"), 2),
             _ => usage(),
         }
     } else {
         (first.clone(), 1)
     };
-    let default_file = if flags_from == 2 { "BENCH_2.json" } else { "BENCH_0.json" };
+    let default_file = if first == "micro" {
+        "BENCH_2.json"
+    } else if first == "net" {
+        "BENCH_3.json"
+    } else {
+        "BENCH_0.json"
+    };
     let mut out = String::from(default_file);
     let mut baseline_path = String::from(default_file);
     let mut tolerance = 0.25f64;
     let mut ticks: Option<u64> = None;
+    let mut spokes: Option<usize> = None;
+    let mut pings: Option<u32> = None;
     let mut trace_out: Option<String> = None;
 
     let mut it = args[flags_from..].iter();
@@ -190,6 +214,8 @@ fn main() {
                 tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage());
             }
             "--ticks" => ticks = Some(value("--ticks").parse().unwrap_or_else(|_| usage())),
+            "--spokes" => spokes = Some(value("--spokes").parse().unwrap_or_else(|_| usage())),
+            "--pings" => pings = Some(value("--pings").parse().unwrap_or_else(|_| usage())),
             "--trace-out" => trace_out = Some(value("--trace-out")),
             _ => usage(),
         }
@@ -200,6 +226,12 @@ fn main() {
         "check" => cmd_check(&baseline_path, tolerance, ticks, trace_out.as_deref()),
         "micro-record" => cmd_micro_record(&out),
         "micro-check" => cmd_micro_check(&baseline_path, tolerance),
+        "net-record" => cmd_net_record(
+            &out,
+            spokes.unwrap_or(NET_DEFAULT_SPOKES),
+            pings.unwrap_or(NET_DEFAULT_PINGS),
+        ),
+        "net-check" => cmd_net_check(&baseline_path, tolerance, spokes, pings),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -228,14 +260,27 @@ fn cmd_record(out: &str, ticks: u64, trace_out: Option<&str>) -> Result<(), Stri
     Ok(())
 }
 
+/// Reads a committed baseline, turning "file not found" into a loud,
+/// actionable failure: a check with no baseline must never look like a
+/// pass (or an incidental I/O hiccup) in CI.
+fn read_baseline(baseline_path: &str, record_cmd: &str) -> Result<String, String> {
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(format!(
+            "baseline {baseline_path} is missing — a perf gate without a committed baseline \
+             would pass vacuously. Record one with `perf {record_cmd}` and commit the file."
+        )),
+        Err(e) => Err(format!("reading {baseline_path}: {e}")),
+    }
+}
+
 fn cmd_check(
     baseline_path: &str,
     tolerance: f64,
     ticks: Option<u64>,
     trace_out: Option<&str>,
 ) -> Result<(), String> {
-    let text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let text = read_baseline(baseline_path, "record")?;
     let baseline = BenchReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
     let ticks = ticks.unwrap_or(baseline.ticks);
     eprintln!(
@@ -289,9 +334,69 @@ fn cmd_micro_record(out: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_net_record(out: &str, spokes: usize, pings: u32) -> Result<(), String> {
+    eprintln!("recording transport baseline ({spokes} spokes, {pings} pings each):");
+    let report = run_net_suite(spokes, pings)?;
+    if report.throughput_ratio < NET_PARITY_FLOOR {
+        return Err(format!(
+            "refusing to record a baseline below the parity floor: reactor sustained only \
+             {:.2}x the thread-per-peer throughput (floor {NET_PARITY_FLOOR}x)",
+            report.throughput_ratio
+        ));
+    }
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "transport baseline written to {out} (reactor/threaded ratio {:.2}x)",
+        report.throughput_ratio
+    );
+    Ok(())
+}
+
+fn cmd_net_check(
+    baseline_path: &str,
+    tolerance: f64,
+    spokes: Option<usize>,
+    pings: Option<u32>,
+) -> Result<(), String> {
+    let text = read_baseline(baseline_path, "net record")?;
+    let baseline = NetReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let spokes = spokes.unwrap_or(baseline.spokes as usize);
+    let pings = pings.unwrap_or(baseline.pings as u32);
+    eprintln!(
+        "checking transport exchange against {baseline_path} \
+         ({spokes} spokes, {pings} pings, ±{:.0}%):",
+        tolerance * 100.0
+    );
+    let current = run_net_suite(spokes, pings)?;
+    let mut violations = baseline.compare(&current, tolerance);
+    // The one wall-clock gate, measured fresh on this host: one poll
+    // thread must sustain at least the thread-per-peer mesh's rate.
+    if current.throughput_ratio < NET_PARITY_FLOOR {
+        violations.push(format!(
+            "[throughput] reactor sustained only {:.2}x the thread-per-peer rate \
+             (floor {NET_PARITY_FLOOR}x)",
+            current.throughput_ratio
+        ));
+    }
+    if violations.is_empty() {
+        println!(
+            "perf net passed: {} cells within ±{:.0}% of {baseline_path}, \
+             reactor/threaded ratio {:.2}x (floor {NET_PARITY_FLOOR}x)",
+            baseline.cells.len(),
+            tolerance * 100.0,
+            current.throughput_ratio
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!("{} net checks failed against {baseline_path}", violations.len()))
+    }
+}
+
 fn cmd_micro_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
-    let text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let text = read_baseline(baseline_path, "micro record")?;
     let baseline = MicroReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
     eprintln!(
         "checking hot-path micro suite against {baseline_path} ({} cells, ±{:.0}%):",

@@ -12,3 +12,4 @@
 pub mod baseline;
 pub mod json;
 pub mod micro;
+pub mod netbench;

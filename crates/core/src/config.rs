@@ -1,4 +1,4 @@
-use sdso_net::SimSpan;
+use sdso_net::{SimSpan, TransportKind};
 
 /// Retransmission tuning for the runtime's optional reliability layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,12 @@ pub struct DsoConfig {
     /// either way — batching only collapses the number of syscalls/locks on
     /// transports that support it.
     pub batch_frames: bool,
+    /// Which real-socket transport cluster builders should construct when a
+    /// deployment runs over actual TCP. Purely advisory for the runtime
+    /// itself (it accepts any [`Endpoint`](sdso_net::Endpoint)); harness and
+    /// deployment code consult it. Simulated and in-memory transports ignore
+    /// this knob entirely, so deterministic replays are unaffected.
+    pub transport: TransportKind,
 }
 
 impl DsoConfig {
@@ -51,12 +57,19 @@ impl DsoConfig {
             merge_diffs: true,
             reliability: None,
             batch_frames: true,
+            transport: TransportKind::default(),
         }
     }
 
     /// Compact frames (wire size = encoded size), diff merging on.
     pub fn compact() -> Self {
-        DsoConfig { frame_wire_len: None, merge_diffs: true, reliability: None, batch_frames: true }
+        DsoConfig {
+            frame_wire_len: None,
+            merge_diffs: true,
+            reliability: None,
+            batch_frames: true,
+            transport: TransportKind::default(),
+        }
     }
 
     /// Returns a copy with a different frame size.
@@ -80,6 +93,12 @@ impl DsoConfig {
     /// Returns a copy with per-peer frame batching switched.
     pub fn with_batch_frames(mut self, batch: bool) -> Self {
         self.batch_frames = batch;
+        self
+    }
+
+    /// Returns a copy selecting a real-socket transport implementation.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -117,5 +136,12 @@ mod tests {
         assert!(DsoConfig::paper().batch_frames);
         assert!(DsoConfig::compact().batch_frames);
         assert!(!DsoConfig::paper().with_batch_frames(false).batch_frames);
+    }
+
+    #[test]
+    fn transport_defaults_to_platform_and_toggles() {
+        assert_eq!(DsoConfig::paper().transport, TransportKind::default());
+        let c = DsoConfig::paper().with_transport(TransportKind::Tcp);
+        assert_eq!(c.transport, TransportKind::Tcp);
     }
 }

@@ -1,6 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use sdso_member::{Epoch, MembershipView, ViewChange};
+use sdso_member::{leave_change_from_events, Epoch, MembershipView, ViewChange};
 use sdso_net::{Endpoint, MsgClass, NetError, NodeId, Payload, SimSpan};
 use sdso_obs::{EventKind, Obs};
 
@@ -380,6 +380,28 @@ impl<E: Endpoint> SdsoRuntime<E> {
             left.len() as u32,
         );
         Ok(())
+    }
+
+    /// Drains the transport's queued link events and folds them into the
+    /// leave-side [`ViewChange`] they imply under the current view: peers
+    /// whose link ended the drain down (the reactor's graceful teardown
+    /// after a lost connection, or `TcpMesh` exhausting its reconnect
+    /// budget) become leavers; reconnect flaps cancel out. Returns `None`
+    /// when no live member departed.
+    ///
+    /// This is a *proposal*, not an applied change: the caller decides when
+    /// the barrier happens and feeds the change to
+    /// [`SdsoRuntime::apply_view_change`] — typically after the tick's
+    /// exchange completes, so every surviving member applies the same
+    /// change at the same logical time.
+    pub fn drain_departures(&mut self) -> Option<ViewChange> {
+        let events = self.endpoint.take_peer_events();
+        let change = leave_change_from_events(&self.view, &events);
+        if change.is_empty() {
+            None
+        } else {
+            Some(change)
+        }
     }
 
     /// Pushes a state snapshot to a late joiner: every object modified
@@ -1527,6 +1549,18 @@ mod tests {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn drain_departures_proposes_leave_for_dead_links() {
+        let mut eps = MemoryHub::new(3).into_endpoints();
+        drop(eps.pop().unwrap()); // Node 2 dies: its channels close.
+        let mut rt = SdsoRuntime::new(eps.remove(0), DsoConfig::compact());
+        assert!(rt.drain_departures().is_none(), "no link events before any traffic");
+        // Sending into the closed channel surfaces the dead link.
+        assert!(rt.endpoint_mut().send(2, Payload::control(vec![0u8])).is_err());
+        assert_eq!(rt.drain_departures(), Some(ViewChange::leave([2])));
+        assert!(rt.drain_departures().is_none(), "the drain consumes its events");
     }
 
     #[test]

@@ -152,6 +152,7 @@ fn build_churn_runtime<E: Endpoint>(
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
         batch_frames: true,
+        ..DsoConfig::paper()
     };
     let mut rt = SdsoRuntime::with_obs(endpoint, config, obs);
     let mut world = scenario.initial_world();

@@ -534,6 +534,7 @@ fn build_runtime<E: Endpoint>(
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
         batch_frames: true,
+        ..DsoConfig::paper()
     };
     let mut rt = SdsoRuntime::with_obs(endpoint, config, obs);
     for (idx, block) in scenario.initial_world().iter().enumerate() {

@@ -36,6 +36,7 @@ mod churn;
 mod experiment;
 mod figures;
 mod table;
+pub mod transports;
 
 pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chaos_experiment};
 pub use churn::{churn_converged, churn_table, default_churn_plan, run_churn_experiment};

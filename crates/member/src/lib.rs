@@ -28,7 +28,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use sdso_net::NodeId;
+use sdso_net::{NodeId, PeerEvent};
 
 /// A monotonically increasing view number. Every process that applies the
 /// same [`ViewChange`] sequence computes the same epoch, so the epoch tag
@@ -349,6 +349,42 @@ impl MembershipPlan {
     }
 }
 
+/// Folds a transport's drained [`PeerEvent`]s into the leave half of a
+/// [`ViewChange`].
+///
+/// This is the bridge from connection teardown to membership: when a
+/// transport (the reactor, or `TcpMesh` after its reconnect budget runs
+/// out) reports links going down via
+/// [`Endpoint::take_peer_events`](sdso_net::Endpoint::take_peer_events),
+/// the *net* effect of the drain decides who leaves. A peer whose **last**
+/// event in the batch is [`PeerEvent::Down`] and who is a live member of
+/// `view` becomes a leaver; a peer that flapped (`Down` then `Up` within
+/// the same drain — a successful reconnect) stays. Events for nodes that
+/// are not members of `view` are ignored, so a transport-level hiccup on a
+/// slot that already left cannot produce an invalid change.
+///
+/// The returned change is empty when nothing needs to happen; callers
+/// should check [`ViewChange::is_empty`] before applying it (applying an
+/// empty change would still bump the epoch). The caller remains
+/// responsible for the one failure this helper cannot rule out:
+/// [`MembershipView::apply`] rejects a change that would empty the group.
+pub fn leave_change_from_events(view: &MembershipView, events: &[PeerEvent]) -> ViewChange {
+    let mut down: BTreeSet<NodeId> = BTreeSet::new();
+    for event in events {
+        match *event {
+            PeerEvent::Down(peer) => {
+                if view.contains(peer) {
+                    down.insert(peer);
+                }
+            }
+            PeerEvent::Up(peer) => {
+                down.remove(&peer);
+            }
+        }
+    }
+    ViewChange::leave(down)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +480,44 @@ mod tests {
     fn epoch_displays_compactly() {
         assert_eq!(Epoch(3).to_string(), "e3");
         assert_eq!(Epoch::ZERO.next(), Epoch(1));
+    }
+
+    #[test]
+    fn teardown_events_become_a_leave_change() {
+        let view = MembershipView::full(4);
+        let events = [PeerEvent::Down(2), PeerEvent::Down(3)];
+        let change = leave_change_from_events(&view, &events);
+        assert_eq!(change, ViewChange::leave([2, 3]));
+        let mut after = view.clone();
+        after.apply(&change).unwrap();
+        assert_eq!(after.epoch(), Epoch(1));
+        assert!(!after.contains(2) && !after.contains(3) && after.contains(0));
+    }
+
+    #[test]
+    fn reconnect_flap_within_one_drain_is_not_a_leave() {
+        let view = MembershipView::full(3);
+        // Peer 1 dropped and came back before the drain; peer 2 stayed down.
+        let events = [PeerEvent::Down(1), PeerEvent::Down(2), PeerEvent::Up(1), PeerEvent::Down(2)];
+        let change = leave_change_from_events(&view, &events);
+        assert_eq!(change, ViewChange::leave([2]));
+    }
+
+    #[test]
+    fn events_for_non_members_are_ignored() {
+        let view = MembershipView::initial(6, [0, 1, 2]).unwrap();
+        // Node 4 is a provisioned slot but not a live member: its link
+        // noise must not fabricate a leaver.
+        let events = [PeerEvent::Down(4), PeerEvent::Down(1)];
+        let change = leave_change_from_events(&view, &events);
+        assert_eq!(change, ViewChange::leave([1]));
+    }
+
+    #[test]
+    fn quiet_drain_yields_an_empty_change() {
+        let view = MembershipView::full(2);
+        assert!(leave_change_from_events(&view, &[]).is_empty());
+        // An Up with no preceding Down (initial connect) is also quiet.
+        assert!(leave_change_from_events(&view, &[PeerEvent::Up(1)]).is_empty());
     }
 }

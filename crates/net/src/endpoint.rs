@@ -170,6 +170,62 @@ pub trait Endpoint: Send {
     }
 }
 
+/// A boxed endpoint is an endpoint: every method — including the ones with
+/// default bodies — forwards to the inner transport, so boxing never
+/// silently downgrades behaviour (batched writes stay batched, peer events
+/// still surface). This is what lets harness code pick a transport by
+/// [`crate::TransportKind`] at runtime and hand the runtime a uniform type.
+impl Endpoint for Box<dyn Endpoint + Send> {
+    fn node_id(&self) -> NodeId {
+        (**self).node_id()
+    }
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), NetError> {
+        (**self).send(to, payload)
+    }
+    fn send_batch(&mut self, to: NodeId, payloads: Vec<Payload>) -> Result<(), NetError> {
+        (**self).send_batch(to, payloads)
+    }
+    fn recv(&mut self) -> Result<Incoming, NetError> {
+        (**self).recv()
+    }
+    fn try_recv(&mut self) -> Result<Option<Incoming>, NetError> {
+        (**self).try_recv()
+    }
+    fn recv_deadline(&mut self, timeout: SimSpan) -> Result<Option<Incoming>, NetError> {
+        (**self).recv_deadline(timeout)
+    }
+    fn advance(&mut self, dt: SimSpan) {
+        (**self).advance(dt);
+    }
+    fn now(&self) -> SimInstant {
+        (**self).now()
+    }
+    fn metrics(&self) -> NetMetricsSnapshot {
+        (**self).metrics()
+    }
+    fn metrics_delta(&mut self) -> NetMetricsSnapshot {
+        (**self).metrics_delta()
+    }
+    fn attach_recorder(&mut self, recorder: sdso_obs::Recorder) {
+        (**self).attach_recorder(recorder);
+    }
+    fn remove_peer(&mut self, peer: NodeId) {
+        (**self).remove_peer(peer);
+    }
+    fn add_peer(&mut self, peer: NodeId) {
+        (**self).add_peer(peer);
+    }
+    fn take_peer_events(&mut self) -> Vec<PeerEvent> {
+        (**self).take_peer_events()
+    }
+    fn broadcast(&mut self, payload: &Payload) -> Result<(), NetError> {
+        (**self).broadcast(payload)
+    }
+}
+
 /// Validates a destination node id against the cluster size and self-sends.
 ///
 /// # Errors
@@ -192,5 +248,20 @@ mod tests {
         assert!(check_peer(0, 0, 4).is_err());
         assert!(check_peer(0, 4, 4).is_err());
         assert!(check_peer(0, 3, 4).is_ok());
+    }
+
+    #[test]
+    fn boxed_endpoint_forwards_to_the_inner_transport() {
+        let mut eps = crate::memory::MemoryHub::new(2).into_endpoints();
+        let mut b: Box<dyn Endpoint + Send> = Box::new(eps.pop().unwrap());
+        let mut a: Box<dyn Endpoint + Send> = Box::new(eps.pop().unwrap());
+        assert_eq!(a.node_id(), 0);
+        assert_eq!(a.num_nodes(), 2);
+        a.send(1, Payload::control(vec![1u8])).unwrap();
+        a.send_batch(1, vec![Payload::data(vec![2u8]), Payload::control(vec![3u8])]).unwrap();
+        let classes: Vec<u8> = (0..3).map(|_| b.recv().unwrap().payload.bytes[0]).collect();
+        assert_eq!(classes, vec![1, 2, 3]);
+        assert_eq!(a.metrics().total_sent(), 3);
+        assert!(b.take_peer_events().is_empty());
     }
 }

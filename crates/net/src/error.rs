@@ -21,6 +21,17 @@ pub enum NetError {
     /// The virtual-time scheduler detected that every node is blocked with no
     /// message in flight — a distributed deadlock in the protocol under test.
     Deadlock(String),
+    /// A per-peer send queue exceeded its configured byte budget: the peer is
+    /// not draining (dead, or slower than the sender) and accepting more
+    /// would grow memory without bound. The message was *not* enqueued.
+    Backpressure {
+        /// The peer whose queue is full.
+        peer: u16,
+        /// Bytes currently queued for that peer.
+        queued: usize,
+        /// The configured queue budget in bytes.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -33,6 +44,9 @@ impl fmt::Display for NetError {
             NetError::Codec(msg) => write!(f, "codec error: {msg}"),
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::Deadlock(detail) => write!(f, "distributed deadlock: {detail}"),
+            NetError::Backpressure { peer, queued, limit } => {
+                write!(f, "send queue for peer {peer} is full ({queued} of {limit} bytes)")
+            }
         }
     }
 }

@@ -130,6 +130,43 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Incoming, NetError> {
     Ok(Incoming { from, payload: Payload { class, bytes: body, wire_len } })
 }
 
+/// Decodes one frame from `buf` starting at `*pos` without consuming input
+/// beyond the frame. On success advances `*pos` past the frame and returns
+/// the message; returns `Ok(None)` when `buf[*pos..]` holds only a frame
+/// prefix (the caller should read more bytes and retry).
+///
+/// This is the nonblocking sibling of [`read_frame`] for reactor-style
+/// transports that accumulate socket reads in a flat buffer: the caller owns
+/// compaction (dropping `buf[..pos]` once a read burst is drained), which
+/// keeps the decoder free of any buffer-management policy.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] on a malformed length or class byte, exactly
+/// as [`read_frame`] would.
+pub fn decode_frame_at(buf: &[u8], pos: &mut usize) -> Result<Option<Incoming>, NetError> {
+    let rest = &buf[*pos..];
+    if rest.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if !(HEADER..=MAX_FRAME).contains(&len) {
+        return Err(NetError::Codec(format!("invalid frame length {len}")));
+    }
+    if rest.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = &rest[4..4 + len];
+    let from = NodeId::from_le_bytes([frame[0], frame[1]]);
+    let class = MsgClass::from_wire(frame[2])
+        .ok_or_else(|| NetError::Codec(format!("invalid message class {:#x}", frame[2])))?;
+    let wire_len = u32::from_le_bytes([frame[3], frame[4], frame[5], frame[6]]);
+    let body = Bytes::copy_from_slice(&frame[HEADER..]);
+    let wire_len = wire_len.max(body.len() as u32);
+    *pos += 4 + len;
+    Ok(Some(Incoming { from, payload: Payload { class, bytes: body, wire_len } }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +368,68 @@ mod tests {
         scratch.extend_from_slice(b"stale");
         write_batch(&mut buf, 0, &[], &mut scratch).unwrap();
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decode_frame_at_matches_read_frame() {
+        let payloads = sample_batch();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, 4, p).unwrap();
+        }
+        let mut pos = 0usize;
+        let mut cursor = Cursor::new(buf.clone());
+        for _ in &payloads {
+            let inc = decode_frame_at(&buf, &mut pos).unwrap().unwrap();
+            let blocking = read_frame(&mut cursor).unwrap();
+            assert_eq!(inc.from, blocking.from);
+            assert_eq!(inc.payload, blocking.payload);
+        }
+        assert_eq!(pos, buf.len());
+        assert!(decode_frame_at(&buf, &mut pos).unwrap().is_none());
+    }
+
+    #[test]
+    fn decode_frame_at_every_partial_prefix_returns_none() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, &Payload::data(vec![3u8; 25]).with_wire_len(99)).unwrap();
+        for cut in 0..buf.len() {
+            let mut pos = 0usize;
+            let got = decode_frame_at(&buf[..cut], &mut pos).unwrap();
+            assert!(got.is_none(), "prefix of {cut} bytes decoded a frame");
+            assert_eq!(pos, 0, "pos must not move on a partial frame");
+        }
+    }
+
+    #[test]
+    fn decode_frame_at_rejects_corruption_without_advancing() {
+        let mut good = Vec::new();
+        write_frame(&mut good, 1, &Payload::control(vec![1, 2])).unwrap();
+
+        let mut hostile = good.clone();
+        hostile[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut pos = 0usize;
+        assert!(matches!(decode_frame_at(&hostile, &mut pos), Err(NetError::Codec(_))));
+        assert_eq!(pos, 0);
+
+        let mut bad_class = good.clone();
+        bad_class[6] = 0xFF;
+        let mut pos = 0usize;
+        assert!(matches!(decode_frame_at(&bad_class, &mut pos), Err(NetError::Codec(_))));
+        assert_eq!(pos, 0);
+    }
+
+    #[test]
+    fn decode_frame_at_resumes_mid_buffer() {
+        // Two frames; decoding starts after the first one.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, &Payload::data(vec![1u8; 10])).unwrap();
+        let first_end = buf.len();
+        write_frame(&mut buf, 2, &Payload::control(vec![2u8; 4])).unwrap();
+        let mut pos = first_end;
+        let inc = decode_frame_at(&buf, &mut pos).unwrap().unwrap();
+        assert_eq!(inc.from, 2);
+        assert_eq!(pos, buf.len());
     }
 
     #[test]

@@ -47,15 +47,22 @@ mod error;
 mod message;
 mod metrics;
 mod time;
+mod transport;
 
+pub mod deadline;
 pub mod fault;
 pub mod faulty;
 pub mod frame;
 pub mod memory;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod tcp;
 pub mod wire;
 
+pub use deadline::{Backoff, DeadlineQueue};
 pub use endpoint::{Endpoint, NodeId, PeerEvent};
 pub use error::NetError;
 pub use fault::{DetRng, FaultInjector, FaultPlan, Partition};
@@ -63,6 +70,7 @@ pub use faulty::FaultyEndpoint;
 pub use message::{Incoming, MsgClass, Payload};
 pub use metrics::{ClassCounters, NetMetrics, NetMetricsSnapshot};
 pub use time::{SimInstant, SimSpan};
+pub use transport::TransportKind;
 
 // Observability vocabulary, re-exported so transports implementing
 // [`Endpoint::attach_recorder`] need not depend on `sdso-obs` directly.

@@ -29,6 +29,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use parking_lot::Mutex;
 use sdso_obs::{EventKind, MonoClock, Recorder};
 
+use crate::deadline::{Backoff, DeadlineQueue};
 use crate::endpoint::{check_peer, Endpoint, NodeId, PeerEvent};
 use crate::error::NetError;
 use crate::frame::{read_frame, write_batch, write_frame};
@@ -119,6 +120,69 @@ impl TcpMesh {
             }
         }
 
+        streams
+            .into_iter()
+            .zip(listeners)
+            .enumerate()
+            .map(|(id, (peers, listener))| {
+                TcpEndpoint::from_streams(id as NodeId, n, peers, listener, addrs.clone(), tuning)
+            })
+            .collect()
+    }
+
+    /// Builds an `n`-node hub-and-spokes cluster over loopback: node 0 (the
+    /// hub) holds one connection — and one reader thread — per spoke;
+    /// spokes start connected only to the hub. The thread-per-peer
+    /// counterpart of [`ReactorMesh::star`](crate::reactor::ReactorMesh),
+    /// used as the baseline the reactor is benchmarked against at 256+
+    /// peers.
+    ///
+    /// Unlike the reactor's star, a spoke-to-spoke send does not fail: the
+    /// redial path lazily dials the other spoke's listener, upgrading the
+    /// star toward a mesh one link at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/connect/accept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is less than two or exceeds `NodeId::MAX - 1`.
+    pub fn star(n: usize) -> Result<Vec<TcpEndpoint>, NetError> {
+        TcpMesh::star_with(n, TcpTuning::default())
+    }
+
+    /// [`TcpMesh::star`] with explicit timeout/backoff tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/connect/accept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is less than two or exceeds `NodeId::MAX - 1`.
+    pub fn star_with(n: usize, tuning: TcpTuning) -> Result<Vec<TcpEndpoint>, NetError> {
+        assert!(n >= 2, "a star needs a hub and at least one spoke");
+        assert!(n < usize::from(NodeId::MAX), "cluster too large");
+        #[cfg(target_os = "linux")]
+        crate::sys::raise_nofile_limit((n as u64) * 4 + 64);
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<Result<_, _>>()?;
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
+        let mut streams: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        // Symmetric assignment into streams[spoke][0] and streams[0][spoke]:
+        // no iterator form can hold both mutable slots at once.
+        #[allow(clippy::needless_range_loop)]
+        for spoke in 1..n {
+            let out = TcpStream::connect(addrs[0])?;
+            let (inc, _) = listeners[0].accept()?;
+            out.set_nodelay(true)?;
+            inc.set_nodelay(true)?;
+            streams[spoke][0] = Some(out);
+            streams[0][spoke] = Some(inc);
+        }
         streams
             .into_iter()
             .zip(listeners)
@@ -272,6 +336,15 @@ pub struct TcpEndpoint {
     /// Membership flags: write failures to a removed peer are dropped
     /// silently (no redial storm toward a process that exited on purpose).
     active: Vec<bool>,
+    /// Persistent per-peer reconnect backoff state — the same state machine
+    /// the reactor transport drives from its poll loop, so backoff behaviour
+    /// is identical across the migration.
+    backoff: Vec<Backoff>,
+    /// Pending retry deadlines, drained in virtual-deadline order. On this
+    /// blocking transport the queue is serviced inline by the sending
+    /// thread; the reactor services the identical queue from `epoll_wait`
+    /// timeouts.
+    retry_deadlines: DeadlineQueue<NodeId>,
     /// Link events queued by reader threads / the acceptor, drained via
     /// [`Endpoint::take_peer_events`].
     peer_events: Arc<Mutex<Vec<PeerEvent>>>,
@@ -338,6 +411,16 @@ impl TcpEndpoint {
             metrics,
             recorder: Recorder::disabled(),
             active: vec![true; num_nodes],
+            backoff: (0..num_nodes)
+                .map(|_| {
+                    Backoff::new(
+                        tuning.backoff_base,
+                        tuning.backoff_max,
+                        tuning.max_reconnect_attempts,
+                    )
+                })
+                .collect(),
+            retry_deadlines: DeadlineQueue::new(),
             peer_events,
         })
     }
@@ -426,13 +509,19 @@ impl TcpEndpoint {
         result
     }
 
-    /// Re-dials `peer` with exponential backoff and retries the write.
-    /// Only valid on the dialling side of the pair (`self.id > peer`).
+    /// Re-dials `peer` and retries the write, pacing attempts through the
+    /// shared [`DeadlineQueue`]/[`Backoff`] machinery the reactor transport
+    /// drives from its poll loop. Here the sending thread services the
+    /// queue inline (it blocks until the next deadline), but the backoff
+    /// *state* — attempt counter, current delay — lives in the same per-peer
+    /// [`Backoff`] either transport would consult, so behaviour is identical
+    /// across the migration. Only valid on the dialling side of the pair
+    /// (`self.id > peer`).
     fn redial_and_send(&mut self, to: NodeId, payload: &Payload) -> Result<(), NetError> {
         let addr = self.addrs[usize::from(to)].ok_or(NetError::Disconnected)?;
-        let mut backoff = self.tuning.backoff_base;
-        let mut last_err = NetError::Disconnected;
-        for _ in 0..self.tuning.max_reconnect_attempts {
+        self.backoff[usize::from(to)].reset();
+        let mut last_err;
+        loop {
             self.metrics.record_retry();
             match TcpStream::connect_timeout(&addr, self.tuning.connect_timeout) {
                 Ok(mut stream) => {
@@ -452,6 +541,7 @@ impl TcpEndpoint {
                                 Arc::clone(&self.peer_events),
                             ));
                             self.metrics.record_reconnect();
+                            self.backoff[usize::from(to)].reset();
                             self.peer_events.lock().push(PeerEvent::Up(to));
                             match self.write_to(to, payload) {
                                 Ok(()) => return Ok(()),
@@ -463,10 +553,20 @@ impl TcpEndpoint {
                 }
                 Err(e) => last_err = NetError::Io(e),
             }
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(self.tuning.backoff_max);
+            // Consume one backoff attempt and park until its deadline.
+            let Some(delay) = self.backoff[usize::from(to)].next_delay() else {
+                return Err(last_err);
+            };
+            let due = self.clock.micros() + delay.as_micros() as u64;
+            self.retry_deadlines.schedule(due, to);
+            while let Some(wait) = self.retry_deadlines.timeout_until(self.clock.micros()) {
+                if wait.is_zero() {
+                    break;
+                }
+                std::thread::sleep(wait);
+            }
+            let _ = self.retry_deadlines.pop_due(self.clock.micros());
         }
-        Err(last_err)
     }
 }
 
@@ -718,6 +818,28 @@ mod tests {
         assert_eq!(&got.payload.bytes[..], b"ping");
         b.send(0, Payload::control(b"pong".as_ref())).unwrap();
         assert_eq!(&a.recv().unwrap().payload.bytes[..], b"pong");
+    }
+
+    #[test]
+    fn star_routes_hub_to_spokes() {
+        let mut eps = TcpMesh::star(4).unwrap();
+        let mut spokes: Vec<TcpEndpoint> = eps.drain(1..).collect();
+        let mut hub = eps.remove(0);
+        for spoke in &mut spokes {
+            spoke.send(0, Payload::control(vec![spoke.node_id() as u8])).unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..spokes.len() {
+            let got = hub.recv().unwrap();
+            assert_eq!(got.payload.bytes[0], got.from as u8);
+            seen.push(got.from);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3]);
+        for spoke in &mut spokes {
+            hub.send(spoke.node_id(), Payload::data(b"ack".as_ref())).unwrap();
+            assert_eq!(&spoke.recv().unwrap().payload.bytes[..], b"ack");
+        }
     }
 
     #[test]

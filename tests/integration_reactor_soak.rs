@@ -1,0 +1,148 @@
+//! Reactor soak: a hub-and-spokes cluster where one epoll loop on the hub
+//! multiplexes every spoke connection, driven hard enough to catch
+//! readiness bugs (lost wakeups, stalled write queues, phantom teardowns)
+//! that a two-node smoke test never hits.
+//!
+//! Two sizes share one harness:
+//!
+//! * [`soak_64_spokes_smoke`] always runs — small enough for a laptop's
+//!   `cargo test`;
+//! * [`soak_256_spokes_full`] is `#[ignore]`d and run explicitly by the
+//!   `reactor-soak` CI job (`cargo test -- --ignored`) under a hard
+//!   wall-clock timeout.
+//!
+//! When `SDSO_SOAK_TRACE` names a file, the merged flight-recorder trace
+//! (Chrome/Perfetto JSON) of every node is written there win or lose; the
+//! CI job uploads it as an artifact when the job fails.
+
+#![cfg(target_os = "linux")]
+
+use std::time::{Duration, Instant};
+
+use sdso_net::reactor::ReactorMesh;
+use sdso_net::{Endpoint, MsgClass, Payload, PeerEvent};
+use sdso_obs::{ObsSet, TraceConfig};
+
+/// One spoke's ping body: spoke id + sequence number, echoed verbatim by
+/// the hub.
+fn ping_body(spoke: u16, seq: u32) -> Vec<u8> {
+    let mut body = spoke.to_le_bytes().to_vec();
+    body.extend_from_slice(&seq.to_le_bytes());
+    body
+}
+
+/// Runs the soak: every spoke sends `pings` sequenced messages to the hub,
+/// the hub echoes each one back, every spoke checks its echoes arrive in
+/// order. Returns an error description instead of panicking so the caller
+/// can dump the flight-recorder trace first.
+fn run_soak(spokes: usize, pings: u32, deadline: Duration, obs: &ObsSet) -> Result<(), String> {
+    let n = spokes + 1;
+    let mut endpoints = ReactorMesh::star(n).map_err(|e| format!("star setup: {e}"))?;
+    for ep in &mut endpoints {
+        ep.attach_recorder(obs.node(ep.node_id()).recorder().clone());
+    }
+    let mut hub = endpoints.remove(0);
+    let started = Instant::now();
+
+    let spoke_handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|mut ep| {
+            // The thread hands its endpoint back so every link stays open
+            // until after the hub's no-flap check — otherwise spoke exits
+            // race the check as legitimate teardown Downs.
+            std::thread::spawn(move || -> Result<sdso_net::reactor::ReactorEndpoint, String> {
+                let me = ep.node_id();
+                // A small send window keeps every spoke's traffic in
+                // flight at once without serialising on round trips.
+                const WINDOW: u32 = 4;
+                let mut sent = 0u32;
+                let mut acked = 0u32;
+                while acked < pings {
+                    while sent < pings && sent - acked < WINDOW {
+                        ep.send(0, Payload::control(ping_body(me, sent)))
+                            .map_err(|e| format!("spoke {me} send {sent}: {e}"))?;
+                        sent += 1;
+                    }
+                    let echo = ep
+                        .recv_deadline(sdso_net::SimSpan::from_millis(10_000))
+                        .map_err(|e| format!("spoke {me} recv: {e}"))?
+                        .ok_or_else(|| format!("spoke {me} starved waiting for echo {acked}"))?;
+                    if echo.payload.bytes[..] != ping_body(me, acked)[..] {
+                        return Err(format!(
+                            "spoke {me} echo {acked} corrupted: {:?}",
+                            &echo.payload.bytes[..]
+                        ));
+                    }
+                    acked += 1;
+                }
+                Ok(ep)
+            })
+        })
+        .collect();
+
+    // The hub: echo every ping straight back to its sender.
+    let total = spokes as u64 * u64::from(pings);
+    let mut echoed = 0u64;
+    while echoed < total {
+        if started.elapsed() > deadline {
+            return Err(format!(
+                "hub deadline exceeded after {echoed}/{total} echoes in {:?}",
+                started.elapsed()
+            ));
+        }
+        let ping = hub
+            .recv_deadline(sdso_net::SimSpan::from_millis(10_000))
+            .map_err(|e| format!("hub recv: {e}"))?
+            .ok_or_else(|| format!("hub starved after {echoed}/{total} echoes"))?;
+        hub.send(ping.from, Payload::new(MsgClass::Control, ping.payload.bytes))
+            .map_err(|e| format!("hub echo to {}: {e}", ping.from))?;
+        echoed += 1;
+    }
+
+    let mut spoke_endpoints = Vec::with_capacity(spokes);
+    for handle in spoke_handles {
+        spoke_endpoints.push(handle.join().map_err(|_| "spoke thread panicked".to_string())??);
+    }
+    // Every link must have stayed up for the whole soak: a single Down is
+    // a reactor bug (nothing in this test closes a connection).
+    let downs: Vec<PeerEvent> =
+        hub.take_peer_events().into_iter().filter(|e| matches!(e, PeerEvent::Down(_))).collect();
+    if !downs.is_empty() {
+        return Err(format!("links flapped during soak: {downs:?}"));
+    }
+    if started.elapsed() > deadline {
+        return Err(format!("soak finished but overran its deadline: {:?}", started.elapsed()));
+    }
+    drop(spoke_endpoints);
+    drop(hub);
+    Ok(())
+}
+
+/// Runs a soak and, when `SDSO_SOAK_TRACE` is set, writes the merged
+/// flight-recorder trace there before reporting the outcome.
+fn soak_with_trace(spokes: usize, pings: u32, deadline: Duration) {
+    let n = spokes + 1;
+    let obs = ObsSet::new(n as u16, TraceConfig::counters());
+    let outcome = run_soak(spokes, pings, deadline, &obs);
+    if let Ok(path) = std::env::var("SDSO_SOAK_TRACE") {
+        if !path.is_empty() {
+            // Best-effort: a trace-write failure must not mask the soak
+            // verdict.
+            let _ = std::fs::write(&path, obs.chrome_trace());
+        }
+    }
+    if let Err(why) = outcome {
+        panic!("reactor soak ({spokes} spokes, {pings} pings) failed: {why}");
+    }
+}
+
+#[test]
+fn soak_64_spokes_smoke() {
+    soak_with_trace(64, 25, Duration::from_secs(60));
+}
+
+#[test]
+#[ignore = "full-scale soak; run via the reactor-soak CI job (cargo test -- --ignored)"]
+fn soak_256_spokes_full() {
+    soak_with_trace(256, 50, Duration::from_secs(240));
+}

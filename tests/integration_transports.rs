@@ -4,9 +4,10 @@
 
 use sdso_core::{DsoConfig, EveryTick, ObjectId, SdsoRuntime};
 use sdso_game::{run_node, Protocol, Scenario};
+use sdso_harness::transports::local_cluster;
 use sdso_net::memory::MemoryHub;
 use sdso_net::tcp::TcpMesh;
-use sdso_net::{Endpoint, NetMetricsSnapshot};
+use sdso_net::{Endpoint, NetMetricsSnapshot, TransportKind};
 use sdso_protocols::Lookahead;
 use sdso_sim::{NetworkModel, SimCluster};
 
@@ -57,6 +58,29 @@ fn game_outcome_is_identical_across_all_three_transports() {
 
     assert_eq!(memory, tcp, "memory vs TCP");
     assert_eq!(memory, sim, "memory vs simulator");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn game_outcome_is_identical_over_the_reactor() {
+    // The reactor multiplexes every peer behind one poll loop instead of
+    // spawning reader/writer threads, but at the logical level it must be
+    // indistinguishable from the other transports.
+    let scenario = Scenario::paper(3, 1).with_ticks(40);
+    let memory = play_game(MemoryHub::new(3).into_endpoints(), &scenario);
+    let reactor = play_game(sdso_net::reactor::ReactorMesh::local(3).unwrap(), &scenario);
+    assert_eq!(memory, reactor, "memory vs reactor");
+}
+
+#[test]
+fn config_selected_transport_runs_the_game() {
+    // The same path deployment code takes: DsoConfig names a TransportKind,
+    // the harness builds the cluster, the game neither knows nor cares.
+    let scenario = Scenario::paper(2, 1).with_ticks(20);
+    let config = DsoConfig::paper(); // platform-default transport
+    let via_config = play_game(local_cluster(config.transport, 2).unwrap(), &scenario);
+    let via_memory = play_game(MemoryHub::new(2).into_endpoints(), &scenario);
+    assert_eq!(via_config, via_memory);
 }
 
 #[test]
@@ -134,7 +158,7 @@ fn lookahead_over_tcp_matches_memory_visibility() {
             .map(|ep| {
                 std::thread::spawn(move || {
                     let me = ep.node_id();
-                    let mut rt = SdsoRuntime::new(BoxedEndpoint(ep), DsoConfig::paper());
+                    let mut rt = SdsoRuntime::new(ep, DsoConfig::paper());
                     for id in 0..2u32 {
                         rt.share(ObjectId(id), vec![0u8; 4]).unwrap();
                     }
@@ -156,49 +180,18 @@ fn lookahead_over_tcp_matches_memory_visibility() {
         .into_iter()
         .map(|e| Box::new(e) as Box<dyn Endpoint + Send>)
         .collect();
-    let tcp: Vec<Box<dyn Endpoint + Send>> = TcpMesh::local(2)
-        .unwrap()
-        .into_iter()
-        .map(|e| Box::new(e) as Box<dyn Endpoint + Send>)
-        .collect();
+    let tcp = local_cluster(TransportKind::Tcp, 2).unwrap();
 
     let mut via_mem = game(mem);
     let mut via_tcp = game(tcp);
     via_mem.sort();
     via_tcp.sort();
     assert_eq!(via_mem, via_tcp);
-}
 
-/// Adapter: `Box<dyn Endpoint + Send>` as an owned `Endpoint`.
-struct BoxedEndpoint(Box<dyn Endpoint + Send>);
-
-impl Endpoint for BoxedEndpoint {
-    fn node_id(&self) -> sdso_net::NodeId {
-        self.0.node_id()
-    }
-    fn num_nodes(&self) -> usize {
-        self.0.num_nodes()
-    }
-    fn send(
-        &mut self,
-        to: sdso_net::NodeId,
-        payload: sdso_net::Payload,
-    ) -> Result<(), sdso_net::NetError> {
-        self.0.send(to, payload)
-    }
-    fn recv(&mut self) -> Result<sdso_net::Incoming, sdso_net::NetError> {
-        self.0.recv()
-    }
-    fn try_recv(&mut self) -> Result<Option<sdso_net::Incoming>, sdso_net::NetError> {
-        self.0.try_recv()
-    }
-    fn advance(&mut self, dt: sdso_net::SimSpan) {
-        self.0.advance(dt);
-    }
-    fn now(&self) -> sdso_net::SimInstant {
-        self.0.now()
-    }
-    fn metrics(&self) -> NetMetricsSnapshot {
-        self.0.metrics()
+    #[cfg(target_os = "linux")]
+    {
+        let mut via_reactor = game(local_cluster(TransportKind::TcpReactor, 2).unwrap());
+        via_reactor.sort();
+        assert_eq!(via_mem, via_reactor);
     }
 }
