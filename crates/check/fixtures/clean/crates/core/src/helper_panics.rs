@@ -1,0 +1,7 @@
+//! Fixture: the bug-removed twin of the violations helper_panics.rs — the
+//! helper returns a typed error instead of panicking (must lint clean).
+
+pub fn decode_update_header(bytes: &[u8]) -> Result<Update, CodecError> {
+    let tag = bytes.first().ok_or(CodecError::Truncated)?;
+    Update::from_tag(*tag).ok_or(CodecError::BadTag)
+}

@@ -1,0 +1,7 @@
+//! Fixture: the bug-removed twin of the violations fd_leak.rs — the
+//! listener stays behind its owning type and the poller registers it by
+//! reference (must lint clean).
+
+pub fn register_listener(poller: &Poller, l: &std::net::TcpListener) {
+    poller.add(l, TOKEN_LISTENER, Interest::READ);
+}

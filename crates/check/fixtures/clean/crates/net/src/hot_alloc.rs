@@ -1,0 +1,20 @@
+//! Fixture: the bug-removed twin of the violations hot_alloc.rs — the hot
+//! path appends in place and its callee reuses pooled scratch (must lint
+//! clean).
+
+/// Encodes one frame into `out`. sdso-check: hot-path
+pub fn append_frame(out: &mut Vec<u8>, payload: &Payload) {
+    out.extend_from_slice(&payload.bytes);
+}
+
+/// Flushes the batch. sdso-check: hot-path
+pub fn flush(out: &mut Vec<u8>, pool: &BufPool) {
+    fill_from_pool(out, pool);
+}
+
+/// Marked itself, so the cross-file pass checks it in its own right.
+/// sdso-check: hot-path
+fn fill_from_pool(out: &mut Vec<u8>, pool: &BufPool) {
+    let scratch = pool.get();
+    out.extend_from_slice(&scratch);
+}

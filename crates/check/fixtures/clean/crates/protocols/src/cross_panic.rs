@@ -1,0 +1,7 @@
+//! Fixture: the bug-removed twin of the violations cross_panic.rs — the
+//! cross-crate helper is total, so the boundary call is fine (must lint
+//! clean).
+
+pub fn apply_update(bytes: &[u8]) -> Result<Update, CodecError> {
+    decode_update_header(bytes)
+}

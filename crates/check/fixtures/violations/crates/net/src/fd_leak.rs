@@ -1,0 +1,8 @@
+//! Fixture: raw descriptor escaping its owning type outside sys.rs (must
+//! trip `fd-ownership`).
+
+use std::os::fd::{AsRawFd, RawFd};
+
+pub fn leak_listener_fd(l: &std::net::TcpListener) -> RawFd {
+    l.as_raw_fd()
+}

@@ -6,3 +6,14 @@ pub fn append_frame_badly(out: &mut Vec<u8>, payload: &Payload) {
     let copy = payload.bytes.to_vec();
     out.extend_from_slice(&copy);
 }
+
+/// Flushes the batch. sdso-check: hot-path
+pub fn flush_badly(out: &mut Vec<u8>) {
+    let scratch = make_scratch_badly();
+    out.extend_from_slice(&scratch);
+}
+
+// Unmarked and allocating: the cross-file pass must flag the call above.
+fn make_scratch_badly() -> Vec<u8> {
+    Vec::with_capacity(64)
+}

@@ -1,0 +1,14 @@
+//! Fixture: blocking constructs on the poll thread (must trip
+//! `no-blocking-in-reactor` three ways: a direct sleep, a lock guard held
+//! across `epoll_wait`, and a blocking receive reached through a helper in
+//! another file).
+
+impl Reactor {
+    fn run(mut self) {
+        let guard = self.shared.peer_events.lock();
+        self.poller.wait(&mut self.events, None);
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(5));
+        drain_commands_slowly(&self.cmd_rx);
+    }
+}

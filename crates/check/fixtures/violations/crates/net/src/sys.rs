@@ -1,0 +1,10 @@
+//! Fixture: FFI module without a `## Safety audit` table and an `unsafe`
+//! block without a SAFETY: justification (must trip `unsafe-audit` twice).
+
+extern "C" {
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+pub fn make_eventfd() -> i32 {
+    unsafe { eventfd(0, 0) }
+}

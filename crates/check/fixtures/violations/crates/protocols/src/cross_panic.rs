@@ -1,0 +1,7 @@
+//! Fixture: in-scope protocol code calling across the crate boundary into
+//! a helper that panics (must trip cross-file `no-panic` at this call
+//! site, not inside the helper's own file).
+
+pub fn apply_update(bytes: &[u8]) -> Update {
+    decode_update_header(bytes)
+}

@@ -1,16 +1,26 @@
 //! `sdso-check`: the S-DSO workspace's own static analysis and model
 //! checking layer.
 //!
-//! Two engines (see `ARCHITECTURE.md` §6):
+//! Three engines (see `ARCHITECTURE.md` §6 and §11):
 //!
 //! * **lint** — a deny-by-default static pass over workspace source
 //!   enforcing invariants the compiler cannot see: no panics on protocol
 //!   paths, no wall-clock/OS-entropy in deterministic code, declared
-//!   lock-acquisition order, and exhaustive matches over wire enums.
+//!   lock-acquisition order, exhaustive matches over wire enums, audited
+//!   `unsafe`/FFI, fd ownership, and no blocking calls on the reactor
+//!   event path. Scoped rules run twice: per-file, then again over a
+//!   name-resolved workspace call graph (`callgraph`) so a violation
+//!   reached *through* a helper in another crate is reported at the
+//!   point where scoped code calls out.
 //! * **explore** — a bounded systematic interleaving checker: protocol
 //!   scenarios run under the virtual-time scheduler's delivery-choice
 //!   oracle while a DFS enumerates message-delivery orders and asserts
 //!   protocol invariants after every schedule.
+//! * **race** — a vector-clock happens-before checker (`race`) replayed
+//!   over `sdso-obs` flight-recorder event logs: send/recv, lock, and
+//!   thread spawn/join events build the partial order, and any pair of
+//!   conflicting object accesses not ordered by it is reported as a
+//!   race, with both access sites.
 //!
 //! The workspace builds fully offline, so the lint is built on a small
 //! purpose-made cleaner/scanner (`lexer`) rather than `syn`.
@@ -18,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod lint;
+pub mod race;
 pub mod rules;
 pub mod scenarios;
 

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! sdso-check lint    [--root DIR] [--allow-dir DIR] [--json PATH|-]
+//!                    [--list-allows]
 //! sdso-check explore [--protocol NAME|all] [--depth N] [--max-runs N]
 //!                    [--min-distinct N]
 //! sdso-check replay  --protocol NAME [--schedule N,N,...]
+//! sdso-check race    TRACE.json [TRACE.json ...]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings or violated invariants, 2 usage error.
@@ -18,12 +20,14 @@ use sdso_sim::{Explorer, ReplayOracle, Schedule};
 
 const USAGE: &str = "\
 usage:
-  sdso-check lint    [--root DIR] [--allow-dir DIR] [--json PATH|-]
+  sdso-check lint    [--root DIR] [--allow-dir DIR] [--json PATH|-] [--list-allows]
   sdso-check explore [--protocol NAME|all] [--depth N] [--max-runs N] [--min-distinct N]
   sdso-check replay  --protocol NAME [--schedule N,N,...]
+  sdso-check race    TRACE.json [TRACE.json ...]
 
 protocols: bsync msync msync2 ec churn churn-ec (explore default: all)
-explore defaults: --depth 12 --max-runs 600 --min-distinct 0";
+explore defaults: --depth 12 --max-runs 600 --min-distinct 0
+race: TRACE.json is an event log exported by sdso-obs (ObsSet::event_log)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("explore") => explore(&args[1..]),
         Some("replay") => replay(&args[1..]),
+        Some("race") => race(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -76,12 +81,22 @@ fn parse_num(args: &[String], flag: &str, default: usize) -> Result<usize, Strin
 }
 
 fn lint(args: &[String]) -> Result<bool, String> {
+    // `--list-allows` is valueless; strip it before flag parsing.
+    let list_allows = args.iter().any(|a| a == "--list-allows");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--list-allows").cloned().collect();
+    let args = args.as_slice();
     reject_unknown(args, &["--root", "--allow-dir", "--json"])?;
     let root = PathBuf::from(flag_value(args, "--root")?.unwrap_or_else(|| ".".into()));
     let allow_dir = flag_value(args, "--allow-dir")?.map(PathBuf::from);
     let report = sdso_check::run_lint(&root, allow_dir.as_deref())?;
     for d in &report.diagnostics {
         println!("{d}");
+    }
+    if list_allows {
+        println!("allowlist entries ({}):", report.allow_usage.len());
+        for u in &report.allow_usage {
+            println!("  [{}] {} hit(s)  {}  ({})", u.rule, u.hits, u.entry, u.location);
+        }
     }
     if let Some(path) = flag_value(args, "--json")? {
         let json = sdso_check::diag::to_json(&report.diagnostics, report.files_scanned);
@@ -172,6 +187,32 @@ fn replay(args: &[String]) -> Result<bool, String> {
             Ok(false)
         }
     }
+}
+
+fn race(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--")) {
+        return Err(format!("race takes trace file paths only\n{USAGE}"));
+    }
+    let mut clean = true;
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let streams = sdso_check::race::parse_event_log(&text)
+            .map_err(|e| format!("{path}: malformed event log: {e}"))?;
+        let report = sdso_check::race::analyze(&streams);
+        for r in &report.races {
+            println!("{path}: {r}");
+        }
+        println!(
+            "race {path}: {} race(s), {} node(s), {} event(s), {} unmatched sync, {} dropped",
+            report.races.len(),
+            report.nodes,
+            report.events,
+            report.unmatched,
+            report.dropped
+        );
+        clean &= report.races.is_empty();
+    }
+    Ok(clean)
 }
 
 fn render(schedule: &[usize]) -> String {

@@ -42,6 +42,11 @@ const TABLES: &[Table] = &[
     },
     // scheduler.rs: the single state mutex; anything else is undeclared.
     Table { path: "crates/sim/src/scheduler.rs", order: &[&["state"]] },
+    // reactor.rs: the peer-event queue is the only lock the reactor side
+    // shares with user threads, and it must stay that way — a second lock
+    // would create hold-across-epoll_wait hazards the
+    // `no-blocking-in-reactor` rule then has to reason about.
+    Table { path: "crates/net/src/reactor.rs", order: &[&["peer_events"]] },
 ];
 
 /// `(file, required needle, message-if-missing)` runtime-discipline

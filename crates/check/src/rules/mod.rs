@@ -6,14 +6,52 @@
 //! brace-depth reasoning cannot be fooled by strings or docs, plus the
 //! original lines for snippets and inline allow markers.
 
+pub mod cross;
 pub mod exhaustive_match;
+pub mod fd_ownership;
 pub mod lock_order;
 pub mod no_alloc_hot_path;
+pub mod no_blocking_reactor;
 pub mod no_panic;
+pub mod unsafe_audit;
 pub mod wall_clock;
 
 use crate::diag::Diagnostic;
 use crate::lexer::line_of;
+
+/// One fully-read source file, owned.
+///
+/// The per-file rules borrow a [`FileCtx`] view of one of these; the
+/// cross-file passes ([`cross`], [`no_blocking_reactor`]) take the whole
+/// slice so the call graph can resolve names across files.
+#[derive(Debug)]
+pub struct Prepared {
+    /// Root-relative path, forward slashes.
+    pub rel_path: String,
+    /// Original source text.
+    pub src: String,
+    /// Cleaned, test-stripped source (byte offsets match `src`).
+    pub clean: String,
+}
+
+impl Prepared {
+    /// Builds a diagnostic anchored at byte `offset` of the cleaned text.
+    pub fn diag(&self, rule: &'static str, offset: usize, message: String) -> Diagnostic {
+        let line = line_of(&self.clean, offset);
+        Diagnostic {
+            rule,
+            path: self.rel_path.clone(),
+            line,
+            message,
+            snippet: self
+                .src
+                .lines()
+                .nth(line - 1)
+                .map(|l| l.trim().to_owned())
+                .unwrap_or_default(),
+        }
+    }
+}
 
 /// One prepared source file.
 #[derive(Debug)]
@@ -53,5 +91,7 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     out.extend(lock_order::check(ctx));
     out.extend(exhaustive_match::check(ctx));
     out.extend(no_alloc_hot_path::check(ctx));
+    out.extend(unsafe_audit::check(ctx));
+    out.extend(fd_ownership::check(ctx));
     out
 }

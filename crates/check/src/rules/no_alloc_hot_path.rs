@@ -21,7 +21,8 @@ pub const RULE: &str = "no-alloc-in-hot-path";
 pub const MARKER: &str = "sdso-check: hot-path";
 
 /// Allocating constructs and what the hot path should use instead.
-const PATTERNS: &[(&str, &str)] = &[
+/// Shared with the cross-file pass in [`super::cross`].
+pub const PATTERNS: &[(&str, &str)] = &[
     ("Vec::new(", "pooled or caller-provided scratch"),
     ("Vec::with_capacity(", "pooled or caller-provided scratch"),
     ("vec![", "pooled or caller-provided scratch"),

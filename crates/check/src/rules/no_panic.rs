@@ -18,7 +18,8 @@ const SCOPE_FILES: &[&str] = &["crates/core/src/runtime.rs"];
 const SCOPE_PREFIXES: &[&str] = &["crates/protocols/src/", "crates/net/src/"];
 
 /// Panicking constructs and how to refer to them in the diagnostic.
-const PATTERNS: &[(&str, &str)] = &[
+/// Shared with the cross-file reachability pass in [`super::cross`].
+pub const PATTERNS: &[(&str, &str)] = &[
     (".unwrap()", "`.unwrap()`"),
     (".expect(", "`.expect(..)`"),
     ("panic!", "`panic!`"),

@@ -1,0 +1,122 @@
+//! `unsafe-audit`: every `unsafe` carries a written soundness argument.
+//!
+//! Two obligations, both deny-by-default across the whole workspace:
+//!
+//! * every `unsafe` keyword (block, fn, impl) must have a `// SAFETY:`
+//!   comment on its own line or within the three lines above it;
+//! * a module containing FFI (`extern "…"` blocks) must open with a
+//!   `## Safety audit` doc-header containing a markdown table (`//! |`
+//!   rows) enumerating each foreign entry point's contract.
+//!
+//! The reactor's `sys.rs` is the motivating case: raw epoll/eventfd
+//! bindings whose soundness rests on argument conventions the compiler
+//! cannot check. An unsafe block without its argument is a review hazard;
+//! an FFI module without its table is an unauditable one.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+/// Rule identifier.
+pub const RULE: &str = "unsafe-audit";
+
+/// How many lines above an `unsafe` the `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// Runs the rule over one prepared file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for at in crate::lexer::find_bounded(ctx.clean, "unsafe") {
+        // `find_bounded` checks the leading boundary only; reject tails
+        // like `unsafe_op` ourselves.
+        let after = ctx.clean.as_bytes().get(at + "unsafe".len());
+        if after.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
+            continue;
+        }
+        let line = crate::lexer::line_of(ctx.clean, at);
+        let lo = line.saturating_sub(SAFETY_WINDOW + 1);
+        let justified =
+            ctx.lines[lo..line.min(ctx.lines.len())].iter().any(|l| l.contains("SAFETY:"));
+        if !justified {
+            out.push(ctx.diag(
+                RULE,
+                at,
+                format!(
+                    "`unsafe` without a `// SAFETY:` justification within {SAFETY_WINDOW} \
+                     lines above; state why the invariants hold"
+                ),
+            ));
+        }
+    }
+    if let Some(&at) = crate::lexer::find_bounded(ctx.clean, "extern \"").first() {
+        let has_header = ctx.lines.iter().any(|l| l.contains("## Safety audit"));
+        let has_table = ctx.lines.iter().any(|l| l.trim_start().starts_with("//! |"));
+        if !(has_header && has_table) {
+            out.push(
+                ctx.diag(
+                    RULE,
+                    at,
+                    "FFI module without a `## Safety audit` doc table; add a `//! ## Safety \
+                 audit` header with one `//! | entry point | contract |` row per foreign \
+                 function"
+                        .to_owned(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean_source, strip_test_modules};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let clean = strip_test_modules(&clean_source(src));
+        let lines: Vec<&str> = src.lines().collect();
+        check(&FileCtx { rel_path: "crates/net/src/sys.rs", clean: &clean, lines: &lines })
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged() {
+        let d = run("fn f() { unsafe { core() } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn safety_comment_within_window_passes() {
+        let src = "fn f() {\n    // SAFETY: fd is owned and open.\n    unsafe { core() }\n}";
+        assert!(run(src).is_empty());
+        let far = "fn f() {\n    // SAFETY: too far away.\n\n\n\n\n    unsafe { core() }\n}";
+        assert_eq!(run(far).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_identifier_is_not_the_keyword() {
+        assert!(run("fn f() { let unsafe_count = 1; not_unsafe(); }").is_empty());
+    }
+
+    #[test]
+    fn ffi_without_audit_table_is_flagged() {
+        let d = run("extern \"C\" { fn close(fd: i32) -> i32; }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Safety audit"));
+    }
+
+    #[test]
+    fn ffi_with_audit_table_passes() {
+        let src = "//! ## Safety audit\n//! | entry point | contract |\n//! | `close` | fd \
+                   is open |\nextern \"C\" { fn close(fd: i32) -> i32; }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_justification_too() {
+        let d = run("unsafe impl Send for Poller {}");
+        assert_eq!(d.len(), 1);
+        let ok = "// SAFETY: all fields are fds, sendable by construction.\n\
+                  unsafe impl Send for Poller {}";
+        assert!(run(ok).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Edge-case and property tests for the lint lexer.
+//!
+//! The lexer underpins every lint rule *and* the call graph: if cleaning
+//! miscounts a byte, every downstream line number and brace match is
+//! wrong. The targeted tests pin the constructs that historically break
+//! hand-rolled scanners (nested block comments, raw strings with hash
+//! fences, test-module stripping); the properties pin the structural
+//! invariants every rule relies on — byte length preserved, newlines
+//! preserved, cleaning idempotent, `find_bounded` hits real and bounded.
+
+use proptest::prelude::*;
+use sdso_check::lexer::{clean_source, find_bounded, line_of, strip_test_modules};
+
+#[test]
+fn nested_block_comments_blank_to_their_true_end() {
+    let src = "/* outer /* inner \"}\" panic!() */ still comment */ x.unwrap();";
+    let c = clean_source(src);
+    assert!(!c.contains("panic"), "{c:?}");
+    assert!(!c.contains("comment"), "{c:?}");
+    assert!(c.contains(".unwrap()"), "code after the comment must survive: {c:?}");
+    assert_eq!(c.len(), src.len());
+}
+
+#[test]
+fn raw_string_hash_fences_only_close_on_the_matching_count() {
+    // The embedded `"#` must NOT close an `r##"…"##` string.
+    let src = r###"let s = r##"inner "# fake close panic!()"##; live();"###;
+    let c = clean_source(src);
+    assert!(!c.contains("panic"), "{c:?}");
+    assert!(!c.contains("fake"), "{c:?}");
+    assert!(c.contains("live();"), "{c:?}");
+}
+
+#[test]
+fn raw_byte_strings_and_raw_identifiers_are_distinguished() {
+    let src = r##"let b = br#"unwrap() }"#; let r#fn = 1;"##;
+    let c = clean_source(src);
+    assert!(!c.contains("unwrap"), "{c:?}");
+    assert!(c.contains("let r#fn = 1;"), "raw identifiers are code, not strings: {c:?}");
+}
+
+#[test]
+fn ident_prefixed_r_quote_is_not_a_raw_string() {
+    // `xr` then a plain string: the `r` belongs to the identifier.
+    let src = "let xr = 1; let s = \"ok\";";
+    let c = clean_source(src);
+    assert!(c.contains("let xr = 1;"), "{c:?}");
+}
+
+#[test]
+fn cfg_test_module_with_intervening_attributes_is_stripped() {
+    let src = "fn live() {}\n#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn t() { \
+               x.unwrap(); }\n}\nfn tail() {}";
+    let c = strip_test_modules(&clean_source(src));
+    assert!(!c.contains("unwrap"), "{c:?}");
+    assert!(c.contains("fn live"));
+    assert!(c.contains("fn tail"));
+    assert_eq!(c.matches('\n').count(), src.matches('\n').count());
+}
+
+#[test]
+fn outline_test_module_declaration_does_not_hang_or_strip() {
+    let src = "#[cfg(test)]\nmod tests;\nfn live() {}";
+    let c = strip_test_modules(&clean_source(src));
+    assert!(c.contains("fn live"), "{c:?}");
+}
+
+#[test]
+fn cfg_test_inside_a_string_is_not_a_module() {
+    let src = "fn f() { let s = \"#[cfg(test)] mod x {\"; }\nfn g() { x.unwrap(); }";
+    let c = strip_test_modules(&clean_source(src));
+    // The attribute text lives in a literal, which cleaning blanks before
+    // stripping runs — `g` must survive with its unwrap visible.
+    assert!(c.contains(".unwrap()"), "{c:?}");
+}
+
+#[test]
+fn line_of_is_stable_at_boundaries() {
+    let text = "a\nb\nc";
+    assert_eq!(line_of(text, 0), 1);
+    assert_eq!(line_of(text, 2), 2);
+    assert_eq!(line_of(text, text.len()), 3);
+    assert_eq!(line_of(text, text.len() + 10), 3, "past-the-end clamps");
+}
+
+/// Literal/comment body alphabet: no quote, hash, slash, backslash, or
+/// newline, so one filler serves strings, comments, and raw strings alike
+/// without accidentally closing (or nesting) the surrounding construct.
+const FILLER: &[u8] = b"abcz {}*_";
+
+/// Lexically hostile alphabet for the raw length property: every
+/// delimiter and prefix byte the scanner special-cases, plus multibyte
+/// characters, combined with no regard for well-formedness.
+const ROUGH: &[&str] =
+    &["\"", "'", "/", "r", "b", "#", "*", "\\", "\n", " ", "a", "{", "}", "é", "∀"];
+
+/// One plausible source token; concatenations exercise every scanner arm.
+fn build_token((kind, picks): (usize, Vec<usize>)) -> String {
+    let body: String = picks.iter().map(|&i| FILLER[i % FILLER.len()] as char).collect();
+    match kind {
+        0 => "x".to_owned(),
+        1 => "unwrap".to_owned(),
+        // Bare `r` so an adjacent string token forms `r"…"` / `br"…"`.
+        2 => "r".to_owned(),
+        3 => "b".to_owned(),
+        4 => "{ ".to_owned(),
+        5 => "} ".to_owned(),
+        6 => "(x)".to_owned(),
+        7 => ";\n".to_owned(),
+        8 => ".unwrap()".to_owned(),
+        9 => "'a ".to_owned(),
+        10 => "'}'".to_owned(),
+        11 => format!("\"{body}\""),
+        12 => format!("// {body}\n"),
+        13 => format!("/* {body} */"),
+        14 => format!(" r#\"{body}\"# "),
+        _ => "fn f() ".to_owned(),
+    }
+}
+
+fn source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..16, proptest::collection::vec(0usize..FILLER.len(), 0..8)).prop_map(build_token),
+        0..40,
+    )
+    .prop_map(|v| v.concat())
+}
+
+proptest! {
+    #[test]
+    fn cleaning_preserves_byte_length_on_hostile_input(
+        picks in proptest::collection::vec(0usize..ROUGH.len(), 0..80)
+    ) {
+        let src: String = picks.iter().map(|&i| ROUGH[i]).collect();
+        prop_assert_eq!(clean_source(&src).len(), src.len());
+    }
+
+    #[test]
+    fn cleaning_preserves_newline_positions(src in source()) {
+        let c = clean_source(&src);
+        prop_assert_eq!(c.len(), src.len());
+        for (i, (a, b)) in src.bytes().zip(c.bytes()).enumerate() {
+            prop_assert_eq!(a == b'\n', b == b'\n', "newline mismatch at byte {}", i);
+        }
+    }
+
+    #[test]
+    fn cleaning_is_idempotent(src in source()) {
+        let once = clean_source(&src);
+        prop_assert_eq!(clean_source(&once), once.clone());
+    }
+
+    #[test]
+    fn stripping_preserves_length_and_newlines(src in source()) {
+        let c = clean_source(&src);
+        let s = strip_test_modules(&c);
+        prop_assert_eq!(s.len(), c.len());
+        prop_assert_eq!(s.matches('\n').count(), c.matches('\n').count());
+    }
+
+    #[test]
+    fn find_bounded_hits_are_real_and_boundary_checked(src in source()) {
+        let c = strip_test_modules(&clean_source(&src));
+        for pat in [".unwrap()", "unwrap", "fn "] {
+            for at in find_bounded(&c, pat) {
+                prop_assert!(c[at..].starts_with(pat), "hit at {} is not `{}`", at, pat);
+                let leading_ident = pat
+                    .bytes()
+                    .next()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+                if leading_ident && at > 0 {
+                    let prev = c.as_bytes()[at - 1];
+                    prop_assert!(
+                        !(prev.is_ascii_alphanumeric() || prev == b'_'),
+                        "hit at {} sits inside an identifier", at
+                    );
+                }
+            }
+        }
+    }
+}

@@ -543,7 +543,16 @@ impl<E: Endpoint> SdsoRuntime<E> {
     ///
     /// Returns [`DsoError::UnknownObject`] if `id` was never shared.
     pub fn read(&self, id: ObjectId) -> Result<&[u8], DsoError> {
-        self.store.read(id)
+        let bytes = self.store.read(id)?;
+        let version = self.store.replica(id)?.version();
+        self.obs.record(
+            self.endpoint.now().as_micros(),
+            EventKind::ObjectRead,
+            id.0,
+            version.time.as_ticks() as u32,
+            0,
+        );
+        Ok(bytes)
     }
 
     /// An object's current version stamp.
@@ -583,6 +592,13 @@ impl<E: Endpoint> SdsoRuntime<E> {
         if merging {
             self.obs.record(self.endpoint.now().as_micros(), EventKind::DiffMerge, id.0, 0, 0);
         }
+        self.obs.record(
+            self.endpoint.now().as_micros(),
+            EventKind::ObjectWrite,
+            id.0,
+            stamp.time.as_ticks() as u32,
+            bytes.len() as u32,
+        );
         Ok(())
     }
 

@@ -117,17 +117,29 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Incoming, NetError> {
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if !(HEADER..=MAX_FRAME).contains(&len) {
-        return Err(NetError::Codec(format!("invalid frame length {len}")));
+        return Err(codec_bad_len(len));
     }
     let mut frame = vec![0u8; len];
     r.read_exact(&mut frame)?;
     let from = NodeId::from_le_bytes([frame[0], frame[1]]);
-    let class = MsgClass::from_wire(frame[2])
-        .ok_or_else(|| NetError::Codec(format!("invalid message class {:#x}", frame[2])))?;
+    let class = MsgClass::from_wire(frame[2]).ok_or_else(|| codec_bad_class(frame[2]))?;
     let wire_len = u32::from_le_bytes([frame[3], frame[4], frame[5], frame[6]]);
     let body = Bytes::copy_from_slice(&frame[HEADER..]);
     let wire_len = wire_len.max(body.len() as u32);
     Ok(Incoming { from, payload: Payload { class, bytes: body, wire_len } })
+}
+
+/// Malformed-length error, out of line so decoders stay allocation-free on
+/// the hot path (the `format!` lives here, behind `#[cold]`).
+#[cold]
+fn codec_bad_len(len: usize) -> NetError {
+    NetError::Codec(format!("invalid frame length {len}"))
+}
+
+/// Malformed-class error, out of line for the same reason.
+#[cold]
+fn codec_bad_class(byte: u8) -> NetError {
+    NetError::Codec(format!("invalid message class {byte:#x}"))
 }
 
 /// Decodes one frame from `buf` starting at `*pos` without consuming input
@@ -151,15 +163,14 @@ pub fn decode_frame_at(buf: &[u8], pos: &mut usize) -> Result<Option<Incoming>, 
     }
     let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
     if !(HEADER..=MAX_FRAME).contains(&len) {
-        return Err(NetError::Codec(format!("invalid frame length {len}")));
+        return Err(codec_bad_len(len));
     }
     if rest.len() < 4 + len {
         return Ok(None);
     }
     let frame = &rest[4..4 + len];
     let from = NodeId::from_le_bytes([frame[0], frame[1]]);
-    let class = MsgClass::from_wire(frame[2])
-        .ok_or_else(|| NetError::Codec(format!("invalid message class {:#x}", frame[2])))?;
+    let class = MsgClass::from_wire(frame[2]).ok_or_else(|| codec_bad_class(frame[2]))?;
     let wire_len = u32::from_le_bytes([frame[3], frame[4], frame[5], frame[6]]);
     let body = Bytes::copy_from_slice(&frame[HEADER..]);
     let wire_len = wire_len.max(body.len() as u32);

@@ -27,7 +27,6 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,7 +35,7 @@ use std::time::Duration;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use sdso_obs::{EventKind, MonoClock, Recorder};
+use sdso_obs::{EventKind, MonoClock, Recorder, THREAD_ROLE_DIALER, THREAD_ROLE_REACTOR};
 
 use crate::deadline::{Backoff, DeadlineQueue};
 use crate::endpoint::{check_peer, Endpoint, NodeId, PeerEvent};
@@ -457,12 +456,12 @@ impl ReactorEndpoint {
     ) -> Result<ReactorEndpoint, NetError> {
         let poller = Poller::new()?;
         let waker = WakeHandle::new()?;
-        poller.add(waker.raw_fd(), TOKEN_WAKER, Interest::READ)?;
+        poller.add(&waker, TOKEN_WAKER, Interest::READ)?;
         let mut listen_addr_inner = None;
         if let Some(l) = &listener {
             listen_addr_inner = l.local_addr().ok();
             l.set_nonblocking(true)?;
-            poller.add(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+            poller.add(l, TOKEN_LISTENER, Interest::READ)?;
         }
         let shared = Shared::new(num_nodes);
         let mut conns: Vec<Option<Conn>> = Vec::with_capacity(num_nodes);
@@ -471,7 +470,7 @@ impl ReactorEndpoint {
                 None => conns.push(None),
                 Some(s) => {
                     s.set_nonblocking(true)?;
-                    poller.add(s.as_raw_fd(), peer as u64, Interest::READ)?;
+                    poller.add(&s, peer as u64, Interest::READ)?;
                     shared.link_up[peer].store(true, Ordering::SeqCst);
                     conns.push(Some(Conn::new(s)));
                 }
@@ -713,6 +712,18 @@ impl Endpoint for ReactorEndpoint {
 
     fn attach_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+        // The poll and dialer threads were spawned before any recorder
+        // existed; announce them now. Attachment happens-before everything
+        // the recorder sees from either thread, so the edge is sound.
+        let at = self.clock.micros();
+        self.recorder.record(
+            at,
+            EventKind::ThreadSpawn,
+            u32::from(self.id),
+            THREAD_ROLE_REACTOR,
+            0,
+        );
+        self.recorder.record(at, EventKind::ThreadSpawn, u32::from(self.id), THREAD_ROLE_DIALER, 0);
     }
 
     fn remove_peer(&mut self, peer: NodeId) {
@@ -756,9 +767,23 @@ impl Drop for ReactorEndpoint {
         self.waker.wake();
         if let Some(t) = self.reactor.take() {
             let _ = t.join();
+            self.recorder.record(
+                self.clock.micros(),
+                EventKind::ThreadJoin,
+                u32::from(self.id),
+                THREAD_ROLE_REACTOR,
+                0,
+            );
         }
         if let Some(t) = self.dialer.take() {
             let _ = t.join();
+            self.recorder.record(
+                self.clock.micros(),
+                EventKind::ThreadJoin,
+                u32::from(self.id),
+                THREAD_ROLE_DIALER,
+                0,
+            );
         }
     }
 }
@@ -924,7 +949,7 @@ impl Reactor {
         match stream {
             Ok(s) => {
                 if s.set_nonblocking(true).is_err()
-                    || self.poller.add(s.as_raw_fd(), peer as u64, Interest::READ).is_err()
+                    || self.poller.add(&s, peer as u64, Interest::READ).is_err()
                 {
                     self.dial_failed(peer);
                     return;
@@ -972,7 +997,7 @@ impl Reactor {
     /// incarnation of the link unless the peer is gone for good.
     fn teardown(&mut self, peer: usize) {
         let Some(conn) = self.conns[peer].take() else { return };
-        self.poller.delete(conn.stream.as_raw_fd());
+        self.poller.delete(&conn.stream);
         let _ = conn.stream.shutdown(Shutdown::Both);
         crate::pool::global().put(conn.wbuf);
         self.shared.link_up[peer].store(false, Ordering::SeqCst);
@@ -1000,7 +1025,7 @@ impl Reactor {
                 let want = conn.woff < conn.wbuf.len() || !self.queues[peer].is_empty();
                 if want != conn.want_write {
                     let interest = if want { Interest::READ_WRITE } else { Interest::READ };
-                    if self.poller.modify(conn.stream.as_raw_fd(), peer as u64, interest).is_ok() {
+                    if self.poller.modify(&conn.stream, peer as u64, interest).is_ok() {
                         conn.want_write = want;
                     }
                 }
@@ -1106,7 +1131,7 @@ impl Reactor {
                         }
                     };
                     let token = TOKEN_PENDING_BASE + idx as u64;
-                    if self.poller.add(stream.as_raw_fd(), token, Interest::READ).is_ok() {
+                    if self.poller.add(&stream, token, Interest::READ).is_ok() {
                         self.pending[idx] = Some(PendingConn { stream, got: [0; 2], len: 0 });
                     }
                 }
@@ -1124,7 +1149,7 @@ impl Reactor {
         loop {
             match p.stream.read(&mut p.got[p.len..]) {
                 Ok(0) => {
-                    self.poller.delete(p.stream.as_raw_fd());
+                    self.poller.delete(&p.stream);
                     return; // handshake never arrived
                 }
                 Ok(got) => {
@@ -1140,7 +1165,7 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => {
-                    self.poller.delete(p.stream.as_raw_fd());
+                    self.poller.delete(&p.stream);
                     return;
                 }
             }
@@ -1152,18 +1177,18 @@ impl Reactor {
         let pu = usize::from(peer);
         // Re-dials always come from the higher-id (dialling) side.
         if pu >= self.n || peer <= self.me || !self.has_link[pu] {
-            self.poller.delete(p.stream.as_raw_fd());
+            self.poller.delete(&p.stream);
             return;
         }
         // Quietly retire any stale incarnation of the link: the Down/Up pair
         // is only meaningful when connectivity was actually interrupted.
         if let Some(old) = self.conns[pu].take() {
-            self.poller.delete(old.stream.as_raw_fd());
+            self.poller.delete(&old.stream);
             let _ = old.stream.shutdown(Shutdown::Both);
             crate::pool::global().put(old.wbuf);
         }
-        if self.poller.modify(p.stream.as_raw_fd(), pu as u64, Interest::READ).is_err() {
-            self.poller.delete(p.stream.as_raw_fd());
+        if self.poller.modify(&p.stream, pu as u64, Interest::READ).is_err() {
+            self.poller.delete(&p.stream);
             return;
         }
         self.conns[pu] = Some(Conn::new(p.stream));
@@ -1185,18 +1210,21 @@ impl Reactor {
             // timeout surfaces as `WouldBlock`, which `fill_and_write`
             // treats as "done for now").
             if (conn.woff < conn.wbuf.len() || !self.queues[peer].is_empty())
+                // Deliberate: a bounded blocking flush once, at teardown,
+                // after the poll loop has exited — not on the event path
+                // (allowlisted in no-blocking-in-reactor.allow).
                 && conn.stream.set_nonblocking(false).is_ok()
             {
                 let _ = conn.stream.set_write_timeout(Some(Duration::from_millis(250)));
                 let _ = fill_and_write(&mut conn, &mut self.queues[peer], &self.shared, peer);
             }
-            self.poller.delete(conn.stream.as_raw_fd());
+            self.poller.delete(&conn.stream);
             let _ = conn.stream.shutdown(Shutdown::Both);
             crate::pool::global().put(conn.wbuf);
         }
         for pending in self.pending.iter_mut() {
             if let Some(p) = pending.take() {
-                self.poller.delete(p.stream.as_raw_fd());
+                self.poller.delete(&p.stream);
             }
         }
         self.listener = None;

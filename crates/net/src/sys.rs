@@ -11,6 +11,26 @@
 //! Non-Linux builds compile this module away (`#[cfg(target_os = "linux")]`
 //! at the `mod` site); the reactor constructors then return
 //! [`NetError::Io`](crate::NetError::Io) with `Unsupported`.
+//!
+//! ## Safety audit
+//!
+//! This is the workspace's only FFI module; `sdso-check`'s `unsafe-audit`
+//! rule requires this table to enumerate every foreign entry point and its
+//! soundness argument, and a `// SAFETY:` comment at each `unsafe` use.
+//!
+//! | entry point     | contract                                            |
+//! |-----------------|-----------------------------------------------------|
+//! | `epoll_create1` | no pointers; returns an fd or -1 (checked by `cvt`) |
+//! | `epoll_ctl`     | `event` points at a live `EpollEvent` for the call  |
+//! | `epoll_wait`    | `events` points at `maxevents` writable records     |
+//! | `eventfd`       | no pointers; returns an fd or -1 (checked by `cvt`) |
+//! | `getrlimit`     | `rlim` points at a live, writable `Rlimit`          |
+//! | `setrlimit`     | `rlim` points at a live, readable `Rlimit`          |
+//!
+//! Every fd obtained here is wrapped in an owning type (`OwnedFd`, `File`)
+//! in the same expression, so close-on-drop is never forgotten and no raw
+//! fd escapes this module (`fd-ownership` enforces the same property for
+//! the rest of `sdso-net`).
 
 use std::fs::File;
 use std::io::{Read, Write};
@@ -138,37 +158,65 @@ impl Poller {
     ///
     /// Propagates the `epoll_create1` errno.
     pub fn new() -> Result<Poller, NetError> {
+        // SAFETY: `epoll_create1` takes no pointers; `cvt` rejects -1, so
+        // `from_raw_fd` wraps a live fd this process exclusively owns.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: see above — `fd` is a freshly created, owned descriptor.
         Ok(Poller { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
     }
 
-    /// Registers `fd` under `token` with the given interest.
+    /// Registers `source` under `token` with the given interest.
+    ///
+    /// Taking `&impl AsRawFd` (not a `RawFd`) keeps the borrow of the
+    /// owning socket alive across the call, so the fd cannot be closed
+    /// while the kernel is being told about it.
     ///
     /// # Errors
     ///
     /// Propagates the `epoll_ctl` errno.
-    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), NetError> {
+    pub fn add(
+        &self,
+        source: &impl AsRawFd,
+        token: u64,
+        interest: Interest,
+    ) -> Result<(), NetError> {
         let mut ev = EpollEvent { events: interest.mask(), data: token };
-        cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut ev) })?;
+        // SAFETY: `ev` is a live local for the duration of the call; both
+        // fds are borrowed from owning types and thus open.
+        cvt(unsafe {
+            epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_ADD, source.as_raw_fd(), &mut ev)
+        })?;
         Ok(())
     }
 
-    /// Changes the interest set of an already-registered `fd`.
+    /// Changes the interest set of an already-registered `source`.
     ///
     /// # Errors
     ///
     /// Propagates the `epoll_ctl` errno.
-    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), NetError> {
+    pub fn modify(
+        &self,
+        source: &impl AsRawFd,
+        token: u64,
+        interest: Interest,
+    ) -> Result<(), NetError> {
         let mut ev = EpollEvent { events: interest.mask(), data: token };
-        cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_MOD, fd, &mut ev) })?;
+        // SAFETY: `ev` is a live local for the duration of the call; both
+        // fds are borrowed from owning types and thus open.
+        cvt(unsafe {
+            epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_MOD, source.as_raw_fd(), &mut ev)
+        })?;
         Ok(())
     }
 
-    /// Deregisters `fd`. Errors are swallowed: the fd may already be gone,
-    /// and deregistration is always followed by closing it anyway.
-    pub fn delete(&self, fd: RawFd) {
+    /// Deregisters `source`. Errors are swallowed: the fd may already be
+    /// gone, and deregistration is always followed by closing it anyway.
+    pub fn delete(&self, source: &impl AsRawFd) {
         let mut ev = EpollEvent { events: 0, data: 0 };
-        let _ = unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+        // SAFETY: `ev` is a live local for the duration of the call; both
+        // fds are borrowed from owning types and thus open.
+        let _ =
+            unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_DEL, source.as_raw_fd(), &mut ev) };
     }
 
     /// Blocks until at least one registered fd is ready or `timeout`
@@ -188,6 +236,8 @@ impl Poller {
             Some(d) => i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX),
         };
         let n = loop {
+            // SAFETY: `events` is a live stack array of MAX_EVENTS
+            // records and the kernel writes at most `maxevents` of them.
             let ret = unsafe {
                 epoll_wait(
                     self.epfd.as_raw_fd(),
@@ -233,14 +283,12 @@ impl WakeHandle {
     ///
     /// Propagates the `eventfd` errno.
     pub fn new() -> Result<WakeHandle, NetError> {
+        // SAFETY: `eventfd` takes no pointers; `cvt` rejects -1, so
+        // `from_raw_fd` wraps a live fd this process exclusively owns.
         let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: see above — `fd` is a freshly created, owned descriptor.
         let file = unsafe { File::from_raw_fd(fd) };
         Ok(WakeHandle { file: std::sync::Arc::new(file) })
-    }
-
-    /// The fd to register with a [`Poller`].
-    pub fn raw_fd(&self) -> RawFd {
-        self.file.as_raw_fd()
     }
 
     /// Wakes the poll loop. Saturation (`EAGAIN` on a full counter) is
@@ -257,12 +305,21 @@ impl WakeHandle {
     }
 }
 
+impl AsRawFd for WakeHandle {
+    /// Lets a `WakeHandle` be registered with a [`Poller`] directly,
+    /// without ever exposing its raw fd to callers.
+    fn as_raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+}
+
 /// Best-effort bump of `RLIMIT_NOFILE` to at least `want` descriptors (the
 /// 256-peer soak and net bench need ~4 fds per spoke). Never fails the
 /// caller: if the hard limit forbids it, the subsequent `socket()` calls
 /// will report the real error with full context.
 pub fn raise_nofile_limit(want: u64) {
     let mut lim = Rlimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: `lim` is a live, writable local `Rlimit` for the call.
     if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
         return;
     }
@@ -270,6 +327,7 @@ pub fn raise_nofile_limit(want: u64) {
         return;
     }
     let new = Rlimit { rlim_cur: want.min(lim.rlim_max), rlim_max: lim.rlim_max };
+    // SAFETY: `new` is a live, readable local `Rlimit` for the call.
     let _ = unsafe { setrlimit(RLIMIT_NOFILE, &new) };
 }
 
@@ -282,7 +340,7 @@ mod tests {
     fn waker_wakes_and_drains() {
         let poller = Poller::new().unwrap();
         let waker = WakeHandle::new().unwrap();
-        poller.add(waker.raw_fd(), 42, Interest::READ).unwrap();
+        poller.add(&waker, 42, Interest::READ).unwrap();
 
         let mut out = Vec::new();
         // Nothing pending: times out.
@@ -308,7 +366,7 @@ mod tests {
         server.set_nonblocking(true).unwrap();
 
         let poller = Poller::new().unwrap();
-        poller.add(server.as_raw_fd(), 7, Interest::READ).unwrap();
+        poller.add(&server, 7, Interest::READ).unwrap();
 
         use std::io::Write as _;
         client.write_all(b"x").unwrap();
@@ -317,12 +375,12 @@ mod tests {
         assert!(out.iter().any(|r| r.token == 7 && r.readable));
 
         // Adding write interest reports writable immediately (empty buffer).
-        poller.modify(server.as_raw_fd(), 7, Interest::READ_WRITE).unwrap();
+        poller.modify(&server, 7, Interest::READ_WRITE).unwrap();
         out.clear();
         poller.wait(&mut out, Some(Duration::from_secs(2))).unwrap();
         assert!(out.iter().any(|r| r.token == 7 && r.writable));
 
-        poller.delete(server.as_raw_fd());
+        poller.delete(&server);
     }
 
     #[test]
@@ -331,7 +389,7 @@ mod tests {
         let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (server, _) = listener.accept().unwrap();
         let poller = Poller::new().unwrap();
-        poller.add(server.as_raw_fd(), 1, Interest::READ).unwrap();
+        poller.add(&server, 1, Interest::READ).unwrap();
         drop(client);
         let mut out = Vec::new();
         poller.wait(&mut out, Some(Duration::from_secs(2))).unwrap();

@@ -51,10 +51,32 @@ pub enum EventKind {
     /// single write. `(peer, msgs_in_batch, wire_bytes)`. Emitted *in
     /// addition to* the per-message `Send` events.
     BatchSend = 17,
+    /// This node spawned a helper thread, or another node's worker thread
+    /// was spawned on this node's behalf. `(child, role, 0)` where `child`
+    /// is the spawned node/thread id and `role` tags the thread's job
+    /// (see `THREAD_ROLE_*`). The spawn happens-before everything the
+    /// child records.
+    ThreadSpawn = 18,
+    /// This node joined a previously spawned thread. `(child, role, 0)`.
+    /// Everything the child recorded happens-before the join.
+    ThreadJoin = 19,
+    /// A shared object was read through the runtime. `(object, version_lo32, 0)`.
+    ObjectRead = 20,
+    /// A shared object was written through the runtime.
+    /// `(object, version_lo32, bytes)`.
+    ObjectWrite = 21,
 }
 
 /// Number of distinct event kinds (size of the per-kind counter array).
-pub const KIND_COUNT: usize = 18;
+pub const KIND_COUNT: usize = 22;
+
+/// `ThreadSpawn`/`ThreadJoin` role operand: a transport poll/reactor thread.
+pub const THREAD_ROLE_REACTOR: u32 = 1;
+/// `ThreadSpawn`/`ThreadJoin` role operand: a transport dialer thread.
+pub const THREAD_ROLE_DIALER: u32 = 2;
+/// `ThreadSpawn`/`ThreadJoin` role operand: a test/application worker
+/// running another node's endpoint (the operand `a` is that node's id).
+pub const THREAD_ROLE_WORKER: u32 = 3;
 
 impl EventKind {
     /// Every kind, indexable by its `u8` value.
@@ -77,6 +99,10 @@ impl EventKind {
         EventKind::SnapshotInstall,
         EventKind::PeerDown,
         EventKind::BatchSend,
+        EventKind::ThreadSpawn,
+        EventKind::ThreadJoin,
+        EventKind::ObjectRead,
+        EventKind::ObjectWrite,
     ];
 
     /// Stable lower-case name used by exporters and dumps.
@@ -100,6 +126,10 @@ impl EventKind {
             EventKind::SnapshotInstall => "snapshot_install",
             EventKind::PeerDown => "peer_down",
             EventKind::BatchSend => "batch_send",
+            EventKind::ThreadSpawn => "thread_spawn",
+            EventKind::ThreadJoin => "thread_join",
+            EventKind::ObjectRead => "object_read",
+            EventKind::ObjectWrite => "object_write",
         }
     }
 }

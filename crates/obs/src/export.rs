@@ -207,11 +207,71 @@ pub fn chrome_trace(nodes: &[(u16, Vec<EventRecord>)]) -> String {
                     &mut out,
                     &mut first,
                 ),
-                EventKind::Send | EventKind::Recv => {}
+                EventKind::ThreadSpawn => emit(
+                    instant(
+                        tid,
+                        "thread_spawn",
+                        ev.at,
+                        &format!("\"child\":{},\"role\":{}", ev.a, ev.b),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::ThreadJoin => emit(
+                    instant(
+                        tid,
+                        "thread_join",
+                        ev.at,
+                        &format!("\"child\":{},\"role\":{}", ev.a, ev.b),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                // Like Send/Recv, per-access object events dominate volume
+                // without adding visual information; the race checker reads
+                // them from the event log instead.
+                EventKind::Send
+                | EventKind::Recv
+                | EventKind::ObjectRead
+                | EventKind::ObjectWrite => {}
             }
         }
     }
 
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders per-node event rings as the raw event-log JSON consumed by
+/// `sdso-check race`: every record verbatim as a `[at, kind, a, b, c]`
+/// tuple, plus the per-node drop count so the checker knows when the ring
+/// truncated history (dropped prefixes weaken, but do not invalidate,
+/// happens-before edges).
+///
+/// Each input tuple is `(node, dropped, events)`, events oldest-first.
+/// The format is versioned and append-only:
+///
+/// ```json
+/// {"version":1,"nodes":[{"node":0,"dropped":0,"events":[[12,8,1,0,64]]}]}
+/// ```
+pub fn event_log(nodes: &[(u16, u64, Vec<EventRecord>)]) -> String {
+    let mut out = String::from("{\"version\":1,\"nodes\":[\n");
+    for (i, (node, dropped, events)) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "{{\"node\":{node},\"dropped\":{dropped},\"events\":[");
+        for (j, ev) in events.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            if j % 16 == 0 {
+                out.push('\n');
+            }
+            let _ = write!(out, "[{},{},{},{},{}]", ev.at, ev.kind as u8, ev.a, ev.b, ev.c);
+        }
+        out.push_str("]}");
+    }
     out.push_str("\n]}\n");
     out
 }
@@ -322,6 +382,24 @@ mod tests {
         let json = chrome_trace(&[(0, events)]);
         assert!(!json.contains("\"name\":\"exchange\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn event_log_round_trips_records_verbatim() {
+        let events = vec![
+            ev(12, EventKind::Send, 1, 0, 64),
+            ev(15, EventKind::ThreadSpawn, 3, 3, 0),
+            ev(20, EventKind::ObjectWrite, 7, 2, 128),
+        ];
+        let json = event_log(&[(0, 0, events), (1, 5, Vec::new())]);
+        assert!(json.starts_with("{\"version\":1"));
+        assert!(json.contains("\"node\":0,\"dropped\":0"));
+        assert!(json.contains("\"node\":1,\"dropped\":5"));
+        assert!(json.contains("[12,8,1,0,64]"));
+        assert!(json.contains("[15,18,3,3,0]"));
+        assert!(json.contains("[20,21,7,2,128]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

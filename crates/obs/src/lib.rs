@@ -26,8 +26,11 @@ mod recorder;
 mod registry;
 
 pub use clock::MonoClock;
-pub use event::{EventKind, EventRecord, FAULT_DELAY, FAULT_DROP, FAULT_DUP, KIND_COUNT};
-pub use export::{chrome_trace, text_histogram_dump};
+pub use event::{
+    EventKind, EventRecord, FAULT_DELAY, FAULT_DROP, FAULT_DUP, KIND_COUNT, THREAD_ROLE_DIALER,
+    THREAD_ROLE_REACTOR, THREAD_ROLE_WORKER,
+};
+pub use export::{chrome_trace, event_log, text_histogram_dump};
 pub use recorder::{Recorder, TraceConfig, TraceMode};
 pub use registry::{
     bucket_upper_bound, Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
@@ -113,6 +116,17 @@ impl ObsSet {
     /// A Chrome-trace JSON document covering every node in the set.
     pub fn chrome_trace(&self) -> String {
         chrome_trace(&self.events())
+    }
+
+    /// The raw event-log JSON for `sdso-check race`: every node's ring
+    /// verbatim plus its drop count.
+    pub fn event_log(&self) -> String {
+        let nodes: Vec<(u16, u64, Vec<EventRecord>)> = self
+            .nodes
+            .iter()
+            .map(|obs| (obs.recorder().node(), obs.recorder().dropped(), obs.recorder().events()))
+            .collect();
+        event_log(&nodes)
     }
 
     /// The union of every node's registry snapshot.

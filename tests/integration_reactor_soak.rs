@@ -14,6 +14,12 @@
 //! When `SDSO_SOAK_TRACE` names a file, the merged flight-recorder trace
 //! (Chrome/Perfetto JSON) of every node is written there win or lose; the
 //! CI job uploads it as an artifact when the job fails.
+//!
+//! When `SDSO_SOAK_EVENTS` names a file, tracing switches to full event
+//! recording and the raw per-node event log (the `sdso-check race` input
+//! format) is written there win or lose, with worker spawn/join edges
+//! recorded on the hub's stream so the happens-before replay can order
+//! hub and spokes.
 
 #![cfg(target_os = "linux")]
 
@@ -21,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use sdso_net::reactor::ReactorMesh;
 use sdso_net::{Endpoint, MsgClass, Payload, PeerEvent};
-use sdso_obs::{ObsSet, TraceConfig};
+use sdso_obs::{EventKind, MonoClock, ObsSet, TraceConfig, THREAD_ROLE_WORKER};
 
 /// One spoke's ping body: spoke id + sequence number, echoed verbatim by
 /// the hub.
@@ -43,10 +49,22 @@ fn run_soak(spokes: usize, pings: u32, deadline: Duration, obs: &ObsSet) -> Resu
     }
     let mut hub = endpoints.remove(0);
     let started = Instant::now();
+    // The soak harness plays the part of node 0's application thread:
+    // record that it spawns (and later joins) one worker per spoke, so an
+    // exported event log carries the cross-stream happens-before edges.
+    let clock = MonoClock::new();
+    let hub_rec = obs.node(0).recorder().clone();
 
     let spoke_handles: Vec<_> = endpoints
         .into_iter()
         .map(|mut ep| {
+            hub_rec.record(
+                clock.micros(),
+                EventKind::ThreadSpawn,
+                u32::from(ep.node_id()),
+                THREAD_ROLE_WORKER,
+                0,
+            );
             // The thread hands its endpoint back so every link stays open
             // until after the hub's no-flap check — otherwise spoke exits
             // race the check as legitimate teardown Downs.
@@ -101,7 +119,15 @@ fn run_soak(spokes: usize, pings: u32, deadline: Duration, obs: &ObsSet) -> Resu
 
     let mut spoke_endpoints = Vec::with_capacity(spokes);
     for handle in spoke_handles {
-        spoke_endpoints.push(handle.join().map_err(|_| "spoke thread panicked".to_string())??);
+        let ep = handle.join().map_err(|_| "spoke thread panicked".to_string())??;
+        hub_rec.record(
+            clock.micros(),
+            EventKind::ThreadJoin,
+            u32::from(ep.node_id()),
+            THREAD_ROLE_WORKER,
+            0,
+        );
+        spoke_endpoints.push(ep);
     }
     // Every link must have stayed up for the whole soak: a single Down is
     // a reactor bug (nothing in this test closes a connection).
@@ -118,18 +144,30 @@ fn run_soak(spokes: usize, pings: u32, deadline: Duration, obs: &ObsSet) -> Resu
     Ok(())
 }
 
-/// Runs a soak and, when `SDSO_SOAK_TRACE` is set, writes the merged
-/// flight-recorder trace there before reporting the outcome.
+/// Runs a soak and, when `SDSO_SOAK_TRACE` / `SDSO_SOAK_EVENTS` are set,
+/// writes the merged flight-recorder trace / raw event log there before
+/// reporting the outcome.
 fn soak_with_trace(spokes: usize, pings: u32, deadline: Duration) {
     let n = spokes + 1;
-    let obs = ObsSet::new(n as u16, TraceConfig::counters());
+    let events_path = std::env::var("SDSO_SOAK_EVENTS").ok().filter(|p| !p.is_empty());
+    // Full recording only when the event log is wanted: the ring must hold
+    // every send/recv of the busiest node (the hub sees 2 events per ping
+    // per spoke, plus batching and teardown).
+    let config = if events_path.is_some() {
+        TraceConfig::full_with_capacity((spokes * pings as usize * 4).max(64 * 1024))
+    } else {
+        TraceConfig::counters()
+    };
+    let obs = ObsSet::new(n as u16, config);
     let outcome = run_soak(spokes, pings, deadline, &obs);
+    // Best-effort: a trace-write failure must not mask the soak verdict.
     if let Ok(path) = std::env::var("SDSO_SOAK_TRACE") {
         if !path.is_empty() {
-            // Best-effort: a trace-write failure must not mask the soak
-            // verdict.
             let _ = std::fs::write(&path, obs.chrome_trace());
         }
+    }
+    if let Some(path) = events_path {
+        let _ = std::fs::write(&path, obs.event_log());
     }
     if let Err(why) = outcome {
         panic!("reactor soak ({spokes} spokes, {pings} pings) failed: {why}");
