@@ -7,6 +7,8 @@
 //! cargo run --release -p sdso-bench --bin perf -- micro check  [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- net record [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- net check  [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- shard record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- shard check  [FLAGS]
 //!
 //! COMMANDS
 //!   record        Run the fixed scenario matrix and write a new baseline
@@ -20,11 +22,16 @@
 //!   net check     Run the same exchange, compare work metrics and p99
 //!                 against the committed BENCH_3.json, and enforce the
 //!                 reactor >= threaded-throughput parity floor fresh
+//!   shard record  Run the sharded-vs-mesh scale pairings (64 and 256
+//!                 nodes, steady-state windows), write BENCH_4.json
+//!   shard check   Run the same pairings, compare work metrics against
+//!                 the committed BENCH_4.json, and enforce the traffic
+//!                 ratio ceilings + sub-linear growth cap fresh
 //!
 //! FLAGS
 //!   --out FILE        record: where to write the baseline (default
 //!                     BENCH_0.json; BENCH_2.json for micro, BENCH_3.json
-//!                     for net)
+//!                     for net, BENCH_4.json for shard)
 //!   --baseline FILE   check: baseline to compare against (same defaults)
 //!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
 //!   --ticks N         iterations per process (default 120; check inherits
@@ -50,6 +57,7 @@ use sdso_bench::micro::{self, MicroReport, MICRO_SPEEDUP_FLOOR};
 use sdso_bench::netbench::{
     run_net_suite, NetReport, NET_DEFAULT_PINGS, NET_DEFAULT_SPOKES, NET_PARITY_FLOOR,
 };
+use sdso_bench::shardbench::{run_shard_suite, ShardReport};
 use sdso_game::{Protocol, Scenario};
 use sdso_harness::run_experiment_obs;
 use sdso_net::TraceConfig;
@@ -162,7 +170,9 @@ fn usage() -> ! {
         \x20      perf micro record [--out FILE]\n\
         \x20      perf micro check  [--baseline FILE] [--tolerance F]\n\
         \x20      perf net record [--out FILE] [--spokes N] [--pings N]\n\
-        \x20      perf net check  [--baseline FILE] [--tolerance F]"
+        \x20      perf net check  [--baseline FILE] [--tolerance F]\n\
+        \x20      perf shard record [--out FILE]\n\
+        \x20      perf shard check  [--baseline FILE] [--tolerance F]"
     );
     std::process::exit(2)
 }
@@ -172,7 +182,7 @@ fn main() {
     let Some(first) = args.first() else { usage() };
     // `micro record` / `micro check` fold into one command token; the
     // shared flag loop then applies with micro-suite defaults.
-    let (command, flags_from) = if first == "micro" || first == "net" {
+    let (command, flags_from) = if first == "micro" || first == "net" || first == "shard" {
         match args.get(1).map(String::as_str) {
             Some("record") => (format!("{first}-record"), 2),
             Some("check") => (format!("{first}-check"), 2),
@@ -185,6 +195,8 @@ fn main() {
         "BENCH_2.json"
     } else if first == "net" {
         "BENCH_3.json"
+    } else if first == "shard" {
+        "BENCH_4.json"
     } else {
         "BENCH_0.json"
     };
@@ -232,6 +244,8 @@ fn main() {
             pings.unwrap_or(NET_DEFAULT_PINGS),
         ),
         "net-check" => cmd_net_check(&baseline_path, tolerance, spokes, pings),
+        "shard-record" => cmd_shard_record(&out),
+        "shard-check" => cmd_shard_check(&baseline_path, tolerance),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -392,6 +406,60 @@ fn cmd_net_check(
             eprintln!("FAIL {v}");
         }
         Err(format!("{} net checks failed against {baseline_path}", violations.len()))
+    }
+}
+
+fn cmd_shard_record(out: &str) -> Result<(), String> {
+    eprintln!("recording shard scale baseline (sharded vs full-mesh MSYNC2):");
+    let report = run_shard_suite()?;
+    let contract = report.contract_violations();
+    if !contract.is_empty() {
+        for v in &contract {
+            eprintln!("FAIL {v}");
+        }
+        return Err(format!(
+            "refusing to record a baseline that breaks the scale contract \
+             ({} violations)",
+            contract.len()
+        ));
+    }
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("shard baseline written to {out} ({} cells)", report.cells.len());
+    Ok(())
+}
+
+fn cmd_shard_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = read_baseline(baseline_path, "shard record")?;
+    let baseline = ShardReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    eprintln!(
+        "checking shard scaling against {baseline_path} ({} cells, ±{:.0}%):",
+        baseline.cells.len(),
+        tolerance * 100.0
+    );
+    let current = run_shard_suite()?;
+    let mut violations = baseline.compare(&current, tolerance);
+    // The scale contract, enforced fresh: ratio ceilings per cluster
+    // size, sub-linear growth, and non-trivial suppression. The sim is
+    // deterministic, so these are exact — any breach is a real change.
+    violations.extend(current.contract_violations());
+    if violations.is_empty() {
+        println!(
+            "perf shard passed: {} cells within ±{:.0}% of {baseline_path}",
+            baseline.cells.len(),
+            tolerance * 100.0
+        );
+        for c in &current.cells {
+            println!(
+                "  n={}: sharded {:.0} B/node-tick vs mesh {:.0} (ratio {:.3})",
+                c.nodes, c.sharded_bytes_per_node_tick, c.mesh_bytes_per_node_tick, c.traffic_ratio
+            );
+        }
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!("{} shard checks failed against {baseline_path}", violations.len()))
     }
 }
 

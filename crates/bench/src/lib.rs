@@ -13,3 +13,4 @@ pub mod baseline;
 pub mod json;
 pub mod micro;
 pub mod netbench;
+pub mod shardbench;

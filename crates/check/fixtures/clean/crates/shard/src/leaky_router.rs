@@ -1,0 +1,22 @@
+//! Fixture: the bug-removed twin of the violations leaky_router.rs —
+//! the decision consults the peer's interest set before shipping, so a
+//! diff crosses a region boundary only toward peers whose sensing range
+//! covers it (must lint clean).
+
+use std::collections::BTreeMap;
+
+pub struct InterestedRouter {
+    pub cells: u32,
+    pub interest: BTreeMap<u16, (u32, u32)>,
+}
+
+impl InterestedRouter {
+    pub fn routes(&self, peer: u16, object: u32) -> bool {
+        match self.interest.get(&peer) {
+            Some(&(lo, hi)) => object >= lo && object < hi,
+            // An unobserved peer conservatively receives everything:
+            // routing defers traffic, it must never lose it.
+            None => object < self.cells,
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a leaked-cross-region-diff router (must trip
+//! `region-routing`). The decision checks only that the object falls on
+//! the lattice and never consults the peer's interest set, so every
+//! live diff ships to every peer — full-mesh traffic wearing a sharded
+//! protocol's name.
+
+pub struct LeakyRouter {
+    pub cells: u32,
+}
+
+impl LeakyRouter {
+    pub fn routes(&self, _peer: u16, object: u32) -> bool {
+        object < self.cells
+    }
+}

@@ -149,6 +149,7 @@ mod tests {
             "unsafe-audit",
             "fd-ownership",
             "no-blocking-in-reactor",
+            "region-routing",
         ] {
             assert!(rules.contains(rule), "fixture must trip {rule}; got {rules:?}");
         }

@@ -13,6 +13,7 @@ pub mod lock_order;
 pub mod no_alloc_hot_path;
 pub mod no_blocking_reactor;
 pub mod no_panic;
+pub mod region_routing;
 pub mod unsafe_audit;
 pub mod wall_clock;
 
@@ -91,6 +92,7 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     out.extend(lock_order::check(ctx));
     out.extend(exhaustive_match::check(ctx));
     out.extend(no_alloc_hot_path::check(ctx));
+    out.extend(region_routing::check(ctx));
     out.extend(unsafe_audit::check(ctx));
     out.extend(fd_ownership::check(ctx));
     out

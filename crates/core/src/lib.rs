@@ -75,6 +75,7 @@ mod error;
 mod exchange_list;
 mod metrics;
 mod object;
+mod router;
 mod runtime;
 mod sfunction;
 mod slotted_buffer;
@@ -89,6 +90,7 @@ pub use error::DsoError;
 pub use exchange_list::ExchangeList;
 pub use metrics::DsoMetrics;
 pub use object::{ObjectId, Version};
+pub use router::{DiffRouter, RouteAll};
 pub use runtime::{Event, ExchangeReport, SdsoRuntime, SendMode};
 pub use sdso_member::{Epoch, MemberError, MembershipPlan, MembershipView, ViewChange};
 pub use sdso_obs::{text_histogram_dump, Obs, ObsSet};

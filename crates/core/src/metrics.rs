@@ -35,6 +35,10 @@ pub struct DsoMetrics {
     /// Received messages discarded as duplicates by the reliability
     /// layer's per-link sequencing.
     pub duplicates_dropped: u64,
+    /// Reliability links written off because the transport reported the
+    /// peer permanently disconnected mid-retransmit: the peer finished
+    /// and tore its endpoint down, so its unacked queue is undeliverable.
+    pub links_abandoned: u64,
     /// View changes applied (join/leave barriers crossed).
     pub view_changes: u64,
     /// Rendezvous messages dropped because they were stamped with a stale
@@ -46,6 +50,10 @@ pub struct DsoMetrics {
     /// Sends suppressed because the destination is not a member of the
     /// current view.
     pub non_member_dropped: u64,
+    /// Pending updates withheld from a live multicast exchange because the
+    /// destination's interest set does not cover the object's region (they
+    /// stay buffered and flush at the next broadcast exchange).
+    pub shard_suppressed: u64,
     /// State snapshots pushed to late joiners.
     pub snapshots_sent: u64,
     /// Encoded bytes of snapshot payloads pushed (O(objects), never
@@ -74,10 +82,12 @@ impl DsoMetrics {
             resyncs: self.resyncs + other.resyncs,
             retransmits: self.retransmits + other.retransmits,
             duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
+            links_abandoned: self.links_abandoned + other.links_abandoned,
             view_changes: self.view_changes + other.view_changes,
             cross_epoch_dropped: self.cross_epoch_dropped + other.cross_epoch_dropped,
             slots_compacted: self.slots_compacted + other.slots_compacted,
             non_member_dropped: self.non_member_dropped + other.non_member_dropped,
+            shard_suppressed: self.shard_suppressed + other.shard_suppressed,
             snapshots_sent: self.snapshots_sent + other.snapshots_sent,
             snapshot_bytes: self.snapshot_bytes + other.snapshot_bytes,
             snapshots_installed: self.snapshots_installed + other.snapshots_installed,
@@ -110,10 +120,12 @@ pub(crate) struct DsoCounters {
     pub(crate) resyncs: Counter,
     pub(crate) retransmits: Counter,
     pub(crate) duplicates_dropped: Counter,
+    pub(crate) links_abandoned: Counter,
     pub(crate) view_changes: Counter,
     pub(crate) cross_epoch_dropped: Counter,
     pub(crate) slots_compacted: Counter,
     pub(crate) non_member_dropped: Counter,
+    pub(crate) shard_suppressed: Counter,
     pub(crate) snapshots_sent: Counter,
     pub(crate) snapshot_bytes: Counter,
     pub(crate) snapshots_installed: Counter,
@@ -137,10 +149,12 @@ impl DsoCounters {
             resyncs: registry.counter("dso.resyncs"),
             retransmits: registry.counter("dso.retransmits"),
             duplicates_dropped: registry.counter("dso.duplicates_dropped"),
+            links_abandoned: registry.counter("dso.links_abandoned"),
             view_changes: registry.counter("dso.member.view_changes"),
             cross_epoch_dropped: registry.counter("dso.member.cross_epoch_dropped"),
             slots_compacted: registry.counter("dso.member.slots_compacted"),
             non_member_dropped: registry.counter("dso.member.non_member_dropped"),
+            shard_suppressed: registry.counter("dso.shard.suppressed"),
             snapshots_sent: registry.counter("dso.member.snapshots_sent"),
             snapshot_bytes: registry.counter("dso.member.snapshot_bytes"),
             snapshots_installed: registry.counter("dso.member.snapshots_installed"),
@@ -163,10 +177,12 @@ impl DsoCounters {
             resyncs: self.resyncs.get(),
             retransmits: self.retransmits.get(),
             duplicates_dropped: self.duplicates_dropped.get(),
+            links_abandoned: self.links_abandoned.get(),
             view_changes: self.view_changes.get(),
             cross_epoch_dropped: self.cross_epoch_dropped.get(),
             slots_compacted: self.slots_compacted.get(),
             non_member_dropped: self.non_member_dropped.get(),
+            shard_suppressed: self.shard_suppressed.get(),
             snapshots_sent: self.snapshots_sent.get(),
             snapshot_bytes: self.snapshot_bytes.get(),
             snapshots_installed: self.snapshots_installed.get(),

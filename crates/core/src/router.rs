@@ -1,0 +1,70 @@
+//! The interest-routing hook: which pending diffs a live exchange ships.
+//!
+//! The paper's spatial constraint decides *when* and *with whom* updates
+//! are exchanged (the s-function); a [`DiffRouter`] additionally decides
+//! *which objects'* diffs travel on each live multicast exchange. The
+//! runtime consults it in [`crate::SdsoRuntime::exchange`] for
+//! `SendMode::Multicast` only:
+//!
+//! * slot drains become [`crate::SlottedBuffer::drain_slot_filtered`] —
+//!   out-of-interest objects stay buffered (merged) instead of shipping;
+//! * fresh local modifications are sent only to the due peers whose
+//!   interest covers them, and buffered for everyone else.
+//!
+//! Broadcast exchanges — epoch barriers, the terminal sync — always drain
+//! everything, so routing defers delivery but never loses an update:
+//! final worlds stay bit-identical with and without a router. Suppression
+//! is counted under `dso.shard.suppressed`
+//! ([`crate::DsoMetrics::shard_suppressed`]).
+
+use sdso_net::NodeId;
+
+use crate::clock::LogicalTime;
+use crate::object::ObjectId;
+use crate::store::ObjectStore;
+
+/// Decides, per destination, which objects' diffs a live multicast
+/// exchange ships. Implementations live above the core (the sharding
+/// layer maps objects to regions and peers to interest sets); the runtime
+/// only asks yes/no per `(peer, object)` pair.
+///
+/// Implementations must be conservative: when a peer's interest is
+/// unknown (e.g. its position has not been observed yet), return `true`.
+/// Routing is a sender-local optimisation — it needs no symmetry between
+/// endpoints, because rendezvous `Sync` messages are always sent and the
+/// next broadcast exchange flushes whatever was withheld.
+pub trait DiffRouter: Send + core::fmt::Debug {
+    /// Called once at the start of every multicast exchange with the
+    /// local replica state and the current logical time, so the router
+    /// can refresh its interest map from the same observations the
+    /// s-function uses. The default does nothing.
+    fn observe(&mut self, store: &ObjectStore, now: LogicalTime) {
+        let _ = (store, now);
+    }
+
+    /// Whether `object`'s pending diffs should be shipped to `peer` on
+    /// this exchange. Returning `false` retains them (merged) in the
+    /// peer's slot for a later exchange or broadcast flush.
+    fn routes(&self, peer: NodeId, object: ObjectId) -> bool;
+
+    /// Membership-change notification, mirroring
+    /// [`crate::SFunction::on_view_change`]: interest sets are rebuilt at
+    /// epoch boundaries (they are monotone *within* an epoch), and
+    /// epoch-stamped handoff records can be retired because the barrier's
+    /// broadcast exchange has flushed every slot. The default does
+    /// nothing.
+    fn on_view_change(&mut self, joined: &[NodeId], left: &[NodeId]) {
+        let _ = (joined, left);
+    }
+}
+
+/// A router that ships everything — installing it is equivalent to
+/// installing no router at all. Useful as a default and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteAll;
+
+impl DiffRouter for RouteAll {
+    fn routes(&self, _peer: NodeId, _object: ObjectId) -> bool {
+        true
+    }
+}

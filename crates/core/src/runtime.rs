@@ -11,6 +11,7 @@ use crate::error::DsoError;
 use crate::exchange_list::ExchangeList;
 use crate::metrics::{DsoCounters, DsoMetrics};
 use crate::object::{ObjectId, Version};
+use crate::router::DiffRouter;
 use crate::sfunction::SFunction;
 use crate::slotted_buffer::SlottedBuffer;
 use crate::store::ObjectStore;
@@ -159,6 +160,10 @@ pub struct SdsoRuntime<E: Endpoint> {
     /// install an explicit initial view and advance it at view-change
     /// barriers.
     view: MembershipView,
+    /// Interest router consulted by live multicast exchanges, when one is
+    /// installed (see [`crate::DiffRouter`]). Broadcast exchanges ignore
+    /// it, so barriers and the terminal sync always flush every slot.
+    router: Option<Box<dyn DiffRouter>>,
     /// This node's observability bundle (recorder + registry).
     obs: Obs,
     /// Live `dso.*` counters in the bundle's registry.
@@ -199,6 +204,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
             acks_received: 0,
             arq: config.reliability.map(|cfg| ArqState::new(cfg, n)),
             view: MembershipView::full(n),
+            router: None,
             obs,
             counters,
         }
@@ -260,6 +266,15 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// The exchange list (for inspection by tests and protocol layers).
     pub fn exchange_list(&self) -> &ExchangeList {
         &self.exchange_list
+    }
+
+    /// Installs (or, with `None`, removes) the interest router consulted
+    /// by live multicast exchanges. Pending updates the router suppresses
+    /// stay buffered (merged) in the destination's slot and flush at the
+    /// next broadcast exchange, so convergence is unaffected — only live
+    /// traffic shrinks to the interest set.
+    pub fn set_diff_router(&mut self, router: Option<Box<dyn DiffRouter>>) {
+        self.router = router;
     }
 
     // ------------------------------------------------------------------
@@ -371,6 +386,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let joined: Vec<NodeId> = change.joined.iter().copied().collect();
         let left: Vec<NodeId> = change.left.iter().copied().collect();
         sfunc.on_view_change(&joined, &left);
+        if let Some(router) = &mut self.router {
+            router.on_view_change(&joined, &left);
+        }
         self.counters.view_changes.inc();
         self.obs.record(
             self.endpoint.now().as_micros(),
@@ -720,23 +738,48 @@ impl<E: Endpoint> SdsoRuntime<E> {
             0,
         );
 
+        // An installed interest router filters *live* multicast traffic
+        // down to each peer's interest set; broadcast exchanges (epoch
+        // barriers, the terminal sync) always flush everything, which is
+        // what keeps routing a pure deferral rather than a loss.
+        let route_live = matches!(how, SendMode::Multicast) && self.router.is_some();
+        if route_live {
+            if let Some(router) = &mut self.router {
+                router.observe(&self.store, t);
+            }
+        }
+
         // Ship (data, SYNC) pairs to every due peer: its slot content plus
-        // this interval's modifications.
+        // this interval's modifications (both interest-filtered when a
+        // router is active).
         let current: Vec<(ObjectId, (Diff, Version))> =
             std::mem::take(&mut self.current_mods).into_iter().collect();
         let mut updates_sent = 0usize;
+        let mut suppressed = 0u64;
         for &peer in &due {
-            let mut updates: Vec<WireUpdate> = self
-                .buffer
-                .drain_slot(peer)
-                .into_iter()
-                .map(|p| WireUpdate { object: p.object, diff: p.diff, version: p.version })
-                .collect();
-            updates.extend(current.iter().map(|(object, (diff, version))| WireUpdate {
-                object: *object,
-                diff: diff.clone(),
-                version: *version,
-            }));
+            let mut updates: Vec<WireUpdate> = {
+                let buffer = &mut self.buffer;
+                match self.router.as_deref().filter(|_| route_live) {
+                    Some(router) => buffer.drain_slot_filtered(peer, |o| router.routes(peer, o)),
+                    None => buffer.drain_slot(peer),
+                }
+            }
+            .into_iter()
+            .map(|p| WireUpdate { object: p.object, diff: p.diff, version: p.version })
+            .collect();
+            if route_live {
+                suppressed += self.buffer.slot_len(peer) as u64;
+            }
+            for (object, (diff, version)) in &current {
+                match self.router.as_deref().filter(|_| route_live) {
+                    Some(router) if !router.routes(peer, *object) => suppressed += 1,
+                    _ => updates.push(WireUpdate {
+                        object: *object,
+                        diff: diff.clone(),
+                        version: *version,
+                    }),
+                }
+            }
             updates_sent += updates.len();
             let epoch = self.view.epoch();
             let mut msgs = Vec::with_capacity(2);
@@ -746,11 +789,23 @@ impl<E: Endpoint> SdsoRuntime<E> {
             msgs.push(DsoMessage::Sync { epoch, time: t });
             self.send_msgs(peer, msgs)?;
         }
+        if suppressed > 0 {
+            self.counters.shard_suppressed.add(suppressed);
+        }
 
         // Buffer this interval's modifications for everyone not exchanged
-        // with now.
+        // with now — including due peers whose interest excluded an object,
+        // so the next broadcast (or an interest-covered later exchange)
+        // still delivers it.
         for (object, (diff, version)) in &current {
-            self.buffer.buffer_for_all(*object, diff, *version, &due);
+            match self.router.as_deref().filter(|_| route_live) {
+                Some(router) => {
+                    let recipients: Vec<NodeId> =
+                        due.iter().copied().filter(|&p| router.routes(p, *object)).collect();
+                    self.buffer.buffer_for_all(*object, diff, *version, &recipients);
+                }
+                None => self.buffer.buffer_for_all(*object, diff, *version, &due),
+            }
         }
         let _ = me;
 
@@ -973,9 +1028,14 @@ impl<E: Endpoint> SdsoRuntime<E> {
                     self.counters.duplicates_dropped.inc();
                 }
                 // Cumulative ack; doubles as a gap report when `seq` ran
-                // ahead of `rx_next`.
+                // ahead of `rx_next`. The sender may have exited between
+                // emitting the frame and our ack (its frame sat in our rx
+                // queue) — an ack nobody is left to consume is not owed.
                 let ack = DsoMessage::SeqAck { next: arq.rx_next[p] };
-                self.send_msg(from, ack)?;
+                match self.send_msg(from, ack) {
+                    Err(DsoError::Net(NetError::Disconnected)) => {}
+                    other => other?,
+                }
                 Ok(delivered)
             }
             DsoMessage::SeqAck { next } => {
@@ -1094,9 +1154,29 @@ impl<E: Endpoint> SdsoRuntime<E> {
             );
             let payload = DsoMessage::Env { seq, inner: Box::new(inner) }
                 .into_payload(self.config.frame_wire_len);
-            self.endpoint.send(peer, payload).map_err(DsoError::Net)?;
+            self.send_retransmit(peer, payload)?;
         }
         Ok(())
+    }
+
+    /// One retransmission send. A permanently disconnected peer has
+    /// finished its run and torn its endpoint down — every exchange it
+    /// owed this process completed, so its unacked queue is residue (acks
+    /// lost in the shutdown race), not recoverable traffic. Write the
+    /// link off instead of turning every subsequent timeout into a fatal
+    /// transport error.
+    fn send_retransmit(&mut self, peer: NodeId, payload: Payload) -> Result<(), DsoError> {
+        match self.endpoint.send(peer, payload) {
+            Ok(()) => Ok(()),
+            Err(NetError::Disconnected) => {
+                self.counters.links_abandoned.inc();
+                if let Some(arq) = &mut self.arq {
+                    arq.unacked[usize::from(peer)].clear();
+                }
+                Ok(())
+            }
+            Err(e) => Err(DsoError::Net(e)),
+        }
     }
 
     /// Drains the reliability link toward a departing peer: waits
@@ -1161,7 +1241,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
             );
             let payload = DsoMessage::Env { seq, inner: Box::new(inner) }
                 .into_payload(self.config.frame_wire_len);
-            self.endpoint.send(peer, payload).map_err(DsoError::Net)?;
+            self.send_retransmit(peer, payload)?;
         }
         Ok(())
     }

@@ -108,6 +108,41 @@ impl SlottedBuffer {
         std::mem::take(slot).into_values().flatten().collect()
     }
 
+    /// Drains only the pending updates for `peer` whose object satisfies
+    /// `ship`, returning them in object order and *retaining* the rest in
+    /// the slot (still merged, so the retained tail stays bounded by the
+    /// object count when merging is on).
+    ///
+    /// This is the interest-routing drain: a live multicast exchange ships
+    /// only the objects inside the peer's interest set; everything else
+    /// stays buffered and is flushed by the next broadcast exchange (epoch
+    /// barriers and the terminal sync), which uses the unfiltered
+    /// [`SlottedBuffer::drain_slot`]. No update is ever dropped — routing
+    /// only defers delivery, so final worlds stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the local process or out of range.
+    pub fn drain_slot_filtered(
+        &mut self,
+        peer: NodeId,
+        mut ship: impl FnMut(ObjectId) -> bool,
+    ) -> Vec<PendingUpdate> {
+        let slot = self.slots[usize::from(peer)]
+            .as_mut()
+            .expect("drain_slot_filtered: peer must be remote");
+        let mut shipped = Vec::new();
+        let retained = std::mem::take(slot);
+        for (object, updates) in retained {
+            if ship(object) {
+                shipped.extend(updates);
+            } else {
+                slot.insert(object, updates);
+            }
+        }
+        shipped
+    }
+
     /// Number of pending updates for `peer`.
     ///
     /// # Panics
@@ -319,6 +354,49 @@ mod tests {
     fn adding_an_active_peer_panics() {
         let mut b = buf();
         b.add_peer(0);
+    }
+
+    #[test]
+    fn filtered_drain_ships_matching_and_retains_the_rest() {
+        let mut b = buf();
+        b.buffer_for_all(ObjectId(1), &Diff::single(0, vec![1]), v(1, 1), &[]);
+        b.buffer_for_all(ObjectId(2), &Diff::single(0, vec![2]), v(2, 1), &[]);
+        b.buffer_for_all(ObjectId(3), &Diff::single(0, vec![3]), v(3, 1), &[]);
+        let shipped = b.drain_slot_filtered(0, |o| o.0 != 2);
+        assert_eq!(
+            shipped.iter().map(|u| u.object).collect::<Vec<_>>(),
+            vec![ObjectId(1), ObjectId(3)]
+        );
+        assert_eq!(b.slot_len(0), 1, "out-of-interest object retained");
+        // The retained entry keeps merging with later writes.
+        b.buffer_for_all(ObjectId(2), &Diff::single(1, vec![9]), v(4, 1), &[]);
+        assert_eq!(b.slot_len(0), 1, "retained entry merged, not duplicated");
+        // A later unfiltered drain (a broadcast flush) ships it.
+        let flushed = b.drain_slot(0);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].object, ObjectId(2));
+        assert_eq!(flushed[0].version, v(4, 1));
+    }
+
+    #[test]
+    fn filtered_drain_split_recombines_to_the_full_drain() {
+        // Handoff invariant: splitting a slot by any predicate and applying
+        // both halves is equivalent to the unfiltered drain.
+        let mk = || {
+            let mut b = buf();
+            for i in 0..6u32 {
+                b.buffer_for_all(ObjectId(i), &Diff::single(i, vec![i as u8]), v(1, 1), &[]);
+                b.buffer_for_all(ObjectId(i), &Diff::single(i + 1, vec![9]), v(2, 1), &[]);
+            }
+            b
+        };
+        let full = mk().drain_slot(0);
+        let mut split = mk();
+        let mut both = split.drain_slot_filtered(0, |o| o.0 % 2 == 0);
+        both.extend(split.drain_slot_filtered(0, |o| o.0 % 2 != 0));
+        both.sort_by_key(|u| u.object);
+        assert_eq!(both, full);
+        assert_eq!(split.slot_len(0), 0);
     }
 
     #[test]

@@ -118,16 +118,22 @@ pub fn run_churn_node_obs<E: Endpoint>(
         );
     }
     match protocol {
-        Protocol::Bsync => run_churn_lookahead(endpoint, scenario, plan, EveryTick, obs),
+        Protocol::Bsync => run_churn_lookahead(endpoint, scenario, plan, EveryTick, None, obs),
         Protocol::Msync => {
             let me = endpoint.node_id();
             let sfunc = crate::sfuncs::Msync::new(me, scenario.clone());
-            run_churn_lookahead(endpoint, scenario, plan, sfunc, obs)
+            run_churn_lookahead(endpoint, scenario, plan, sfunc, None, obs)
         }
         Protocol::Msync2 => {
             let me = endpoint.node_id();
             let sfunc = crate::sfuncs::Msync2::new(me, scenario.clone());
-            run_churn_lookahead(endpoint, scenario, plan, sfunc, obs)
+            run_churn_lookahead(endpoint, scenario, plan, sfunc, None, obs)
+        }
+        Protocol::Msync2Shard => {
+            let me = endpoint.node_id();
+            let sfunc = crate::shard::ShardMsync2::new(me, scenario.clone());
+            let router = Box::new(crate::shard::ShardRouter::new(scenario.clone(), me));
+            run_churn_lookahead(endpoint, scenario, plan, sfunc, Some(router), obs)
         }
         Protocol::Entry => run_churn_entry(endpoint, scenario, plan, obs),
         Protocol::Lrc | Protocol::Causal => Err(DsoError::ProtocolViolation(format!(
@@ -211,10 +217,12 @@ fn run_churn_lookahead<E: Endpoint, S: SFunction>(
     scenario: &Scenario,
     plan: &MembershipPlan,
     sfunc: S,
+    router: Option<Box<dyn sdso_core::DiffRouter>>,
     obs: Obs,
 ) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
     let mut rt = build_churn_runtime(endpoint, scenario, plan, obs)?;
+    rt.set_diff_router(router);
     let start_tick = enter(&mut rt, plan, me)?;
     let mut node = Lookahead::new(rt, sfunc)?;
     let mut core = GameCore::new(scenario.clone(), me);
@@ -249,8 +257,9 @@ fn run_churn_lookahead<E: Endpoint, S: SFunction>(
         node.step_barrier()?;
         if leaving {
             let mut rt = node.into_runtime();
+            let net_live = rt.net_metrics_delta();
             rt.settle()?;
-            return Ok(lookahead_stats(&mut rt, &core, compute, scenario));
+            return Ok(lookahead_stats(&mut rt, &core, compute, scenario, net_live));
         }
         node.apply_view_change(change)?;
         if node.runtime().membership().donor_for(change) == Some(me) {
@@ -261,11 +270,12 @@ fn run_churn_lookahead<E: Endpoint, S: SFunction>(
     }
 
     let mut rt = node.into_runtime();
+    let net_live = rt.net_metrics_delta();
     // Terminal full synchronisation over the final view (see
     // `driver::run_lookahead`).
     rt.exchange(true, SendMode::Broadcast, &mut Never)?;
     rt.settle()?;
-    Ok(lookahead_stats(&mut rt, &core, compute, scenario))
+    Ok(lookahead_stats(&mut rt, &core, compute, scenario, net_live))
 }
 
 fn run_churn_entry<E: Endpoint>(
@@ -315,8 +325,9 @@ fn run_churn_entry<E: Endpoint>(
         // the leaver's tombstone) disseminate before the epoch turns.
         ec.view_sync()?;
         if leaving {
+            let net_live = ec.runtime_mut().net_metrics_delta();
             ec.runtime_mut().settle()?;
-            return Ok(entry_stats(&mut ec, &core, compute, scenario));
+            return Ok(entry_stats(&mut ec, &core, compute, scenario, net_live));
         }
         ec.apply_view_change(change)?;
         if ec.runtime().membership().donor_for(change) == Some(me) {
@@ -325,10 +336,11 @@ fn run_churn_entry<E: Endpoint>(
             }
         }
     }
+    let net_live = ec.runtime_mut().net_metrics_delta();
     ec.finish()?;
     ec.final_sync()?;
     ec.runtime_mut().settle()?;
-    Ok(entry_stats(&mut ec, &core, compute, scenario))
+    Ok(entry_stats(&mut ec, &core, compute, scenario, net_live))
 }
 
 fn lookahead_stats<E: Endpoint>(
@@ -336,6 +348,7 @@ fn lookahead_stats<E: Endpoint>(
     core: &GameCore,
     compute: SimSpan,
     scenario: &Scenario,
+    net_live: sdso_net::NetMetricsSnapshot,
 ) -> NodeStats {
     NodeStats {
         node: rt.node_id(),
@@ -348,7 +361,8 @@ fn lookahead_stats<E: Endpoint>(
         bonuses: core.bonuses,
         exec_time: rt.now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: rt.net_metrics_delta(),
+        net: net_live.merged(&rt.net_metrics_delta()),
+        net_live,
         dso: rt.metrics(),
         final_world: snapshot_world(rt, scenario),
         ..NodeStats::default()
@@ -360,6 +374,7 @@ fn entry_stats<E: Endpoint>(
     core: &GameCore,
     compute: SimSpan,
     scenario: &Scenario,
+    net_live: sdso_net::NetMetricsSnapshot,
 ) -> NodeStats {
     NodeStats {
         node: ec.runtime().node_id(),
@@ -372,7 +387,8 @@ fn entry_stats<E: Endpoint>(
         bonuses: core.bonuses,
         exec_time: ec.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: ec.runtime_mut().net_metrics_delta(),
+        net: net_live.merged(&ec.runtime_mut().net_metrics_delta()),
+        net_live,
         dso: ec.runtime().metrics(),
         ec: ec.metrics(),
         final_world: snapshot_world(ec.runtime(), scenario),

@@ -37,6 +37,11 @@ pub enum Protocol {
     Lrc,
     /// Causal memory (Ext. D).
     Causal,
+    /// Multicast lookahead with region sharding: MSYNC2's interaction
+    /// bound within a shared region group, a fixed aligned heartbeat
+    /// across groups, and interest-routed diffs (the scaling extension;
+    /// see [`crate::shard`]).
+    Msync2Shard,
 }
 
 impl Protocol {
@@ -44,14 +49,16 @@ impl Protocol {
     pub const PAPER: [Protocol; 4] =
         [Protocol::Entry, Protocol::Bsync, Protocol::Msync, Protocol::Msync2];
 
-    /// All implemented protocols.
-    pub const ALL: [Protocol; 6] = [
+    /// All implemented protocols. `Msync2Shard` stays last: replay
+    /// fixtures index into this array.
+    pub const ALL: [Protocol; 7] = [
         Protocol::Entry,
         Protocol::Bsync,
         Protocol::Msync,
         Protocol::Msync2,
         Protocol::Lrc,
         Protocol::Causal,
+        Protocol::Msync2Shard,
     ];
 
     /// Display name matching the paper.
@@ -63,6 +70,7 @@ impl Protocol {
             Protocol::Entry => "EC",
             Protocol::Lrc => "LRC",
             Protocol::Causal => "CAUSAL",
+            Protocol::Msync2Shard => "MSYNC2-SHARD",
         }
     }
 }
@@ -99,6 +107,14 @@ pub struct NodeStats {
     pub compute_time: SimSpan,
     /// Transport counters (message/byte counts by class, blocked time).
     pub net: NetMetricsSnapshot,
+    /// Transport counters up to the end of the last game tick, before the
+    /// terminal measurement flush (the final barrier/settle that forces
+    /// every replica to the globally newest versions so cross-replica
+    /// oracles can compare worlds). This is the steady-state traffic a
+    /// long-running deployment sustains — the basis for the sharding
+    /// traffic gate, which must not be diluted by a flush that ships every
+    /// suppressed diff once at shutdown.
+    pub net_live: NetMetricsSnapshot,
     /// S-DSO runtime counters (exchange counts/times; zero under EC).
     pub dso: DsoMetrics,
     /// EC counters (lock waits/pulls; zero under the lookahead family).
@@ -605,14 +621,22 @@ pub fn run_node_obs<E: Endpoint>(
         "multi-tank teams are not implemented (the paper fixes team size to one)"
     );
     match protocol {
-        Protocol::Bsync => run_lookahead(endpoint, scenario, EveryTick, obs),
+        Protocol::Bsync => run_lookahead(endpoint, scenario, EveryTick, None, obs),
         Protocol::Msync => {
             let me = endpoint.node_id();
-            run_lookahead(endpoint, scenario, crate::sfuncs::Msync::new(me, scenario.clone()), obs)
+            let sfunc = crate::sfuncs::Msync::new(me, scenario.clone());
+            run_lookahead(endpoint, scenario, sfunc, None, obs)
         }
         Protocol::Msync2 => {
             let me = endpoint.node_id();
-            run_lookahead(endpoint, scenario, crate::sfuncs::Msync2::new(me, scenario.clone()), obs)
+            let sfunc = crate::sfuncs::Msync2::new(me, scenario.clone());
+            run_lookahead(endpoint, scenario, sfunc, None, obs)
+        }
+        Protocol::Msync2Shard => {
+            let me = endpoint.node_id();
+            let sfunc = crate::shard::ShardMsync2::new(me, scenario.clone());
+            let router = Box::new(crate::shard::ShardRouter::new(scenario.clone(), me));
+            run_lookahead(endpoint, scenario, sfunc, Some(router), obs)
         }
         Protocol::Entry => run_entry(endpoint, scenario, obs),
         Protocol::Lrc => run_lrc(endpoint, scenario, obs),
@@ -624,10 +648,12 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
     endpoint: E,
     scenario: &Scenario,
     sfunc: S,
+    router: Option<Box<dyn sdso_core::DiffRouter>>,
     obs: Obs,
 ) -> Result<NodeStats, DsoError> {
     let me = endpoint.node_id();
-    let rt = build_runtime(endpoint, scenario, obs)?;
+    let mut rt = build_runtime(endpoint, scenario, obs)?;
+    rt.set_diff_router(router);
     let mut node = Lookahead::new(rt, sfunc)?;
     let mut core = GameCore::new(scenario.clone(), me);
     let mut compute = SimSpan::ZERO;
@@ -649,6 +675,9 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
     }
 
     let mut rt = node.into_runtime();
+    // Deltas, not lifetime-cumulative: stats must cover this run only even
+    // when the endpoint outlives it (TCP meshes, repeated runs).
+    let net_live = rt.net_metrics_delta();
     // Terminal full synchronisation: one broadcast rendezvous flushes every
     // buffered slot (MSYNC-family slots for non-due peers would otherwise
     // stay pending forever), then the reliability layer — when on —
@@ -667,9 +696,8 @@ fn run_lookahead<E: Endpoint, S: SFunction>(
         bonuses: core.bonuses,
         exec_time: rt.now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        // Delta, not lifetime-cumulative: stats must cover this run only
-        // even when the endpoint outlives it (TCP meshes, repeated runs).
-        net: rt.net_metrics_delta(),
+        net: net_live.merged(&rt.net_metrics_delta()),
+        net_live,
         dso: rt.metrics(),
         final_world: snapshot_world(&rt, scenario),
         ..NodeStats::default()
@@ -728,6 +756,7 @@ fn run_entry<E: Endpoint>(
 
         ec.release_all(&modified)?;
     }
+    let net_live = ec.runtime_mut().net_metrics_delta();
     ec.finish()?;
     // Pull-based EC leaves replicas stale wherever this process never
     // locked; the final-sync barrier disseminates every object's newest
@@ -749,7 +778,8 @@ fn run_entry<E: Endpoint>(
         bonuses: core.bonuses,
         exec_time: ec.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: ec.runtime_mut().net_metrics_delta(),
+        net: net_live.merged(&ec.runtime_mut().net_metrics_delta()),
+        net_live,
         dso: ec.runtime().metrics(),
         ec: ec.metrics(),
         final_world: snapshot_world(ec.runtime(), scenario),
@@ -794,6 +824,7 @@ fn run_lrc<E: Endpoint>(endpoint: E, scenario: &Scenario, obs: Obs) -> Result<No
             lrc.release(lock)?;
         }
     }
+    let net_live = lrc.runtime_mut().net_metrics_delta();
     lrc.finish()?;
 
     Ok(NodeStats {
@@ -807,7 +838,8 @@ fn run_lrc<E: Endpoint>(endpoint: E, scenario: &Scenario, obs: Obs) -> Result<No
         bonuses: core.bonuses,
         exec_time: lrc.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: lrc.runtime_mut().net_metrics_delta(),
+        net: net_live.merged(&lrc.runtime_mut().net_metrics_delta()),
+        net_live,
         lrc: lrc.metrics(),
         final_world: snapshot_world(lrc.runtime(), scenario),
         ..NodeStats::default()
@@ -841,7 +873,9 @@ fn run_causal<E: Endpoint>(
         causal.runtime_mut().advance(wc);
         compute += wc;
     }
-    // Push-based and non-blocking: no termination handshake needed.
+    // Push-based and non-blocking: no termination handshake needed, so
+    // live and total counters coincide.
+    let net = causal.runtime_mut().net_metrics_delta();
 
     Ok(NodeStats {
         node: me,
@@ -854,7 +888,8 @@ fn run_causal<E: Endpoint>(
         bonuses: core.bonuses,
         exec_time: causal.runtime().now().saturating_since(sdso_net::SimInstant::ZERO),
         compute_time: compute,
-        net: causal.runtime_mut().net_metrics_delta(),
+        net,
+        net_live: net,
         causal: causal.metrics(),
         final_world: snapshot_world(causal.runtime(), scenario),
         ..NodeStats::default()

@@ -22,6 +22,8 @@
 //! * [`ai`] — the per-tank decision function;
 //! * [`sfuncs`] — the MSYNC/MSYNC2 semantic functions (BSYNC reuses
 //!   [`sdso_core::EveryTick`]);
+//! * [`shard`] — the region-sharded MSYNC2-SHARD s-function and interest
+//!   router (the 64/256-node scaling extension over `sdso-shard`);
 //! * [`driver`] — per-protocol node runners producing [`NodeStats`];
 //! * [`churn`] — the same runners under a membership plan (players leave
 //!   and join mid-game through epoch-numbered view changes);
@@ -59,6 +61,7 @@ pub mod driver;
 pub mod render;
 pub mod scenario;
 pub mod sfuncs;
+pub mod shard;
 pub mod world;
 
 pub use ai::{decide, Action, WorldView};
@@ -70,4 +73,5 @@ pub use driver::{
 pub use render::{render, scoreboard, RenderOptions};
 pub use scenario::{Scenario, GOAL_POINTS};
 pub use sfuncs::{team_positions, Msync, Msync2};
+pub use shard::{interest_radius, shard_lattice, ShardMsync2, ShardRouter, GROUP_EVERY};
 pub use world::{Direction, Grid, Pos};

@@ -92,6 +92,40 @@ impl Scenario {
         }
     }
 
+    /// A scaled-up variant of the paper configuration for large clusters
+    /// (64, 256+ teams): the grid grows by the smallest integer factor
+    /// `k` that keeps the border perimeter at least twice the team count
+    /// (so spawn points stay distinct with room between them), and item
+    /// counts grow with the area (`k²`) to keep the map density
+    /// comparable. Frames are modelled at payload size
+    /// (`frame_wire_len: None`) — the paper's fixed 2048-byte frames
+    /// would mask exactly the per-message savings interest routing is
+    /// about.
+    ///
+    /// With `teams <= 54` this is the paper grid; 64 teams get 64×48,
+    /// 256 teams get 160×120.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `teams < 2`.
+    pub fn scaled(teams: u16, range: u16) -> Self {
+        let mut scenario = Scenario::paper(teams, range);
+        let base = Grid::PAPER;
+        let mut k = 1u32;
+        while 2 * (u32::from(base.width) * k + u32::from(base.height) * k - 2)
+            < 2 * u32::from(teams)
+        {
+            k += 1;
+        }
+        scenario.grid = Grid { width: base.width * k as u16, height: base.height * k as u16 };
+        let area = (k * k) as usize;
+        scenario.bonuses *= area;
+        scenario.bombs *= area;
+        scenario.obstacles *= area;
+        scenario.frame_wire_len = None;
+        scenario
+    }
+
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;

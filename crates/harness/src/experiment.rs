@@ -53,6 +53,13 @@ impl RunSummary {
         self.per_node.iter().map(|s| s.net.bytes_sent()).sum()
     }
 
+    /// Bytes on the wire before the terminal measurement flush — the
+    /// steady-state traffic a long-running deployment sustains (see
+    /// [`sdso_game::NodeStats::net_live`]).
+    pub fn live_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.net_live.bytes_sent()).sum()
+    }
+
     /// Total object modifications.
     pub fn total_modifications(&self) -> u64 {
         self.per_node.iter().map(|s| s.modifications).sum()

@@ -35,6 +35,7 @@ mod chaos;
 mod churn;
 mod experiment;
 mod figures;
+mod shard;
 mod table;
 pub mod transports;
 
@@ -42,4 +43,8 @@ pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chao
 pub use churn::{churn_converged, churn_table, default_churn_plan, run_churn_experiment};
 pub use experiment::{mean_of, run_experiment, run_experiment_obs, run_seeds, RunSummary};
 pub use figures::Sweep;
+pub use shard::{
+    bytes_per_node_tick, exchanges_per_node_tick, run_shard_comparison, run_shard_window,
+    ShardComparison, ShardWindow,
+};
 pub use table::Table;

@@ -1,0 +1,228 @@
+//! Scale experiments: sharded vs. full-mesh traffic at 64 and 256 nodes.
+//!
+//! The paper's evaluation stops at 16 processes on a full mesh. This
+//! module drives the region-sharded MSYNC2-SHARD protocol (see
+//! `sdso_game::shard` and the `sdso-shard` crate) against plain MSYNC2
+//! on [`Scenario::scaled`] grids, and reports the first-class scaling
+//! metric the perf gate (`BENCH_4.json`) consumes: per-node bytes per
+//! tick, sharded as a fraction of full-mesh.
+
+use sdso_game::{Protocol, Scenario};
+use sdso_sim::{NetworkModel, SimError};
+
+use crate::chaos::converged;
+use crate::experiment::{run_experiment, RunSummary};
+
+/// Result of one sharded-vs-mesh pairing at a given cluster size.
+#[derive(Debug, Clone)]
+pub struct ShardComparison {
+    /// Cluster size (one team per node).
+    pub nodes: usize,
+    /// The full-mesh MSYNC2 run.
+    pub mesh: RunSummary,
+    /// The region-sharded MSYNC2-SHARD run.
+    pub sharded: RunSummary,
+}
+
+/// Mean *live* bytes each node puts on the wire per game tick —
+/// excluding the terminal measurement flush, which ships every
+/// suppressed diff once at shutdown so cross-replica oracles can compare
+/// final worlds, and which would otherwise cancel out exactly the
+/// traffic that interest routing avoids in steady state.
+pub fn bytes_per_node_tick(summary: &RunSummary) -> f64 {
+    let ticks: u64 = summary.per_node.iter().map(|s| s.ticks).sum();
+    if ticks == 0 {
+        return 0.0;
+    }
+    summary.live_bytes() as f64 / ticks as f64
+}
+
+/// Mean live exchanges each node performs per game tick.
+pub fn exchanges_per_node_tick(summary: &RunSummary) -> f64 {
+    let ticks: u64 = summary.per_node.iter().map(|s| s.ticks).sum();
+    if ticks == 0 {
+        return 0.0;
+    }
+    summary.per_node.iter().map(|s| s.dso.exchanges).sum::<u64>() as f64 / ticks as f64
+}
+
+impl ShardComparison {
+    /// Sharded bytes/tick over mesh bytes/tick — the gated ratio.
+    pub fn traffic_ratio(&self) -> f64 {
+        let mesh = bytes_per_node_tick(&self.mesh);
+        if mesh == 0.0 {
+            return f64::INFINITY;
+        }
+        bytes_per_node_tick(&self.sharded) / mesh
+    }
+
+    /// Sharded exchanges/tick over mesh exchanges/tick.
+    pub fn exchange_ratio(&self) -> f64 {
+        let mesh = exchanges_per_node_tick(&self.mesh);
+        if mesh == 0.0 {
+            return f64::INFINITY;
+        }
+        exchanges_per_node_tick(&self.sharded) / mesh
+    }
+
+    /// Total diffs the interest router held back from live exchanges.
+    pub fn suppressed(&self) -> u64 {
+        self.sharded.per_node.iter().map(|s| s.dso.shard_suppressed).sum()
+    }
+
+    /// Whether both runs' replicas each converged to one world.
+    pub fn both_converged(&self) -> bool {
+        converged(&self.mesh) && converged(&self.sharded)
+    }
+}
+
+/// Runs MSYNC2 (full mesh) and MSYNC2-SHARD on the same
+/// [`Scenario::scaled`] configuration and pairs the results.
+///
+/// # Errors
+///
+/// Fails if either cluster run fails.
+pub fn run_shard_comparison(
+    teams: u16,
+    range: u16,
+    ticks: u64,
+    model: NetworkModel,
+) -> Result<ShardComparison, SimError> {
+    let scenario = Scenario::scaled(teams, range).with_ticks(ticks);
+    let mesh = run_experiment(&scenario, Protocol::Msync2, model)?;
+    let sharded = run_experiment(&scenario, Protocol::Msync2Shard, model)?;
+    Ok(ShardComparison { nodes: usize::from(teams), mesh, sharded })
+}
+
+/// A steady-state windowed pairing: the same comparison at two run
+/// lengths, so per-tick rates can be measured over the late window
+/// `warmup..ticks` alone.
+///
+/// Cumulative short-run ratios systematically flatter the full mesh:
+/// MSYNC2's far pairs exchange rarely at scale, so early in a run the
+/// mesh has not yet shipped the dirty trails those pairs accumulate —
+/// traffic it *always* pays eventually. Subtracting a warmup-length run
+/// from a full-length run (the simulator is deterministic, so the first
+/// `warmup` ticks of both are identical) isolates the steady-state
+/// marginal rate, the honest estimator of the infinite-horizon ratio.
+#[derive(Debug, Clone)]
+pub struct ShardWindow {
+    /// The `warmup`-tick cumulative pairing.
+    pub warmup: ShardComparison,
+    /// The `ticks`-tick cumulative pairing.
+    pub full: ShardComparison,
+}
+
+/// Live bytes per node-tick accrued strictly inside the late window.
+fn marginal_rate(full: &RunSummary, warmup: &RunSummary) -> f64 {
+    let ticks: u64 = full.per_node.iter().map(|s| s.ticks).sum::<u64>()
+        - warmup.per_node.iter().map(|s| s.ticks).sum::<u64>();
+    if ticks == 0 {
+        return 0.0;
+    }
+    full.live_bytes().saturating_sub(warmup.live_bytes()) as f64 / ticks as f64
+}
+
+impl ShardWindow {
+    /// Sharded over mesh live bytes/node-tick, measured in the
+    /// steady-state window only — the gated scale metric.
+    pub fn steady_traffic_ratio(&self) -> f64 {
+        let mesh = marginal_rate(&self.full.mesh, &self.warmup.mesh);
+        if mesh == 0.0 {
+            return f64::INFINITY;
+        }
+        marginal_rate(&self.full.sharded, &self.warmup.sharded) / mesh
+    }
+
+    /// Mesh live bytes/node-tick in the steady-state window.
+    pub fn mesh_steady_rate(&self) -> f64 {
+        marginal_rate(&self.full.mesh, &self.warmup.mesh)
+    }
+
+    /// Sharded live bytes/node-tick in the steady-state window.
+    pub fn sharded_steady_rate(&self) -> f64 {
+        marginal_rate(&self.full.sharded, &self.warmup.sharded)
+    }
+}
+
+/// Runs the shard comparison at `warmup` and `ticks` and pairs them into
+/// a steady-state window.
+///
+/// # Errors
+///
+/// Fails if any of the four cluster runs fails.
+pub fn run_shard_window(
+    teams: u16,
+    range: u16,
+    warmup: u64,
+    ticks: u64,
+    model: NetworkModel,
+) -> Result<ShardWindow, SimError> {
+    let warmup_cmp = run_shard_comparison(teams, range, warmup, model)?;
+    let full_cmp = run_shard_comparison(teams, range, ticks, model)?;
+    Ok(ShardWindow { warmup: warmup_cmp, full: full_cmp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All four paper protocols plus the sharded extension converge at 64
+    /// nodes (identical final worlds on every replica).
+    #[test]
+    fn all_protocols_converge_at_64_nodes() {
+        let scenario = Scenario::scaled(64, 1).with_ticks(8);
+        for protocol in [Protocol::Bsync, Protocol::Msync, Protocol::Msync2, Protocol::Msync2Shard]
+        {
+            let summary =
+                run_experiment(&scenario, protocol, NetworkModel::paper_testbed()).unwrap();
+            assert!(converged(&summary), "{protocol} diverged at 64 nodes");
+            assert_eq!(summary.per_node.len(), 64);
+        }
+    }
+
+    /// EC's lock manager reaches convergence at 64 nodes too (slower:
+    /// its pulls are pairwise, so keep the run short).
+    #[test]
+    fn entry_consistency_converges_at_64_nodes() {
+        let scenario = Scenario::scaled(64, 1).with_ticks(4);
+        let summary =
+            run_experiment(&scenario, Protocol::Entry, NetworkModel::paper_testbed()).unwrap();
+        assert!(converged(&summary), "EC diverged at 64 nodes");
+    }
+
+    /// Interest routing must cut live traffic well below full mesh. The
+    /// run must be long enough for mesh far-pair exchanges to ship their
+    /// accumulated trails — short runs understate mesh steady-state (far
+    /// pairs have not come due yet) and overstate the ratio.
+    #[test]
+    fn sharding_cuts_traffic_at_64_nodes() {
+        let cmp = run_shard_comparison(64, 1, 60, NetworkModel::paper_testbed()).unwrap();
+        assert!(cmp.both_converged(), "mesh and sharded runs must both converge");
+        assert!(cmp.suppressed() > 0, "the router must actually suppress something");
+        assert!(
+            cmp.traffic_ratio() < 0.6,
+            "sharded traffic should be well under mesh at 64 nodes: {}",
+            cmp.traffic_ratio()
+        );
+    }
+
+    /// The flagship scale gate, mirrored by `perf shard check` (the same
+    /// window shape is recorded in `BENCH_4.json`): at 256 nodes, sharded
+    /// steady-state bytes/node-tick at most a quarter of full-mesh.
+    /// Heavy (four 256-process cluster runs), so ignored in the default
+    /// test pass and run explicitly by CI.
+    #[test]
+    #[ignore = "256-node pairing: run explicitly (CI shard-soak / perf shard)"]
+    fn sharding_cuts_traffic_to_a_quarter_at_256_nodes() {
+        let win = run_shard_window(256, 1, 48, 96, NetworkModel::paper_testbed()).unwrap();
+        assert!(win.full.both_converged());
+        assert!(win.full.suppressed() > 0, "the router must actually suppress something");
+        assert!(
+            win.steady_traffic_ratio() <= 0.25,
+            "steady-state sharded bytes/node-tick must be <= 25% of full-mesh \
+             at 256 nodes: {}",
+            win.steady_traffic_ratio()
+        );
+    }
+}

@@ -223,6 +223,11 @@ impl ReactorMesh {
     pub fn local_with(n: usize, tuning: ReactorTuning) -> Result<Vec<ReactorEndpoint>, NetError> {
         assert!(n > 0, "cluster must have at least one node");
         assert!(n < usize::from(NodeId::MAX), "cluster too large");
+        // A full mesh holds both ends of every pairwise connection in this
+        // process: n*(n-1) stream fds plus each endpoint's listener, epoll
+        // and wakeup fds. At 256 nodes that is ~66k descriptors — far past
+        // the usual 1024 soft limit, so bump it like `star_with` does.
+        crate::sys::raise_nofile_limit((n as u64) * (n as u64) + 4 * (n as u64) + 64);
         let listeners: Vec<TcpListener> =
             (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<Result<_, _>>()?;
         let addrs: Vec<SocketAddr> =

@@ -1,0 +1,170 @@
+//! Per-region exchange groups over the epoch/membership machinery.
+//!
+//! Each region gets its own exchange group: the live members whose
+//! interest covers it. Groups are *views* derived from the global
+//! [`MembershipView`] — the global epoch/barrier protocol stays the one
+//! source of membership truth, and sharding only narrows which peers a
+//! node schedules live exchanges with.
+//!
+//! A node near a boundary belongs to several groups at once. When every
+//! group proposes its own exchange time for such a peer, the proposals
+//! are merged through [`sdso_core::ExchangeList::schedule_min`] so the
+//! peer keeps exactly one `(exchange-time, process)` entry — the
+//! earliest proposal — and therefore rendezvouses (and receives each
+//! diff) once, not once per overlapping region.
+
+use std::collections::BTreeSet;
+
+use sdso_core::{ExchangeList, LogicalTime, MemberError, MembershipView};
+use sdso_net::NodeId;
+
+use crate::interest::SubscriptionManager;
+use crate::lattice::{RegionId, RegionLattice};
+
+/// The per-region exchange groups implied by a membership view and the
+/// current subscriptions.
+#[derive(Debug, Clone)]
+pub struct RegionGroups {
+    lattice: RegionLattice,
+    /// groups\[region\] — the members whose interest covers the region.
+    /// Members with no observation this epoch are in every group
+    /// (unknown interest is total interest).
+    groups: Vec<BTreeSet<NodeId>>,
+}
+
+impl RegionGroups {
+    /// Builds the groups for `view`'s live members from `subs`.
+    pub fn from_subscriptions(subs: &SubscriptionManager, view: &MembershipView) -> Self {
+        let lattice = *subs.lattice();
+        let mut groups = vec![BTreeSet::new(); usize::from(lattice.regions())];
+        for &member in view.members() {
+            for (r, group) in groups.iter_mut().enumerate() {
+                if subs.covers(member, RegionId(r as u16)) {
+                    group.insert(member);
+                }
+            }
+        }
+        RegionGroups { lattice, groups }
+    }
+
+    /// The lattice the groups partition.
+    pub fn lattice(&self) -> &RegionLattice {
+        &self.lattice
+    }
+
+    /// The exchange group of `region` (empty for an out-of-range id).
+    pub fn group(&self, region: RegionId) -> &BTreeSet<NodeId> {
+        static EMPTY: BTreeSet<NodeId> = BTreeSet::new();
+        self.groups.get(usize::from(region.0)).unwrap_or(&EMPTY)
+    }
+
+    /// A per-region membership view: `region`'s group as a
+    /// [`MembershipView`] over the same slot capacity as the global view.
+    /// (Its epoch restarts at zero — region views are derived scopes; the
+    /// global view's epoch remains the barrier clock.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemberError::EmptyGroup`] when nobody is interested in
+    /// the region.
+    pub fn view_for(
+        &self,
+        region: RegionId,
+        capacity: usize,
+    ) -> Result<MembershipView, MemberError> {
+        MembershipView::initial(capacity, self.group(region).iter().copied())
+    }
+
+    /// The peers sharing at least one region group with `me`, ascending.
+    pub fn shared_peers(&self, me: NodeId) -> BTreeSet<NodeId> {
+        let mut peers = BTreeSet::new();
+        for group in &self.groups {
+            if group.contains(&me) {
+                peers.extend(group.iter().copied().filter(|&p| p != me));
+            }
+        }
+        peers
+    }
+
+    /// Merges per-region exchange proposals into `list`: for every region
+    /// group containing `me`, asks `propose(region, peer)` for a time per
+    /// fellow member and installs it with
+    /// [`ExchangeList::schedule_min`] — a peer straddling several of
+    /// `me`'s regions ends up with one entry at the earliest proposal.
+    pub fn propose_exchanges(
+        &self,
+        me: NodeId,
+        list: &mut ExchangeList,
+        mut propose: impl FnMut(RegionId, NodeId) -> Option<LogicalTime>,
+    ) {
+        for (r, group) in self.groups.iter().enumerate() {
+            if !group.contains(&me) {
+                continue;
+            }
+            let region = RegionId(r as u16);
+            for &peer in group.iter().filter(|&&p| p != me) {
+                if let Some(time) = propose(region, peer) {
+                    list.schedule_min(peer, time);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subs_three_nodes() -> SubscriptionManager {
+        let mut subs = SubscriptionManager::new(RegionLattice::paper());
+        subs.observe(0, 2, 2, 1); // region 0 only
+        subs.observe(1, 8, 4, 2); // straddles regions 0 and 1
+        subs.observe(2, 30, 20, 1); // region 11 only
+        subs
+    }
+
+    #[test]
+    fn groups_follow_interest_with_unknown_members_everywhere() {
+        let subs = subs_three_nodes();
+        let view = MembershipView::full(4); // node 3 never observed
+        let groups = RegionGroups::from_subscriptions(&subs, &view);
+        assert!(groups.group(RegionId(0)).contains(&0));
+        assert!(groups.group(RegionId(0)).contains(&1));
+        assert!(!groups.group(RegionId(0)).contains(&2));
+        assert!(groups.group(RegionId(1)).contains(&1));
+        assert!(groups.group(RegionId(11)).contains(&2));
+        for r in 0..groups.lattice().regions() {
+            assert!(groups.group(RegionId(r)).contains(&3), "unknown node is in every group");
+        }
+        assert_eq!(groups.shared_peers(2), [3].into_iter().collect());
+    }
+
+    #[test]
+    fn region_views_scope_the_global_membership() {
+        let subs = subs_three_nodes();
+        let view = MembershipView::initial(4, [0, 1, 2]).unwrap();
+        let groups = RegionGroups::from_subscriptions(&subs, &view);
+        let r0 = groups.view_for(RegionId(0), view.capacity()).unwrap();
+        assert_eq!(r0.members().iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(r0.capacity(), 4);
+        // A region nobody watches has no view.
+        assert_eq!(groups.view_for(RegionId(5), view.capacity()), Err(MemberError::EmptyGroup));
+    }
+
+    #[test]
+    fn straddling_peer_gets_one_merged_entry() {
+        let mut subs = SubscriptionManager::new(RegionLattice::paper());
+        subs.observe(0, 8, 4, 2); // me: straddles regions 0 and 1
+        subs.observe(1, 8, 4, 2); // peer: same straddle
+        let view = MembershipView::initial(2, [0, 1]).unwrap();
+        let groups = RegionGroups::from_subscriptions(&subs, &view);
+        let mut list = ExchangeList::new();
+        // Region 0 proposes t=9 for peer 1, region 1 proposes t=4.
+        groups.propose_exchanges(0, &mut list, |region, peer| {
+            assert_eq!(peer, 1);
+            Some(LogicalTime::from_ticks(if region == RegionId(0) { 9 } else { 4 }))
+        });
+        assert_eq!(list.len(), 1, "one entry despite two overlapping groups");
+        assert_eq!(list.time_for(1), Some(LogicalTime::from_ticks(4)), "earliest wins");
+    }
+}

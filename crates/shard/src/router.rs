@@ -1,0 +1,232 @@
+//! The interest router: a [`DiffRouter`] implementation built from a
+//! region lattice, a subscription manager and a handoff log.
+
+use std::collections::BTreeMap;
+
+use sdso_core::{DiffRouter, Epoch, LogicalTime, ObjectId};
+use sdso_net::NodeId;
+
+use crate::handoff::{HandoffLog, HandoffRecord};
+use crate::interest::SubscriptionManager;
+use crate::lattice::{RegionId, RegionLattice};
+
+/// How many ticks a handoff record stays active after its crossing: long
+/// enough for every live exchange cadence in the workspace to have
+/// shipped both cells to every interested peer, short enough to bound
+/// the log. Records also retire wholesale at view-change barriers.
+pub const HANDOFF_WINDOW_TICKS: u64 = 32;
+
+/// Routes diffs by region interest, with handoff coupling for
+/// boundary-crossing write pairs.
+///
+/// The router is fed observations (entity positions and sensing ranges)
+/// by the layer above — in the game, the region-aware driver decodes
+/// tank positions out of the store each exchange and calls
+/// [`InterestRouter::note_position`] for every team. The router itself
+/// is game-agnostic: it never inspects object bodies.
+///
+/// Routing decisions are *conservative* in three ways: a peer with no
+/// observation this epoch receives everything; region granularity gives
+/// up to a region's width of slack around the exact sensing range; and
+/// callers are expected to widen `range` by their staleness bound (a
+/// peer's position read from the local replica can lag by the
+/// inter-exchange gap). None of this affects convergence — suppressed
+/// diffs stay buffered and flush at the next broadcast exchange — it
+/// only tunes how much live traffic survives.
+#[derive(Debug)]
+pub struct InterestRouter {
+    subs: SubscriptionManager,
+    handoffs: HandoffLog,
+    /// Last observed cell per node, for boundary-crossing detection.
+    last_pos: BTreeMap<NodeId, (u16, u16)>,
+    /// Mirrors the membership epoch: bumped once per `on_view_change`.
+    epoch: Epoch,
+}
+
+impl InterestRouter {
+    /// A router over `lattice` with empty interest (routes everything
+    /// until observations arrive).
+    pub fn new(lattice: RegionLattice) -> Self {
+        InterestRouter {
+            subs: SubscriptionManager::new(lattice),
+            handoffs: HandoffLog::new(),
+            last_pos: BTreeMap::new(),
+            epoch: Epoch::ZERO,
+        }
+    }
+
+    /// The lattice routing is expressed over.
+    pub fn lattice(&self) -> &RegionLattice {
+        self.subs.lattice()
+    }
+
+    /// The live subscription manager (interest per node).
+    pub fn subscriptions(&self) -> &SubscriptionManager {
+        &self.subs
+    }
+
+    /// The active handoff log.
+    pub fn handoffs(&self) -> &HandoffLog {
+        &self.handoffs
+    }
+
+    /// The epoch the router believes it is in (one bump per view change).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Records that `node` senses radius `range` around cell `(x, y)` at
+    /// tick `now`. Widens `node`'s interest set (monotone within the
+    /// epoch) and, when the node moved across a region boundary since its
+    /// previous observation, appends an epoch-stamped [`HandoffRecord`]
+    /// coupling the vacated and occupied cells.
+    pub fn note_position(&mut self, node: NodeId, x: u16, y: u16, range: u16, now: LogicalTime) {
+        self.subs.observe(node, x, y, range);
+        let lattice = *self.subs.lattice();
+        if let Some(&(px, py)) = self.last_pos.get(&node) {
+            if (px, py) != (x, y) {
+                let from_region = lattice.region_of_xy(px, py);
+                let to_region = lattice.region_of_xy(x, y);
+                if from_region != to_region {
+                    self.handoffs.record(HandoffRecord {
+                        from: cell_object(&lattice, px, py),
+                        to: cell_object(&lattice, x, y),
+                        from_region,
+                        to_region,
+                        epoch: self.epoch,
+                        tick: now,
+                    });
+                }
+            }
+        }
+        self.last_pos.insert(node, (x, y));
+    }
+
+    /// Widens `node`'s interest set with radius `range` around `(x, y)`
+    /// *without* treating the cell as the node's position — no
+    /// boundary-crossing detection, no handoff record. This is for
+    /// standing interests a node holds beyond its current location, such
+    /// as a spawn point it may teleport back to.
+    pub fn note_interest(&mut self, node: NodeId, x: u16, y: u16, range: u16) {
+        self.subs.observe(node, x, y, range);
+    }
+
+    /// Housekeeping at the start of an observation round: retires handoff
+    /// records older than [`HANDOFF_WINDOW_TICKS`].
+    pub fn begin_round(&mut self, now: LogicalTime) {
+        let horizon = now.as_ticks().saturating_sub(HANDOFF_WINDOW_TICKS);
+        self.handoffs.retire_before_tick(LogicalTime::from_ticks(horizon));
+    }
+
+    /// The region that decides `object`'s routing.
+    pub fn region_of(&self, object: ObjectId) -> RegionId {
+        self.subs.lattice().region_of_object(object)
+    }
+}
+
+/// The row-major object id of cell `(x, y)` under `lattice`'s grid.
+fn cell_object(lattice: &RegionLattice, x: u16, y: u16) -> ObjectId {
+    ObjectId(u32::from(y) * u32::from(lattice.width()) + u32::from(x))
+}
+
+impl DiffRouter for InterestRouter {
+    fn routes(&self, peer: NodeId, object: ObjectId) -> bool {
+        let region = self.subs.lattice().region_of_object(object);
+        if self.subs.covers(peer, region) {
+            return true;
+        }
+        // Handoff coupling: ship a boundary pair's cells to any peer
+        // interested in either side, so a crossing is never half-seen.
+        self.handoffs.coupled_regions(object).any(|r| self.subs.covers(peer, r))
+    }
+
+    fn on_view_change(&mut self, _joined: &[NodeId], _left: &[NodeId]) {
+        self.epoch = self.epoch.next();
+        // The barrier's broadcast exchange flushed every slot: interest
+        // rebuilds from post-barrier observations and pre-barrier
+        // handoffs are no longer needed.
+        self.subs.on_epoch(self.epoch);
+        self.handoffs.retire_before_epoch(self.epoch);
+        self.last_pos.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> LogicalTime {
+        LogicalTime::from_ticks(n)
+    }
+
+    #[test]
+    fn routes_everything_until_observed() {
+        let router = InterestRouter::new(RegionLattice::paper());
+        assert!(router.routes(3, ObjectId(0)));
+        assert!(router.routes(3, ObjectId(500)));
+    }
+
+    #[test]
+    fn suppresses_out_of_interest_regions_after_observation() {
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        // Peer 1 sits at (2, 2) with range 2: interest = region 0 only.
+        router.note_position(1, 2, 2, 2, t(1));
+        assert!(router.routes(1, ObjectId(0)), "own region routed");
+        // Cell (31, 23) is region 11 — far outside peer 1's interest.
+        assert!(!router.routes(1, ObjectId(23 * 32 + 31)));
+        // An unobserved peer still gets everything.
+        assert!(router.routes(2, ObjectId(23 * 32 + 31)));
+    }
+
+    #[test]
+    fn boundary_crossing_couples_both_cells() {
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        // Peer 5 interested only in region 0 (left of the x=8 boundary).
+        router.note_position(5, 4, 4, 1, t(1));
+        // Peer 9 (the mover) steps from (7, 4) in region 0 to (8, 4) in
+        // region 1.
+        router.note_position(9, 7, 4, 1, t(1));
+        router.note_position(9, 8, 4, 1, t(2));
+        assert_eq!(router.handoffs().len(), 1);
+        let dest = ObjectId(4 * 32 + 8); // region 1: outside peer 5's interest...
+        assert!(
+            router.routes(5, dest),
+            "...but the handoff couples it to region 0, so peer 5 still gets it"
+        );
+        let src = ObjectId(4 * 32 + 7);
+        assert!(router.routes(5, src));
+    }
+
+    #[test]
+    fn same_region_moves_record_no_handoff() {
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        router.note_position(9, 2, 2, 1, t(1));
+        router.note_position(9, 3, 2, 1, t(2));
+        assert!(router.handoffs().is_empty());
+    }
+
+    #[test]
+    fn view_change_resets_interest_and_retires_handoffs() {
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        router.note_position(1, 2, 2, 1, t(1));
+        router.note_position(9, 7, 4, 1, t(1));
+        router.note_position(9, 8, 4, 1, t(2));
+        assert!(!router.routes(1, ObjectId(23 * 32 + 31)));
+        assert_eq!(router.handoffs().len(), 1);
+        router.on_view_change(&[3], &[9]);
+        assert_eq!(router.epoch(), Epoch(1));
+        assert!(router.routes(1, ObjectId(23 * 32 + 31)), "interest reset to unknown");
+        assert!(router.handoffs().is_empty(), "pre-barrier handoffs retired");
+    }
+
+    #[test]
+    fn begin_round_retires_stale_handoffs() {
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        router.note_position(9, 7, 4, 1, t(1));
+        router.note_position(9, 8, 4, 1, t(2));
+        router.begin_round(t(3));
+        assert_eq!(router.handoffs().len(), 1, "fresh record survives");
+        router.begin_round(t(HANDOFF_WINDOW_TICKS + 10));
+        assert!(router.handoffs().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the sharding invariants:
+//!
+//! 1. region assignment is a *total partition* of the grid;
+//! 2. handoff preserves object state — draining a slot split by any
+//!    region predicate and applying both halves equals applying the
+//!    unfiltered drain (transfer then merge == no-op);
+//! 3. interest-set updates are monotone within an epoch.
+
+use proptest::prelude::*;
+use sdso_core::{Diff, LogicalTime, ObjectId, SlottedBuffer, Version};
+use sdso_shard::{InterestRouter, RegionId, RegionLattice, SubscriptionManager};
+
+proptest! {
+    // ------------------------------------------------------------------
+    // 1. Total partition: every cell maps to exactly one region, every
+    //    region id is in range, and no region is empty.
+    // ------------------------------------------------------------------
+    #[test]
+    fn region_assignment_is_a_total_partition(
+        width in 1u16..48,
+        height in 1u16..48,
+        regions_x in 1u16..8,
+        regions_y in 1u16..8,
+    ) {
+        let lattice = RegionLattice::new(width, height, regions_x, regions_y);
+        let mut per_region = vec![0u32; usize::from(lattice.regions())];
+        for y in 0..height {
+            for x in 0..width {
+                let RegionId(r) = lattice.region_of_xy(x, y);
+                prop_assert!(r < lattice.regions(), "region id in range");
+                per_region[usize::from(r)] += 1;
+                // The object mapping agrees with the coordinate mapping.
+                let object = ObjectId(u32::from(y) * u32::from(width) + u32::from(x));
+                prop_assert_eq!(lattice.region_of_object(object), RegionId(r));
+            }
+        }
+        let total: u32 = per_region.iter().sum();
+        prop_assert_eq!(total, u32::from(width) * u32::from(height), "partition is total");
+        prop_assert!(per_region.iter().all(|&c| c > 0), "no region is empty");
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Handoff preserves object state: splitting a peer's slot along
+    //    any region boundary and delivering both halves (in either
+    //    order) reproduces exactly the state the unsplit drain produces.
+    // ------------------------------------------------------------------
+    #[test]
+    fn handoff_transfer_then_merge_is_a_no_op(
+        writes in proptest::collection::vec((0u32..24, 0u32..15, any::<u8>()), 1..48),
+        boundary in 0u32..24,
+    ) {
+        const SIZE: usize = 16;
+        let lattice = RegionLattice::new(6, 4, 2, 2);
+        let fill = |buf: &mut SlottedBuffer| {
+            for (i, &(obj, offset, byte)) in writes.iter().enumerate() {
+                let stamp = Version::new(LogicalTime::from_ticks(i as u64 + 1), 0);
+                buf.buffer_for_all(ObjectId(obj), &Diff::single(offset, vec![byte]), stamp, &[]);
+            }
+        };
+        let apply = |target: &mut Vec<Vec<u8>>, updates: Vec<sdso_core::PendingUpdate>| {
+            for u in updates {
+                u.diff.apply(&mut target[u.object.0 as usize]).unwrap();
+            }
+        };
+
+        // Reference: one unfiltered drain (what a broadcast flush ships).
+        let mut whole = SlottedBuffer::new(2, 0, true);
+        fill(&mut whole);
+        let mut reference = vec![vec![0u8; SIZE]; 24];
+        apply(&mut reference, whole.drain_slot(1));
+
+        // Split: the "transferred" region half first, then the merge of
+        // what stayed behind — and the reverse order too.
+        let side = |obj: ObjectId| {
+            lattice.region_of_object(obj) == lattice.region_of_object(ObjectId(boundary))
+        };
+        for flip in [false, true] {
+            let mut split = SlottedBuffer::new(2, 0, true);
+            fill(&mut split);
+            let first = split.drain_slot_filtered(1, |o| side(o) != flip);
+            let second = split.drain_slot_filtered(1, |o| side(o) == flip);
+            let mut state = vec![vec![0u8; SIZE]; 24];
+            apply(&mut state, first);
+            apply(&mut state, second);
+            prop_assert_eq!(&state, &reference, "split delivery diverged (flip={})", flip);
+            prop_assert_eq!(split.slot_len(1), 0, "nothing lost in the split");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Interest monotonicity: within one epoch, every observation only
+    //    grows a node's interest set, and covered regions stay covered.
+    // ------------------------------------------------------------------
+    #[test]
+    fn interest_updates_are_monotone_within_an_epoch(
+        moves in proptest::collection::vec((0u16..32, 0u16..24, 0u16..6), 1..32),
+        node in 0u16..4,
+    ) {
+        let mut subs = SubscriptionManager::new(RegionLattice::paper());
+        let mut previous = None;
+        for &(x, y, range) in &moves {
+            subs.observe(node, x, y, range);
+            let current = subs.interest_of(node).unwrap().clone();
+            if let Some(prev) = previous {
+                prop_assert!(
+                    current.is_superset_of(&prev),
+                    "interest shrank within an epoch"
+                );
+            }
+            previous = Some(current);
+        }
+        // And the router built on top never *starts* suppressing an
+        // object it once routed (same epoch, same peer).
+        let mut router = InterestRouter::new(RegionLattice::paper());
+        let probe = ObjectId(12 * 32 + 16);
+        let mut routed_before = false;
+        for (i, &(x, y, range)) in moves.iter().enumerate() {
+            router.note_position(node, x, y, range, LogicalTime::from_ticks(i as u64 + 1));
+            let routed_now = sdso_core::DiffRouter::routes(&router, node, probe);
+            if routed_before {
+                prop_assert!(routed_now, "a routed object became suppressed mid-epoch");
+            }
+            routed_before = routed_now;
+        }
+    }
+}

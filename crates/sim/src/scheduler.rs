@@ -9,7 +9,7 @@
 //! deterministic.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -62,8 +62,12 @@ struct Node {
     clock: u64,
     status: Status,
     inbox: BinaryHeap<Reverse<Entry>>,
-    /// Outgoing link busy-until time, per destination.
-    link_busy: Vec<u64>,
+    /// Outgoing link busy-until time, per destination actually sent to.
+    /// Sparse on purpose: under sharded routing a 256-node cluster's
+    /// node talks to its interest set, not to all n-1 peers, and a dense
+    /// `vec![0; n]` per node would be O(n²) state for links that never
+    /// carry a byte. An absent key means the link was never busy.
+    link_busy: BTreeMap<usize, u64>,
     /// Absolute virtual time at which a `recv_deadline` wait gives up.
     deadline: Option<u64>,
 }
@@ -208,7 +212,12 @@ impl State {
 #[derive(Debug)]
 pub(crate) struct Scheduler {
     state: Mutex<State>,
-    cv: Condvar,
+    /// One condvar per node. Every mutation wakes only the node now
+    /// holding the virtual-time minimum (see [`Scheduler::wake_min`]);
+    /// a single shared condvar with `notify_all` would wake every
+    /// parked thread per operation — an O(n²) context-switch storm that
+    /// dominates wall-clock time on 256-node clusters.
+    cvs: Vec<Condvar>,
     model: NetworkModel,
 }
 
@@ -219,7 +228,7 @@ impl Scheduler {
                 clock: 0,
                 status: Status::Running,
                 inbox: BinaryHeap::new(),
-                link_busy: vec![0; n],
+                link_busy: BTreeMap::new(),
                 deadline: None,
             })
             .collect();
@@ -231,7 +240,7 @@ impl Scheduler {
                 injector: None,
                 oracle: None,
             }),
-            cv: Condvar::new(),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
             model,
         }
     }
@@ -252,6 +261,42 @@ impl Scheduler {
         self.state.lock().nodes.len()
     }
 
+    /// Wakes exactly the node that now holds the virtual-time minimum.
+    ///
+    /// Only the (unique, id-tie-broken) minimal node can make progress,
+    /// so it is the only one worth waking. If no node has a next event
+    /// while some are still blocked, the cluster is deadlocked: record
+    /// it and wake everyone so they can observe the error. The executing
+    /// thread itself may be the minimum — notifying its idle condvar is
+    /// a harmless no-op.
+    fn wake_min(&self, st: &mut State) {
+        if st.deadlock.is_some() {
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            return;
+        }
+        let mut min: Option<(u64, usize)> = None;
+        for j in 0..st.nodes.len() {
+            if let Some(t) = st.next_event(j) {
+                if min.is_none_or(|m| (t, j) < m) {
+                    min = Some((t, j));
+                }
+            }
+        }
+        match min {
+            Some((_, j)) => self.cvs[j].notify_all(),
+            None => {
+                if st.is_deadlocked() {
+                    st.deadlock = Some(st.diagnostics());
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
     /// Blocks until `id` is the minimal-time node (or the run deadlocked).
     fn wait_turn<'a>(
         &'a self,
@@ -265,7 +310,7 @@ impl Scheduler {
             if st.is_min(id) {
                 return Ok(());
             }
-            self.cv.wait(st);
+            self.cvs[id].wait(st);
         }
     }
 
@@ -274,7 +319,7 @@ impl Scheduler {
         let mut st = self.state.lock();
         self.wait_turn(&mut st, id)?;
         st.nodes[id].clock += dt.as_micros();
-        self.cv.notify_all();
+        self.wake_min(&mut st);
         Ok(())
     }
 
@@ -304,9 +349,10 @@ impl Scheduler {
         let (deliver_at, sent_at) = {
             let sender = &mut st.nodes[id];
             sender.clock += self.model.send_cpu.as_micros();
-            let start = sender.clock.max(sender.link_busy[to]);
+            let busy = sender.link_busy.get(&to).copied().unwrap_or(0);
+            let start = sender.clock.max(busy);
             let done_tx = start + self.model.transmission(wire_len).as_micros();
-            sender.link_busy[to] = done_tx;
+            sender.link_busy.insert(to, done_tx);
             (done_tx + self.model.latency.as_micros(), sender.clock)
         };
 
@@ -330,9 +376,10 @@ impl Scheduler {
                 st.next_seq += 1;
                 let deliver2 = {
                     let sender = &mut st.nodes[id];
-                    let start = sender.clock.max(sender.link_busy[to]);
+                    let busy = sender.link_busy.get(&to).copied().unwrap_or(0);
+                    let start = sender.clock.max(busy);
                     let done_tx = start + self.model.transmission(wire_len).as_micros();
-                    sender.link_busy[to] = done_tx;
+                    sender.link_busy.insert(to, done_tx);
                     done_tx + self.model.latency.as_micros()
                 };
                 st.nodes[to].inbox.push(Reverse(Entry {
@@ -343,7 +390,7 @@ impl Scheduler {
                 }));
             }
         }
-        self.cv.notify_all();
+        self.wake_min(&mut st);
         Ok(verdict)
     }
 
@@ -363,7 +410,7 @@ impl Scheduler {
             // verdict, so the transition must wake them.
             if st.nodes[id].status != Status::Blocked {
                 st.nodes[id].status = Status::Blocked;
-                self.cv.notify_all();
+                self.wake_min(&mut st);
             }
             // Deliverable only when this node's wake time is globally
             // minimal (Blocked semantics: the pending arrival, not the stale
@@ -377,7 +424,7 @@ impl Scheduler {
                         node.status = Status::Running;
                         let blocked =
                             SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
-                        self.cv.notify_all();
+                        self.wake_min(&mut st);
                         return Ok((
                             Incoming { from: entry.from, payload: entry.payload },
                             blocked,
@@ -388,10 +435,10 @@ impl Scheduler {
                 let diag = st.diagnostics();
                 st.deadlock = Some(diag.clone());
                 st.nodes[id].status = Status::Running;
-                self.cv.notify_all();
+                self.wake_min(&mut st);
                 return Err(NetError::Deadlock(diag));
             }
-            self.cv.wait(&mut st);
+            self.cvs[id].wait(&mut st);
         }
     }
 
@@ -421,7 +468,7 @@ impl Scheduler {
             }
             if st.nodes[id].status != Status::Blocked {
                 st.nodes[id].status = Status::Blocked;
-                self.cv.notify_all();
+                self.wake_min(&mut st);
             }
             if st.is_min(id) {
                 let node = &mut st.nodes[id];
@@ -438,7 +485,7 @@ impl Scheduler {
                             entry.deliver_at.max(node.clock) + self.model.recv_cpu.as_micros();
                         let blocked =
                             SimSpan::from_micros(entry.deliver_at.saturating_sub(entry_clock));
-                        self.cv.notify_all();
+                        self.wake_min(&mut st);
                         return Ok((
                             Some(Incoming { from: entry.from, payload: entry.payload }),
                             blocked,
@@ -447,10 +494,10 @@ impl Scheduler {
                 }
                 let node = &mut st.nodes[id];
                 node.clock = deadline.max(node.clock);
-                self.cv.notify_all();
+                self.wake_min(&mut st);
                 return Ok((None, timeout));
             }
-            self.cv.wait(&mut st);
+            self.cvs[id].wait(&mut st);
         }
     }
 
@@ -468,7 +515,7 @@ impl Scheduler {
             return Ok(None);
         };
         st.nodes[id].clock += self.model.recv_cpu.as_micros();
-        self.cv.notify_all();
+        self.wake_min(&mut st);
         Ok(Some(Incoming { from: entry.from, payload: entry.payload }))
     }
 
@@ -476,9 +523,9 @@ impl Scheduler {
     pub(crate) fn mark_done(&self, id: usize) {
         let mut st = self.state.lock();
         st.nodes[id].status = Status::Done;
-        // A finish can expose a deadlock among the remaining nodes; let the
-        // blocked ones discover it themselves on wake.
-        self.cv.notify_all();
+        // A finish can expose a deadlock among the remaining nodes;
+        // wake_min detects the no-next-event case and flags it.
+        self.wake_min(&mut st);
     }
 }
 

@@ -5,8 +5,8 @@
 //! cargo run -p sdso-harness --example tank_game -- [PROTOCOL] [TEAMS] [RANGE] [TICKS]
 //! ```
 //!
-//! * `PROTOCOL` — `bsync` | `msync` | `msync2` | `ec` | `lrc` | `causal`
-//!   (default `msync2`)
+//! * `PROTOCOL` — `bsync` | `msync` | `msync2` | `msync2-shard` | `ec` |
+//!   `lrc` | `causal` (default `msync2`)
 //! * `TEAMS` — number of processes/teams, ≥ 2 (default 4)
 //! * `RANGE` — sensing range in blocks (default 1)
 //! * `TICKS` — iterations per process (default 200)
@@ -38,6 +38,7 @@ fn parse_protocol(name: &str) -> Option<Protocol> {
         "bsync" => Some(Protocol::Bsync),
         "msync" => Some(Protocol::Msync),
         "msync2" => Some(Protocol::Msync2),
+        "msync2-shard" | "shard" => Some(Protocol::Msync2Shard),
         "ec" | "entry" => Some(Protocol::Entry),
         "lrc" => Some(Protocol::Lrc),
         "causal" => Some(Protocol::Causal),
