@@ -13,6 +13,7 @@
 //!   ext-diff    Ext. C: diff-merging ablation
 //!   ext-proto   Ext. D: LRC and causal memory alongside the paper's four
 //!   churn       Ext. E: dynamic membership (leave/join barriers), clean + faulty net
+//!   crash       Ext. G: fail-stop crashes with WAL + snapshot recovery, 16 and 64 teams
 //!   all         Everything above, in order
 //!
 //! FLAGS
@@ -28,7 +29,10 @@
 //! converge, listing the failures at the end.
 
 use sdso_game::{Protocol, Scenario};
-use sdso_harness::{chaos_plan, chaos_retry_config, churn_table, default_churn_plan, Sweep, Table};
+use sdso_harness::{
+    chaos_plan, chaos_retry_config, churn_table, crash_table, default_churn_plan,
+    default_crash_plan, Sweep, Table,
+};
 use sdso_sim::NetworkModel;
 
 /// Ext. E: the game under planned membership churn — two staggered
@@ -51,6 +55,28 @@ fn churn_tables(sweep: &Sweep) -> Result<Vec<Table>, Box<dyn std::error::Error>>
         &Protocol::PAPER,
     )?;
     Ok(vec![clean_table, faulty_table])
+}
+
+/// Ext. G: the game under seeded fail-stop crashes — one WAL recovery in
+/// the first half, one unrecovered crash in the second — at 16 teams and
+/// at 64, for every protocol with a view-change barrier. Run length is
+/// held off the periodic checkpoint boundary so the recovery genuinely
+/// replays log records.
+fn crash_tables(sweep: &Sweep) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
+    let ticks = sweep.ticks.clamp(12, 36);
+    let ticks = if ticks % 32 == 0 { ticks + 4 } else { ticks };
+    let mut tables = Vec::new();
+    for teams in [16u16, 64] {
+        let scenario = Scenario::paper(teams, 1).with_ticks(ticks).with_seed(0x5D50_C4A5);
+        let faults = default_crash_plan(0x5D50_C4A5, usize::from(teams), ticks);
+        tables.push(crash_table(
+            &scenario,
+            NetworkModel::paper_testbed(),
+            &faults,
+            &Protocol::PAPER,
+        )?);
+    }
+    Ok(tables)
 }
 
 fn print_tables(tables: &[Table], csv: bool) {
@@ -124,6 +150,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "ext-diff" => sweep.ext_diff_merging()?,
             "ext-proto" => sweep.ext_protocols()?,
             "churn" => churn_tables(sweep)?,
+            "crash" => crash_tables(sweep)?,
             other => return Err(format!("unknown command {other:?}").into()),
         };
         print_tables(&tables, csv);
@@ -162,6 +189,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "ext-diff",
             "ext-proto",
             "churn",
+            "crash",
         ] {
             if let Err(e) = run(name, &sweep) {
                 eprintln!("[{name} FAILED: {e}]\n");
@@ -177,7 +205,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!("FAILED {name}: {e}");
             }
             return Err(
-                format!("{} of 9 experiment sets failed to converge", failures.len()).into()
+                format!("{} of 10 experiment sets failed to converge", failures.len()).into()
             );
         }
     } else {

@@ -9,6 +9,8 @@
 //! cargo run --release -p sdso-bench --bin perf -- net check  [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- shard record [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- shard check  [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- crash record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- crash check  [FLAGS]
 //!
 //! COMMANDS
 //!   record        Run the fixed scenario matrix and write a new baseline
@@ -27,11 +29,18 @@
 //!   shard check   Run the same pairings, compare work metrics against
 //!                 the committed BENCH_4.json, and enforce the traffic
 //!                 ratio ceilings + sub-linear growth cap fresh
+//!   crash record  Run the paper protocols under the fixed crash-and-
+//!                 recovery schedule, write BENCH_5.json
+//!   crash check   Run the same schedule, compare recovery metrics
+//!                 against the committed BENCH_5.json, and enforce the
+//!                 recovery contract (convergence, WAL replay, the
+//!                 unavailability ceiling) fresh
 //!
 //! FLAGS
 //!   --out FILE        record: where to write the baseline (default
 //!                     BENCH_0.json; BENCH_2.json for micro, BENCH_3.json
-//!                     for net, BENCH_4.json for shard)
+//!                     for net, BENCH_4.json for shard, BENCH_5.json for
+//!                     crash)
 //!   --baseline FILE   check: baseline to compare against (same defaults)
 //!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
 //!   --ticks N         iterations per process (default 120; check inherits
@@ -53,6 +62,7 @@
 use std::time::{Duration, Instant};
 
 use sdso_bench::baseline::{BenchCell, BenchReport, MATRIX_NODES, MATRIX_RANGES, SCHEMA_VERSION};
+use sdso_bench::crashbench::{run_crash_suite, CrashReport};
 use sdso_bench::micro::{self, MicroReport, MICRO_SPEEDUP_FLOOR};
 use sdso_bench::netbench::{
     run_net_suite, NetReport, NET_DEFAULT_PINGS, NET_DEFAULT_SPOKES, NET_PARITY_FLOOR,
@@ -172,7 +182,9 @@ fn usage() -> ! {
         \x20      perf net record [--out FILE] [--spokes N] [--pings N]\n\
         \x20      perf net check  [--baseline FILE] [--tolerance F]\n\
         \x20      perf shard record [--out FILE]\n\
-        \x20      perf shard check  [--baseline FILE] [--tolerance F]"
+        \x20      perf shard check  [--baseline FILE] [--tolerance F]\n\
+        \x20      perf crash record [--out FILE]\n\
+        \x20      perf crash check  [--baseline FILE] [--tolerance F]"
     );
     std::process::exit(2)
 }
@@ -182,7 +194,7 @@ fn main() {
     let Some(first) = args.first() else { usage() };
     // `micro record` / `micro check` fold into one command token; the
     // shared flag loop then applies with micro-suite defaults.
-    let (command, flags_from) = if first == "micro" || first == "net" || first == "shard" {
+    let (command, flags_from) = if ["micro", "net", "shard", "crash"].contains(&first.as_str()) {
         match args.get(1).map(String::as_str) {
             Some("record") => (format!("{first}-record"), 2),
             Some("check") => (format!("{first}-check"), 2),
@@ -197,6 +209,8 @@ fn main() {
         "BENCH_3.json"
     } else if first == "shard" {
         "BENCH_4.json"
+    } else if first == "crash" {
+        "BENCH_5.json"
     } else {
         "BENCH_0.json"
     };
@@ -246,6 +260,8 @@ fn main() {
         "net-check" => cmd_net_check(&baseline_path, tolerance, spokes, pings),
         "shard-record" => cmd_shard_record(&out),
         "shard-check" => cmd_shard_check(&baseline_path, tolerance),
+        "crash-record" => cmd_crash_record(&out),
+        "crash-check" => cmd_crash_check(&baseline_path, tolerance),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -460,6 +476,64 @@ fn cmd_shard_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
             eprintln!("FAIL {v}");
         }
         Err(format!("{} shard checks failed against {baseline_path}", violations.len()))
+    }
+}
+
+fn cmd_crash_record(out: &str) -> Result<(), String> {
+    eprintln!("recording crash-recovery baseline (paper protocols, fixed fault plan):");
+    let report = run_crash_suite()?;
+    let contract = report.contract_violations();
+    if !contract.is_empty() {
+        for v in &contract {
+            eprintln!("FAIL {v}");
+        }
+        return Err(format!(
+            "refusing to record a baseline that breaks the recovery contract \
+             ({} violations)",
+            contract.len()
+        ));
+    }
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("crash baseline written to {out} ({} cells)", report.cells.len());
+    Ok(())
+}
+
+fn cmd_crash_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = read_baseline(baseline_path, "crash record")?;
+    let baseline = CrashReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    eprintln!(
+        "checking crash recovery against {baseline_path} ({} cells, ±{:.0}%):",
+        baseline.cells.len(),
+        tolerance * 100.0
+    );
+    let current = run_crash_suite()?;
+    let mut violations = baseline.compare(&current, tolerance);
+    // The recovery contract, enforced fresh: every protocol's run must
+    // converge after the restart, the WAL must carry real state, and
+    // the unavailability window must stay under the ceiling. The sim is
+    // deterministic, so these are exact — any breach is a real change.
+    violations.extend(current.contract_violations());
+    if violations.is_empty() {
+        println!(
+            "perf crash passed: {} cells within ±{:.0}% of {baseline_path}",
+            baseline.cells.len(),
+            tolerance * 100.0
+        );
+        for c in &current.cells {
+            println!(
+                "  {}: {} WAL records replayed, down {:.2} ms, converged={}",
+                c.protocol,
+                c.wal_replayed,
+                c.downtime_micros as f64 / 1000.0,
+                c.converged
+            );
+        }
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!("{} crash checks failed against {baseline_path}", violations.len()))
     }
 }
 

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod crashbench;
 pub mod json;
 pub mod micro;
 pub mod netbench;

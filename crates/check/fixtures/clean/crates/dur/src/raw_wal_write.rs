@@ -1,0 +1,29 @@
+//! Fixture twin: the same WAL append with the bug removed — every
+//! persisted byte goes through the sync-on-commit sink, which owns the
+//! file handle and pairs each write with its fsync. `durability` must
+//! stay silent here.
+
+use std::io;
+
+pub trait CommitSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+pub struct SinkWal<S: CommitSink> {
+    sink: S,
+}
+
+impl<S: CommitSink> SinkWal<S> {
+    pub fn new(sink: S) -> Self {
+        SinkWal { sink }
+    }
+
+    pub fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        self.sink.append(record)
+    }
+}
+
+pub fn dump_snapshot<S: CommitSink>(sink: &mut S, bytes: &[u8]) -> io::Result<()> {
+    sink.replace(bytes)
+}

@@ -1,0 +1,35 @@
+//! Fixture: a WAL append that writes the record straight to the file
+//! (must trip `durability`). Nothing here fsyncs — the OS page cache
+//! "commits" the record, the process reports it durable, and a crash
+//! eats it. Every one of these paths must instead funnel through the
+//! sync-on-commit `CommitSink`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+pub struct RawWal {
+    file: File,
+}
+
+impl RawWal {
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(RawWal { file: File::create(path)? })
+    }
+
+    pub fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        self.file.write_all(record)
+    }
+
+    pub fn append_partial(&mut self, record: &[u8]) -> io::Result<usize> {
+        self.file.write(record)
+    }
+}
+
+pub fn dump_snapshot(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn reopen(path: &Path) -> io::Result<File> {
+    OpenOptions::new().append(true).open(path)
+}

@@ -150,6 +150,7 @@ mod tests {
             "fd-ownership",
             "no-blocking-in-reactor",
             "region-routing",
+            "durability",
         ] {
             assert!(rules.contains(rule), "fixture must trip {rule}; got {rules:?}");
         }

@@ -1,0 +1,102 @@
+//! `durability`: every byte the durability crate persists must funnel
+//! through the sync-on-commit sink.
+//!
+//! A WAL is only as crash-safe as its weakest write path. `CommitSink`
+//! (in `crates/dur/src/commit.rs`) is the one place that knows the
+//! append-then-fsync and write-tmp/rename/fsync-dir rituals; a raw
+//! `File::write` anywhere else in the crate produces bytes the OS may
+//! still be holding in its page cache when the process dies — a record
+//! that "committed" and then vanished, exactly the failure the WAL
+//! exists to rule out. The rule denies the raw write/create vocabulary
+//! (`.write(`, `.write_all(`, `fs::write(`, `File::create(`,
+//! `OpenOptions`) everywhere under `crates/dur/src/` except the commit
+//! module itself.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+/// Rule identifier.
+pub const RULE: &str = "durability";
+
+/// Path prefix governed by this rule.
+const SCOPE_PREFIX: &str = "crates/dur/src/";
+
+/// The one module allowed to perform raw writes: the sink implementation
+/// that pairs every write with its fsync.
+const SINK_MODULE: &str = "crates/dur/src/commit.rs";
+
+/// Raw write/create vocabulary that bypasses sync-on-commit.
+const FORBIDDEN: [(&str, &str); 5] = [
+    (".write_all(", "raw `write_all` bypasses sync-on-commit"),
+    (".write(", "raw `write` bypasses sync-on-commit"),
+    ("fs::write(", "`fs::write` commits nothing until the page cache flushes"),
+    ("File::create(", "creating files outside the sink evades the fsync discipline"),
+    ("OpenOptions", "opening files outside the sink evades the fsync discipline"),
+];
+
+/// Runs the rule over one prepared file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !ctx.rel_path.starts_with(SCOPE_PREFIX) || ctx.rel_path == SINK_MODULE {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (pattern, why) in FORBIDDEN {
+        for at in crate::lexer::find_bounded(ctx.clean, pattern) {
+            out.push(ctx.diag(
+                RULE,
+                at,
+                format!(
+                    "{why}: durable bytes must go through `CommitSink` \
+                     (crates/dur/src/commit.rs)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean_source, strip_test_modules};
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let clean = strip_test_modules(&clean_source(src));
+        let lines: Vec<&str> = src.lines().collect();
+        check(&FileCtx { rel_path: path, clean: &clean, lines: &lines })
+    }
+
+    const RAW: &str = "fn persist(&mut self, rec: &[u8]) -> io::Result<()> {\n    \
+         self.file.write_all(rec)\n}";
+
+    #[test]
+    fn raw_write_outside_the_sink_is_flagged() {
+        let d = run("crates/dur/src/wal.rs", RAW);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("CommitSink"));
+    }
+
+    #[test]
+    fn the_sink_module_and_other_crates_are_exempt() {
+        assert!(run(SINK_MODULE, RAW).is_empty());
+        assert!(run("crates/net/src/reactor.rs", RAW).is_empty());
+    }
+
+    #[test]
+    fn sinkless_file_creation_is_flagged() {
+        let src = "fn snapshot(path: &Path, bytes: &[u8]) {\n    \
+             std::fs::write(path, bytes).unwrap();\n}";
+        let d = run("crates/dur/src/snapshot.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("page cache"));
+    }
+
+    #[test]
+    fn sink_mediated_writes_are_clean() {
+        let src = "fn persist<S: CommitSink>(sink: &mut S, rec: &[u8]) -> io::Result<()> {\n    \
+             sink.append(rec)\n}";
+        assert!(run("crates/dur/src/wal.rs", src).is_empty());
+    }
+}

@@ -28,9 +28,10 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use sdso_core::{
-    DsoConfig, EveryTick, LogicalTime, MembershipPlan, Never, ObjectId, ObjectStore, SdsoRuntime,
-    SendMode, ViewChange,
+    DsoConfig, DsoError, EveryTick, LogicalTime, MembershipPlan, Never, ObjectId, ObjectStore,
+    SdsoRuntime, SendMode, ViewChange,
 };
+use sdso_dur::{DurRecord, DurStore};
 use sdso_net::{Endpoint, NetError, NodeId};
 use sdso_protocols::{EntryConsistency, LockRequest, Lookahead};
 use sdso_sim::{Candidate, DeliveryOracle, NetworkModel, ReplayOracle, SimCluster, SimEndpoint};
@@ -62,6 +63,22 @@ const CHURN_JOINER: NodeId = 3;
 /// The leaver's final write — distinguishable from any tick number.
 const CHURN_TOMBSTONE: u8 = 0xEE;
 
+/// Ticks the crash-churn scenario runs for — long enough for a join, a
+/// crash, a WAL-backed rejoin, and a tail of live play.
+pub const CRASH_TICKS: u64 = 8;
+
+/// Crash ticks the synthetic first choice point selects between (offset
+/// past the churn join at tick 2, with room for the restart).
+pub const CRASH_TRIGGERS: [u64; 2] = [3, 4];
+
+/// Ticks between a crash and its restart — the window during which the
+/// dead host is partitioned from the group (survivor traffic towards it
+/// queues as crash-era residue the restart must digest, not deliver).
+const CRASH_RESTART_GAP: u64 = 2;
+
+/// The member that crashes and recovers from its WAL.
+const CRASHER: NodeId = 1;
+
 /// The protocol workload a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
@@ -80,17 +97,22 @@ pub enum Protocol {
     /// Dynamic membership under EC: lock-protected counters incremented
     /// across a view change.
     ChurnEc,
+    /// Crash faults on top of churn: a member joins mid-run, another
+    /// fail-stops at an oracle-chosen tick (its host partitioned from the
+    /// group while down) and rejoins from its WAL with pre-crash state.
+    CrashChurn,
 }
 
 impl Protocol {
     /// All scenarios, in CLI order.
-    pub const ALL: [Protocol; 6] = [
+    pub const ALL: [Protocol; 7] = [
         Protocol::Bsync,
         Protocol::Msync,
         Protocol::Msync2,
         Protocol::Ec,
         Protocol::Churn,
         Protocol::ChurnEc,
+        Protocol::CrashChurn,
     ];
 
     /// CLI name.
@@ -102,6 +124,7 @@ impl Protocol {
             Protocol::Ec => "ec",
             Protocol::Churn => "churn",
             Protocol::ChurnEc => "churn-ec",
+            Protocol::CrashChurn => "crash-churn",
         }
     }
 
@@ -117,7 +140,7 @@ impl Protocol {
             Protocol::Bsync => 3,
             Protocol::Msync => 8,
             Protocol::Msync2 => 12,
-            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc => 0,
+            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc | Protocol::CrashChurn => 0,
         }
     }
 }
@@ -144,6 +167,9 @@ pub fn scenario(protocol: Protocol) -> impl FnMut(Arc<ReplayOracle>) -> Result<(
 pub fn run_once(protocol: Protocol, oracle: Arc<ReplayOracle>) -> Result<(), String> {
     if matches!(protocol, Protocol::Churn | Protocol::ChurnEc) {
         return run_churn_once(protocol, oracle);
+    }
+    if protocol == Protocol::CrashChurn {
+        return run_crash_churn_once(oracle);
     }
     let cluster = SimCluster::new(NODES, NetworkModel::instant())
         .with_oracle(oracle as Arc<dyn DeliveryOracle>);
@@ -193,6 +219,185 @@ fn run_churn_once(protocol: Protocol, oracle: Arc<ReplayOracle>) -> Result<(), S
 fn churn_plan(trigger: u64) -> MembershipPlan {
     MembershipPlan::new(CHURN_CAPACITY, [0, 1, 2])
         .with_change(trigger, ViewChange::new([CHURN_JOINER], [CHURN_LEAVER]))
+}
+
+/// Runs one schedule of the crash-churn scenario: node 3 joins at tick 2
+/// (churn), node 1 fail-stops at the oracle-chosen crash tick and rejoins
+/// [`CRASH_RESTART_GAP`] ticks later from its WAL. While down, the dead
+/// host is effectively partitioned from the group: survivor traffic
+/// towards it queues on its enduring endpoint as crash-era residue, which
+/// the restarted incarnation must drop (stale epochs, stale acks) rather
+/// than deliver — the composition the residue drain exists for.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant; a restart stuck
+/// awaiting its snapshot shows up as a scheduler deadlock here.
+fn run_crash_churn_once(oracle: Arc<ReplayOracle>) -> Result<(), String> {
+    let candidates: Vec<Candidate> = CRASH_TRIGGERS
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Candidate { from: i as NodeId, seq: t, deliver_at: 0 })
+        .collect();
+    let crash = CRASH_TRIGGERS[oracle.choose(0, &candidates)];
+    let cluster = SimCluster::new(CHURN_CAPACITY, NetworkModel::instant())
+        .with_oracle(oracle as Arc<dyn DeliveryOracle>);
+    let outcome = cluster
+        .run(move |ep| crash_churn_node(ep, crash))
+        .map_err(|e| format!("cluster failed to run: {e}"))?;
+    let mut snaps = Vec::with_capacity(CHURN_CAPACITY);
+    for (id, node) in outcome.nodes.into_iter().enumerate() {
+        snaps.push(node.result.map_err(|e| format!("crash at tick {crash}, node {id}: {e}"))?);
+    }
+    check_crash_churn_invariants(crash, &snaps)
+}
+
+/// The crash-churn membership plan: a planned join at tick 2, then the
+/// crasher's leave at `crash` and its rejoin at `crash + gap`.
+fn crash_churn_plan(crash: u64) -> MembershipPlan {
+    MembershipPlan::new(CHURN_CAPACITY, [0, 1, 2])
+        .with_change(2, ViewChange::join([CHURN_JOINER]))
+        .with_change(crash, ViewChange::leave([CRASHER]))
+        .with_change(crash + CRASH_RESTART_GAP, ViewChange::join([CRASHER]))
+}
+
+/// Crash-churn node: every live member writes the tick into its own
+/// object each tick; the crasher additionally WAL-logs its state so the
+/// post-crash incarnation proves it rejoined with pre-crash identity.
+fn crash_churn_node(ep: SimEndpoint, crash: u64) -> Result<NodeSnap, NetError> {
+    let me = ep.node_id();
+    let plan = crash_churn_plan(crash);
+    let restart = crash + CRASH_RESTART_GAP;
+    let build = |ep: SimEndpoint| -> Result<SdsoRuntime<SimEndpoint>, NetError> {
+        let mut rt = SdsoRuntime::new(ep, DsoConfig::compact());
+        for id in 0..CHURN_CAPACITY as u32 {
+            rt.share(ObjectId(id), vec![0u8; 4]).map_err(NetError::from)?;
+        }
+        Ok(rt)
+    };
+    let mut rt = build(ep)?;
+    let mut store = DurStore::in_memory();
+    let start = churn_enter(&mut rt, &plan, me)?;
+    let mut la = Lookahead::new(rt, EveryTick).map_err(NetError::from)?;
+    let mut times = Vec::new();
+    let mut tick = start;
+    loop {
+        while tick <= CRASH_TICKS {
+            la.runtime_mut()
+                .write(ObjectId(u32::from(me)), 0, &[tick as u8])
+                .map_err(NetError::from)?;
+            let change = plan.change_at(tick);
+            let report = if change.is_some() {
+                la.step_barrier().map_err(NetError::from)?
+            } else {
+                la.step().map_err(NetError::from)?
+            };
+            times.push(report.time);
+            if me == CRASHER {
+                let (time, lamport) =
+                    (la.runtime().logical_now().as_ticks(), la.runtime().lamport());
+                let epoch = la.runtime().membership().epoch().0;
+                store
+                    .append(&DurRecord::Ident { node: me, epoch })
+                    .and_then(|()| store.append(&DurRecord::Tick { time, lamport }))
+                    .and_then(|()| {
+                        store.append(&DurRecord::App { tag: 0, bytes: vec![tick as u8] })
+                    })
+                    .map_err(|e| {
+                        NetError::from(DsoError::ProtocolViolation(format!("WAL append: {e}")))
+                    })?;
+                if tick == crash {
+                    break;
+                }
+            }
+            if let Some(change) = change {
+                la.apply_view_change(change).map_err(NetError::from)?;
+                if la.runtime().membership().donor_for(change) == Some(me) {
+                    for &joiner in &change.joined {
+                        la.runtime_mut().send_snapshot(joiner).map_err(NetError::from)?;
+                    }
+                }
+            }
+            tick += 1;
+        }
+        if me != CRASHER || tick > CRASH_TICKS {
+            break;
+        }
+        // Fail-stop: volatile state vanishes; the WAL bytes and the host's
+        // endpoint survive. While down, the group sees a leave.
+        let endpoint = la.into_runtime().into_endpoint();
+        let (wal, snap) = store.into_bytes();
+        let (recovered_store, image) = DurStore::from_bytes(wal, snap)
+            .map_err(|e| NetError::from(DsoError::ProtocolViolation(format!("recovery: {e}"))))?;
+        store = recovered_store;
+        let violation = |what: String| NetError::from(DsoError::ProtocolViolation(what));
+        if image.ident().map(|(node, _)| node) != Some(me) {
+            return Err(violation("recovered identity does not match the crasher".into()));
+        }
+        let state = image
+            .app_state(0)
+            .ok_or_else(|| violation("recovered WAL holds no app state".into()))?;
+        if state != [crash as u8] {
+            return Err(violation(format!(
+                "recovered state {state:?} is not the crash-tick write {crash}"
+            )));
+        }
+        let (time, lamport) = image.frontier();
+        let mut rt = build(endpoint)?;
+        rt.restore_frontier(LogicalTime::from_ticks(time), lamport);
+        let change = plan.change_at(restart).expect("restart tick carries the rejoin");
+        let view = plan.view_at(restart);
+        let donor = view.donor_for(change).expect("a survivor donates the snapshot");
+        rt.set_membership(view);
+        rt.drain_crash_residue().map_err(NetError::from)?;
+        rt.await_snapshot(donor).map_err(NetError::from)?;
+        la = Lookahead::new(rt, EveryTick).map_err(NetError::from)?;
+        tick = restart + 1;
+    }
+    let mut rt = la.into_runtime();
+    rt.exchange(true, SendMode::Broadcast, &mut Never).map_err(NetError::from)?;
+    rt.settle().map_err(NetError::from)?;
+    snapshot(&rt, times)
+}
+
+fn check_crash_churn_invariants(crash: u64, snaps: &[NodeSnap]) -> Result<(), String> {
+    for (id, snap) in snaps.iter().enumerate() {
+        // Monotone across the crash too: the restored frontier forbids the
+        // restarted incarnation from reusing pre-crash timestamps.
+        for w in snap.times.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!(
+                    "logical clock not strictly monotone on node {id} across a crash at \
+                     {crash}: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+    }
+    // Every node is a final-view member here — the crasher came back.
+    for (id, snap) in snaps.iter().enumerate().skip(1) {
+        if snap.objects != snaps[0].objects {
+            return Err(format!(
+                "replica divergence after crash at tick {crash}: node 0 holds {:?}, \
+                 node {id} holds {:?}",
+                snaps[0].objects, snap.objects
+            ));
+        }
+    }
+    // Every object ends at its writer's last live tick: survivors and the
+    // joiner write through the final tick, and the recovered crasher's
+    // resumed writes overwrite its pre-crash value.
+    for (obj, bytes) in &snaps[0].objects {
+        let expected = CRASH_TICKS as u8;
+        if bytes[0] != expected {
+            return Err(format!(
+                "object {obj} holds {} after crash at tick {crash}, expected {expected}: \
+                 a write was lost across the crash/recovery cycle",
+                bytes[0]
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Brings a churn node into the group: initial members install the
@@ -383,8 +588,8 @@ fn lookahead_node(ep: SimEndpoint, protocol: Protocol) -> Result<NodeSnap, NetEr
                     4
                 }
             }
-            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc => {
-                unreachable!("EC and churn have dedicated node runners")
+            Protocol::Ec | Protocol::Churn | Protocol::ChurnEc | Protocol::CrashChurn => {
+                unreachable!("EC, churn and crash have dedicated node runners")
             }
         };
         Some(now.plus(gap))
@@ -520,6 +725,25 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{} trigger {trigger}: {e}", p.name()));
             }
         }
+    }
+
+    #[test]
+    fn every_crash_trigger_satisfies_invariants() {
+        for (i, &crash) in CRASH_TRIGGERS.iter().enumerate() {
+            run_once(Protocol::CrashChurn, Arc::new(ReplayOracle::new(vec![i])))
+                .unwrap_or_else(|e| panic!("crash-churn at tick {crash}: {e}"));
+        }
+    }
+
+    #[test]
+    fn crash_churn_explorer_branches_over_crash_ticks_and_deliveries() {
+        let report = Explorer::new(3, 24).explore(scenario(Protocol::CrashChurn));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(
+            report.distinct >= CRASH_TRIGGERS.len(),
+            "the synthetic choice point alone yields one run per crash tick, got {}",
+            report.distinct
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use sdso_net::NetError;
+use sdso_net::{NetError, NodeId, SimSpan};
 
 use crate::object::ObjectId;
 
@@ -34,6 +34,17 @@ pub enum DsoError {
         /// Retransmission rounds performed before giving up.
         retries: u32,
     },
+    /// A bounded rendezvous wait ran out of budget with peers still owing
+    /// their `(data, SYNC)` pair, and the caller had no membership-level
+    /// escalation left (e.g. removing them would empty the group). The
+    /// crash-tolerant protocols normally convert this condition into a
+    /// view change instead of surfacing it.
+    PeerUnresponsive {
+        /// The peers that never completed the rendezvous.
+        peers: Vec<NodeId>,
+        /// How long the bounded wait was willing to wait.
+        waited: SimSpan,
+    },
 }
 
 impl fmt::Display for DsoError {
@@ -49,6 +60,9 @@ impl fmt::Display for DsoError {
             DsoError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
             DsoError::Timeout { retries } => {
                 write!(f, "gave up after {retries} retransmission rounds with no incoming traffic")
+            }
+            DsoError::PeerUnresponsive { peers, waited } => {
+                write!(f, "peers {peers:?} unresponsive after a {waited:?} bounded rendezvous")
             }
         }
     }

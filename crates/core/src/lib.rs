@@ -92,7 +92,9 @@ pub use metrics::DsoMetrics;
 pub use object::{ObjectId, Version};
 pub use router::{DiffRouter, RouteAll};
 pub use runtime::{Event, ExchangeReport, SdsoRuntime, SendMode};
-pub use sdso_member::{Epoch, MemberError, MembershipPlan, MembershipView, ViewChange};
+pub use sdso_member::{
+    leave_change_from_events, Epoch, MemberError, MembershipPlan, MembershipView, ViewChange,
+};
 pub use sdso_obs::{text_histogram_dump, Obs, ObsSet};
 pub use sfunction::{EveryTick, Never, SFunction};
 pub use slotted_buffer::{PendingUpdate, SlottedBuffer};

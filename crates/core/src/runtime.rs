@@ -225,6 +225,11 @@ impl<E: Endpoint> SdsoRuntime<E> {
         self.clock.now()
     }
 
+    /// The Lamport clock's current value (the write-stamp frontier).
+    pub fn lamport(&self) -> u64 {
+        self.lamport
+    }
+
     /// The transport clock (virtual or wall time).
     pub fn now(&self) -> sdso_net::SimInstant {
         self.endpoint.now()
@@ -261,6 +266,80 @@ impl<E: Endpoint> SdsoRuntime<E> {
     /// their own timing instrumentation).
     pub fn endpoint_mut(&mut self) -> &mut E {
         &mut self.endpoint
+    }
+
+    /// Consumes the runtime, returning the transport. A crash-simulating
+    /// driver keeps the endpoint's identity (and its virtual clock) across
+    /// a restart while every piece of volatile protocol state — clocks,
+    /// buffers, reliability windows — is dropped on the floor, exactly as
+    /// a process crash would.
+    pub fn into_endpoint(self) -> E {
+        self.endpoint
+    }
+
+    /// Restores the logical-time and Lamport frontiers a restarted process
+    /// recovered from stable storage (snapshot + WAL replay), before it
+    /// rejoins the group. Both clocks only move forward, so restoring is
+    /// idempotent against fresher in-memory state.
+    pub fn restore_frontier(&mut self, time: LogicalTime, lamport: u64) {
+        self.clock.advance_to(time);
+        self.lamport = self.lamport.max(lamport);
+    }
+
+    /// Discards crash-era residue sitting in this endpoint's receive
+    /// queue, admitting anything already stamped for the current view.
+    ///
+    /// A restarted process reuses its pre-crash endpoint (a rebooted host
+    /// keeps its address), so frames addressed to the dead incarnation —
+    /// barrier duplicates, leaver-settling retransmits, acks for sends
+    /// that died with it — are still queued when recovery completes. On a
+    /// fresh reliability layer their stale sequence numbers would squat in
+    /// the out-of-order buffer and shadow live frames at colliding
+    /// sequence numbers, so they must never reach the admit path: any
+    /// sequenced frame stamped before this view's epoch is dropped
+    /// unacked (the sender reset that link when it pruned the crashed
+    /// member), and any ack is dropped too (this incarnation has sent
+    /// nothing an ack could cover). Fresh traffic that overtook the drain
+    /// — a snapshot, or early rendezvous frames from peers already past
+    /// the rejoin barrier — is admitted through the regular reliability
+    /// path and queued for the next blocking receive.
+    ///
+    /// Call after [`SdsoRuntime::set_membership`] with the rejoin view and
+    /// before [`SdsoRuntime::await_snapshot`]. Without a reliability layer
+    /// there is no sequence state to protect (the epoch checks already
+    /// drop stale traffic on delivery) and this is a no-op. Returns the
+    /// number of residue frames dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport and codec errors.
+    pub fn drain_crash_residue(&mut self) -> Result<u64, DsoError> {
+        if self.arq.is_none() {
+            return Ok(0);
+        }
+        let mut dropped = 0u64;
+        while let Some(incoming) = self.endpoint.try_recv().map_err(DsoError::Net)? {
+            let msg: DsoMessage =
+                sdso_net::wire::decode(&incoming.payload.bytes).map_err(DsoError::Net)?;
+            let stale = match &msg {
+                DsoMessage::SeqAck { .. } => true,
+                other => other.epoch().is_some_and(|e| e < self.view.epoch()),
+            };
+            if stale {
+                dropped += 1;
+                self.counters.cross_epoch_dropped.inc();
+                reclaim_incoming(incoming.payload);
+                continue;
+            }
+            let admitted = self.admit_raw(incoming.from, &incoming.payload.bytes)?;
+            reclaim_incoming(incoming.payload);
+            if let (Some(m), Some(arq)) = (admitted, self.arq.as_mut()) {
+                // Deliverable already: park it where the blocking
+                // receives look first.
+                arq.ready.push_back(m);
+            }
+        }
+        Ok(dropped)
     }
 
     /// The exchange list (for inspection by tests and protocol layers).
@@ -722,6 +801,42 @@ impl<E: Endpoint> SdsoRuntime<E> {
         how: SendMode,
         sfunc: &mut dyn SFunction,
     ) -> Result<ExchangeReport, DsoError> {
+        self.exchange_with_budget(resync, how, sfunc, None).map(|(report, _)| report)
+    }
+
+    /// [`SdsoRuntime::exchange`] with a bounded rendezvous wait: if the
+    /// due peers have not all reciprocated within `budget`, the still-owed
+    /// peers are declared unresponsive, the rendezvous completes without
+    /// them, and their ids are returned alongside the report.
+    ///
+    /// This is the crash-detection half of the MSYNC fix: the unbounded
+    /// rendezvous parks forever on a vanished peer, while the reliability
+    /// layer's retry budget is the wrong tool (it trips on *network*
+    /// silence, not on one peer's). The caller — normally a crash-aware
+    /// protocol layer — escalates a non-empty unresponsive set to the
+    /// membership layer as an abrupt leave rather than stalling the group.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SdsoRuntime::exchange`]'s errors; budget exhaustion is a
+    /// report, not an error.
+    pub fn exchange_bounded(
+        &mut self,
+        resync: bool,
+        how: SendMode,
+        sfunc: &mut dyn SFunction,
+        budget: SimSpan,
+    ) -> Result<(ExchangeReport, Vec<NodeId>), DsoError> {
+        self.exchange_with_budget(resync, how, sfunc, Some(budget))
+    }
+
+    fn exchange_with_budget(
+        &mut self,
+        resync: bool,
+        how: SendMode,
+        sfunc: &mut dyn SFunction,
+        budget: Option<SimSpan>,
+    ) -> Result<(ExchangeReport, Vec<NodeId>), DsoError> {
         let started = self.endpoint.now();
         let t = self.clock.tick();
         let me = self.node_id();
@@ -810,8 +925,9 @@ impl<E: Endpoint> SdsoRuntime<E> {
         let _ = me;
 
         let mut updates_applied = 0usize;
+        let mut unresponsive = Vec::new();
         if resync && !due.is_empty() {
-            updates_applied = self.await_rendezvous(t, &due)?;
+            (updates_applied, unresponsive) = self.await_rendezvous(t, &due, budget)?;
         } else if !resync {
             // Push mode never blocks, but it must still *drain*: peers'
             // pushed updates would otherwise accumulate unboundedly and
@@ -847,7 +963,7 @@ impl<E: Endpoint> SdsoRuntime<E> {
             updates_sent as u32,
             updates_applied as u32,
         );
-        Ok(ExchangeReport { time: t, peers: due, updates_sent, updates_applied })
+        Ok((ExchangeReport { time: t, peers: due, updates_sent, updates_applied }, unresponsive))
     }
 
     /// Non-blocking drain used by push-mode exchanges: applies every
@@ -881,7 +997,16 @@ impl<E: Endpoint> SdsoRuntime<E> {
 
     /// Blocks until every due peer's `(data, SYNC)` pair for tick `t` has
     /// arrived, applying updates as they come and buffering early traffic.
-    fn await_rendezvous(&mut self, t: LogicalTime, due: &[NodeId]) -> Result<usize, DsoError> {
+    ///
+    /// With a `budget`, the whole wait is bounded: peers still owing their
+    /// pair when the budget runs out are returned as unresponsive (second
+    /// element) and the rendezvous completes without them.
+    fn await_rendezvous(
+        &mut self,
+        t: LogicalTime,
+        due: &[NodeId],
+        budget: Option<SimSpan>,
+    ) -> Result<(usize, Vec<NodeId>), DsoError> {
         let mut applied = 0usize;
         let mut outstanding: BTreeSet<NodeId> = due.iter().copied().collect();
 
@@ -896,6 +1021,8 @@ impl<E: Endpoint> SdsoRuntime<E> {
         }
 
         let wait_start = self.endpoint.now();
+        let deadline = budget.map(|b| wait_start + b);
+        let mut unresponsive: Vec<NodeId> = Vec::new();
         self.obs.record(
             wait_start.as_micros(),
             EventKind::RendezvousWaitBegin,
@@ -904,7 +1031,21 @@ impl<E: Endpoint> SdsoRuntime<E> {
             0,
         );
         while !outstanding.is_empty() {
-            let (from, msg) = self.next_msg_blocking()?;
+            let (from, msg) = match deadline {
+                None => self.next_msg_blocking()?,
+                Some(d) => match self.next_msg_deadline(d)? {
+                    Some(m) => m,
+                    None => {
+                        // Budget exhausted: whoever still owes a pair is
+                        // declared unresponsive and the rendezvous closes
+                        // without them. The caller escalates to the
+                        // membership layer (or errors) — the engine itself
+                        // must not invent a view change mid-exchange.
+                        unresponsive = outstanding.iter().copied().collect();
+                        break;
+                    }
+                },
+            };
             // Cross-epoch traffic never errors the engine: residue from a
             // peer that has since left is dropped (and counted), traffic
             // from a peer that is an epoch ahead is buffered by its
@@ -957,10 +1098,10 @@ impl<E: Endpoint> SdsoRuntime<E> {
             wait_end.as_micros(),
             EventKind::RendezvousWaitEnd,
             t.as_ticks() as u32,
-            0,
+            unresponsive.len() as u32,
             0,
         );
-        Ok(applied)
+        Ok((applied, unresponsive))
     }
 
     fn apply_updates(&mut self, updates: &[WireUpdate]) -> Result<usize, DsoError> {
@@ -1088,6 +1229,60 @@ impl<E: Endpoint> SdsoRuntime<E> {
                         0,
                     );
                     self.retransmit_unacked()?;
+                }
+            }
+        }
+    }
+
+    /// Receive bounded by a wall/virtual-time `deadline` rather than the
+    /// reliability layer's silent-round budget: used by bounded rendezvous
+    /// waits, where "how long am I willing to wait" is the caller's
+    /// decision, not the link layer's. With reliability enabled the wait
+    /// is sliced at the retransmission timeout so unacked traffic keeps
+    /// being resynced while the budget drains; `Ok(None)` means the
+    /// deadline passed without a deliverable message.
+    fn next_msg_deadline(
+        &mut self,
+        deadline: sdso_net::SimInstant,
+    ) -> Result<Option<(NodeId, DsoMessage)>, DsoError> {
+        if let Some(arq) = &mut self.arq {
+            if let Some(m) = arq.ready.pop_front() {
+                return Ok(Some(m));
+            }
+        }
+        let rto = self.arq.as_ref().map(|a| a.cfg.rto);
+        loop {
+            let remaining = deadline.saturating_since(self.endpoint.now());
+            if remaining == SimSpan::ZERO {
+                return Ok(None);
+            }
+            let slice = match rto {
+                Some(rto) if rto < remaining => rto,
+                _ => remaining,
+            };
+            match self.endpoint.recv_deadline(slice).map_err(DsoError::Net)? {
+                Some(incoming) => {
+                    let admitted = self.admit_raw(incoming.from, &incoming.payload.bytes)?;
+                    reclaim_incoming(incoming.payload);
+                    if let Some(m) = admitted {
+                        return Ok(Some(m));
+                    }
+                }
+                None => {
+                    // A silent RTO slice: resync unacked traffic exactly
+                    // like the unbounded path, but charge the caller's
+                    // budget instead of a retry counter.
+                    if rto.is_some() {
+                        self.counters.resyncs.inc();
+                        self.obs.record(
+                            self.endpoint.now().as_micros(),
+                            EventKind::Resync,
+                            0,
+                            0,
+                            0,
+                        );
+                        self.retransmit_unacked()?;
+                    }
                 }
             }
         }

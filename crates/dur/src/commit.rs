@@ -1,0 +1,229 @@
+//! Sync-on-commit byte sinks — the sole raw-write site in this crate.
+//!
+//! Durability is only as strong as its weakest write path, so every byte
+//! that must survive a crash funnels through [`CommitSink`]: an append is
+//! not "committed" until the sink has flushed it to stable storage, and a
+//! whole-content replace is atomic (readers see the old content or the
+//! new, never a mix). The `durability` lint in `sdso-check` enforces that
+//! no other module in `crates/dur` performs raw file writes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A durable byte sink with sync-on-commit semantics.
+///
+/// Implementations promise that when [`CommitSink::append`] or
+/// [`CommitSink::replace`] returns `Ok`, the bytes survive a process
+/// crash (for the in-memory sink, "survive" means: remain in the buffer a
+/// test hands to the next incarnation).
+pub trait CommitSink {
+    /// Appends `bytes` at the end and commits them to stable storage
+    /// before returning.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates the sink to `len` bytes and commits the new length.
+    /// Recovery uses this to cut a torn tail.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+
+    /// Current committed length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the sink holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the entire committed content.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Atomically replaces the entire content with `bytes`: after a crash
+    /// at any point, a reader sees either the old content or the new one.
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// A [`CommitSink`] over a real file: appends are `write` + `fsync`,
+/// replaces go through a temporary file renamed into place (the classic
+/// write-tmp / fsync / rename / fsync-dir sequence).
+#[derive(Debug)]
+pub struct CommitFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl CommitFile {
+    /// Opens (creating if absent) the file at `path` for durable appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // Existing content is the recovery source — never truncate here.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(CommitFile { file, path, len })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes the directory entry after a rename, so the replacement
+    /// itself is durable, not just the replacing file's content.
+    fn sync_parent_dir(&self) -> io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                File::open(parent)?.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CommitSink for CommitFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(bytes)?;
+        self.file.sync_data()?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()?;
+        self.len = len;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::with_capacity(self.len as usize);
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("tmp");
+        {
+            let mut tmp =
+                OpenOptions::new().write(true).create(true).truncate(true).open(&tmp_path)?;
+            tmp.write_all(bytes)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.sync_parent_dir()?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.len = bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// An in-memory [`CommitSink`] for the simulator and property tests: the
+/// buffer *is* the stable storage, so a test models a crash by keeping
+/// the buffer and dropping everything else — and models torn writes by
+/// mutilating the buffer's tail before handing it to the next
+/// incarnation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemSink {
+    data: Vec<u8>,
+}
+
+impl MemSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemSink::default()
+    }
+
+    /// Wraps pre-existing "stable storage" (e.g. the buffer surviving a
+    /// simulated crash).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        MemSink { data }
+    }
+
+    /// The committed bytes, for inspection or crash simulation.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the sink, returning the committed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl CommitSink for MemSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.data.truncate(len as usize);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.data.clone())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.data = bytes.to_vec();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_sink_round_trips() {
+        let mut s = MemSink::new();
+        s.append(b"abc").unwrap();
+        s.append(b"def").unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.read_all().unwrap(), b"abcdef");
+        s.truncate(4).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcd");
+        s.replace(b"xy").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"xy");
+    }
+
+    #[test]
+    fn commit_file_appends_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("sdso-dur-commit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        {
+            let mut f = CommitFile::open(&path).unwrap();
+            f.append(b"hello ").unwrap();
+            f.append(b"world").unwrap();
+            assert_eq!(f.read_all().unwrap(), b"hello world");
+        }
+        {
+            // Reopen: length is recovered from the file.
+            let mut f = CommitFile::open(&path).unwrap();
+            assert_eq!(f.len(), 11);
+            f.truncate(5).unwrap();
+            assert_eq!(f.read_all().unwrap(), b"hello");
+            f.replace(b"new content").unwrap();
+            assert_eq!(f.read_all().unwrap(), b"new content");
+            f.append(b"!").unwrap();
+            assert_eq!(f.read_all().unwrap(), b"new content!");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! Crash-fault tolerance for S-DSO: write-ahead logging, snapshot
+//! recovery, and quorum-replicated lock managers.
+//!
+//! The paper's exchange engine assumes processes never die; every
+//! resilience layer so far (message faults in `sdso-net`, membership
+//! churn in `sdso-member`) kept that assumption. This crate removes it:
+//!
+//! * [`CommitSink`] / [`Wal`] — a sync-on-commit byte sink and a
+//!   length+CRC framed write-ahead log over it. Opening a log scans for a
+//!   torn tail (a crash mid-append) and truncates back to the last whole
+//!   record, so recovery always sees a *prefix* of the committed history.
+//! * [`DurRecord`] / [`SnapshotImage`] / [`DurStore`] — the typed record
+//!   set a process journals (identity, tick frontiers, object writes,
+//!   application state), periodic snapshots that bound replay length, and
+//!   the store that composes the two into a [`RecoveryImage`].
+//! * [`LockReplica`] — entry consistency's lock-manager state replicated
+//!   across a small leader-elected quorum: term-based elections with
+//!   randomized timeouts over the transport's `DeadlineQueue`, log
+//!   replication of grant/release/transfer records, and failover that
+//!   re-derives the grant table from the committed log.
+//! * [`crash`] — helpers that turn a `FaultPlan`'s crash schedule into
+//!   the membership plan drivers replay it under (crash = abrupt leave,
+//!   restart = late join with WAL-carried identity).
+//!
+//! Everything is deterministic: sinks can be in-memory ([`MemSink`]) for
+//! simulator runs and proptests, elections draw their jitter from the
+//! seeded `DetRng`, and the same fault plan replays bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod crash;
+pub mod quorum;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use commit::{CommitFile, CommitSink, MemSink};
+pub use crash::{crash_membership_plan, validate_crash_plan};
+pub use quorum::{
+    GrantTable, LockReplica, LogEntry, ProposeError, QuorumConfig, QuorumMsg, ReplicaRole,
+};
+pub use record::{DurRecord, LockCmd};
+pub use snapshot::{SnapObject, SnapshotImage};
+pub use store::{DurStore, RecoveryImage};
+pub use wal::{crc32, Wal};

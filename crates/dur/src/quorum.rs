@@ -1,0 +1,978 @@
+//! Quorum-replicated lock managers: term-based leader election with
+//! randomized timeouts, log replication of lock commands, and failover
+//! that re-derives the grant table from the committed log.
+//!
+//! Entry consistency places each lock's manager statically; a manager
+//! crash takes every lock it owns down with it. [`LockReplica`] removes
+//! that single point of failure with a small Raft-shaped core (in the
+//! streamlet/raft family: elect by majority vote, replicate in leader
+//! order, commit at majority match, newest-log-wins at election):
+//!
+//! * **Deterministic.** A replica is a pure state machine driven by
+//!   [`LockReplica::on_message`] and [`LockReplica::on_timer`]; outgoing
+//!   messages accumulate in an outbox the host drains. Election jitter
+//!   comes from a seeded [`DetRng`], timers sit in the transport's
+//!   [`DeadlineQueue`] — same inputs, same elections, same log.
+//! * **Host-agnostic.** The host supplies the clock and the wires:
+//!   the virtual-time simulator, the reactor transport, or the in-module
+//!   test loop all drive the identical state machine.
+//! * **Recoverable.** The committed prefix is exactly the grant history;
+//!   a new leader's table is re-derived from its log, so failover never
+//!   invents or loses a grant that a majority acknowledged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdso_net::deadline::DeadlineQueue;
+use sdso_net::{DetRng, NodeId, SimInstant, SimSpan};
+use sdso_obs::{EventKind, Obs};
+
+use crate::record::{LockCmd, Reader};
+
+/// An election term.
+pub type Term = u64;
+
+/// A replica's current role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Following a leader (or waiting to hear from one).
+    Follower,
+    /// Standing for election.
+    Candidate,
+    /// Won the current term's election.
+    Leader,
+}
+
+/// One replicated log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term the entry was appended under.
+    pub term: Term,
+    /// The replicated command.
+    pub cmd: LockCmd,
+}
+
+/// Messages between replicas. Hosts carry them on whatever transport
+/// they have (the codec below rides in app messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumMsg {
+    /// A candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// Index of the candidate's last log entry.
+        last_index: u64,
+        /// Term of the candidate's last log entry.
+        last_term: Term,
+    },
+    /// A vote reply.
+    Vote {
+        /// Voter's term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replication (empty `entries` = heartbeat).
+    Append {
+        /// Leader's term.
+        term: Term,
+        /// Index of the entry preceding `entries`.
+        prev_index: u64,
+        /// Term of that entry (0 at the log head).
+        prev_term: Term,
+        /// Entries to append.
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        commit: u64,
+    },
+    /// Replication reply.
+    AppendOk {
+        /// Follower's term.
+        term: Term,
+        /// Whether the append matched.
+        ok: bool,
+        /// Highest log index now known replicated at the follower
+        /// (on failure: the follower's log length, as a back-off hint).
+        match_index: u64,
+    },
+}
+
+impl QuorumMsg {
+    /// Encodes the message for an app-message wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QuorumMsg::RequestVote { term, last_index, last_term } => {
+                out.push(1);
+                out.extend_from_slice(&term.to_le_bytes());
+                out.extend_from_slice(&last_index.to_le_bytes());
+                out.extend_from_slice(&last_term.to_le_bytes());
+            }
+            QuorumMsg::Vote { term, granted } => {
+                out.push(2);
+                out.extend_from_slice(&term.to_le_bytes());
+                out.push(u8::from(*granted));
+            }
+            QuorumMsg::Append { term, prev_index, prev_term, entries, commit } => {
+                out.push(3);
+                out.extend_from_slice(&term.to_le_bytes());
+                out.extend_from_slice(&prev_index.to_le_bytes());
+                out.extend_from_slice(&prev_term.to_le_bytes());
+                out.extend_from_slice(&commit.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.term.to_le_bytes());
+                    let lock_rec =
+                        crate::record::DurRecord::Lock { term: e.term, index: 0, cmd: e.cmd };
+                    let enc = lock_rec.encode();
+                    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&enc);
+                }
+            }
+            QuorumMsg::AppendOk { term, ok, match_index } => {
+                out.push(4);
+                out.extend_from_slice(&term.to_le_bytes());
+                out.push(u8::from(*ok));
+                out.extend_from_slice(&match_index.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a message; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<QuorumMsg> {
+        let mut r = Reader { data: bytes, pos: 0 };
+        let msg = match r.u8()? {
+            1 => {
+                QuorumMsg::RequestVote { term: r.u64()?, last_index: r.u64()?, last_term: r.u64()? }
+            }
+            2 => QuorumMsg::Vote { term: r.u64()?, granted: r.u8()? != 0 },
+            3 => {
+                let term = r.u64()?;
+                let prev_index = r.u64()?;
+                let prev_term = r.u64()?;
+                let commit = r.u64()?;
+                let count = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let eterm = r.u64()?;
+                    let enc = r.bytes()?;
+                    match crate::record::DurRecord::decode(&enc)? {
+                        crate::record::DurRecord::Lock { cmd, .. } => {
+                            entries.push(LogEntry { term: eterm, cmd });
+                        }
+                        _ => return None,
+                    }
+                }
+                QuorumMsg::Append { term, prev_index, prev_term, entries, commit }
+            }
+            4 => QuorumMsg::AppendOk { term: r.u64()?, ok: r.u8()? != 0, match_index: r.u64()? },
+            _ => return None,
+        };
+        if r.pos == bytes.len() {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+}
+
+/// The lock table a replica derives from its *committed* log prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrantTable {
+    holders: BTreeMap<u32, NodeId>,
+}
+
+impl GrantTable {
+    /// Applies one committed command.
+    pub fn apply(&mut self, cmd: &LockCmd) {
+        match *cmd {
+            LockCmd::Grant { lock, to } => {
+                self.holders.insert(lock, to);
+            }
+            LockCmd::Release { lock, .. } => {
+                self.holders.remove(&lock);
+            }
+            LockCmd::Transfer { lock, to, .. } => {
+                self.holders.insert(lock, to);
+            }
+        }
+    }
+
+    /// The current holder of `lock`, if granted.
+    pub fn holder(&self, lock: u32) -> Option<NodeId> {
+        self.holders.get(&lock).copied()
+    }
+
+    /// Number of currently granted locks.
+    pub fn len(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Whether no locks are granted.
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty()
+    }
+}
+
+/// Why a proposal was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposeError {
+    /// This replica is not the leader; retry at `hint` if known.
+    NotLeader {
+        /// The replica last heard from as leader, if any.
+        hint: Option<NodeId>,
+    },
+}
+
+/// Election and heartbeat pacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Minimum silence before a follower stands for election.
+    pub election_min: SimSpan,
+    /// Uniform extra jitter added on top of `election_min` (what breaks
+    /// split votes).
+    pub election_jitter: SimSpan,
+    /// Leader heartbeat interval (must be well under `election_min`).
+    pub heartbeat: SimSpan,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            election_min: SimSpan::from_millis(10),
+            election_jitter: SimSpan::from_millis(10),
+            heartbeat: SimSpan::from_millis(3),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TimerKind {
+    Election,
+    Heartbeat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Timer {
+    kind: TimerKind,
+    gen: u64,
+}
+
+/// One replica of the replicated lock-manager state machine.
+#[derive(Debug)]
+pub struct LockReplica {
+    me: NodeId,
+    members: Vec<NodeId>,
+    cfg: QuorumConfig,
+    rng: DetRng,
+    obs: Obs,
+    role: ReplicaRole,
+    term: Term,
+    voted_for: Option<NodeId>,
+    votes: BTreeSet<NodeId>,
+    log: Vec<LogEntry>,
+    commit: u64,
+    applied: u64,
+    grants: GrantTable,
+    committed: Vec<LockCmd>,
+    next_index: BTreeMap<NodeId, u64>,
+    match_index: BTreeMap<NodeId, u64>,
+    leader_hint: Option<NodeId>,
+    timers: DeadlineQueue<Timer>,
+    election_gen: u64,
+    heartbeat_gen: u64,
+    elections_won: u64,
+    outbox: Vec<(NodeId, QuorumMsg)>,
+}
+
+impl LockReplica {
+    /// Creates a replica of the quorum `members` (which must contain
+    /// `me`), with election jitter drawn from `seed`, and schedules its
+    /// first election timeout from `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain `me` or is empty.
+    pub fn new(
+        me: NodeId,
+        members: Vec<NodeId>,
+        cfg: QuorumConfig,
+        seed: u64,
+        now: SimInstant,
+    ) -> Self {
+        Self::with_obs(me, members, cfg, seed, now, Obs::disabled())
+    }
+
+    /// [`LockReplica::new`] recording elections into `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain `me` or is empty.
+    pub fn with_obs(
+        me: NodeId,
+        members: Vec<NodeId>,
+        cfg: QuorumConfig,
+        seed: u64,
+        now: SimInstant,
+        obs: Obs,
+    ) -> Self {
+        assert!(members.contains(&me), "replica {me} must be a quorum member");
+        let mut replica = LockReplica {
+            me,
+            members,
+            cfg,
+            rng: DetRng::new(seed ^ (u64::from(me) << 32)),
+            obs,
+            role: ReplicaRole::Follower,
+            term: 0,
+            voted_for: None,
+            votes: BTreeSet::new(),
+            log: Vec::new(),
+            commit: 0,
+            applied: 0,
+            grants: GrantTable::default(),
+            committed: Vec::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            leader_hint: None,
+            timers: DeadlineQueue::new(),
+            election_gen: 0,
+            heartbeat_gen: 0,
+            elections_won: 0,
+            outbox: Vec::new(),
+        };
+        replica.reset_election_timer(now);
+        replica
+    }
+
+    // ------------------------------------------------------------------
+    // Host-facing surface
+    // ------------------------------------------------------------------
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The replica's current role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.role == ReplicaRole::Leader
+    }
+
+    /// The current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// The replica last believed to lead (itself when leading).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Commit index (entries at or below it are durable at a majority).
+    pub fn commit_index(&self) -> u64 {
+        self.commit
+    }
+
+    /// The grant table derived from the committed prefix.
+    pub fn grants(&self) -> &GrantTable {
+        &self.grants
+    }
+
+    /// The committed command history, in commit order.
+    pub fn committed(&self) -> &[LockCmd] {
+        &self.committed
+    }
+
+    /// Elections this replica has won.
+    pub fn elections_won(&self) -> u64 {
+        self.elections_won
+    }
+
+    /// The replicated log (for recovery journaling by the host).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// When the host must next call [`LockReplica::on_timer`].
+    pub fn next_deadline(&self) -> Option<SimInstant> {
+        self.timers.next_deadline().map(SimInstant::from_micros)
+    }
+
+    /// Drains the messages this replica wants sent.
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, QuorumMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Proposes a command for replication. Only the leader accepts;
+    /// followers answer with a redirect hint.
+    ///
+    /// # Errors
+    ///
+    /// [`ProposeError::NotLeader`] when this replica does not lead.
+    pub fn propose(&mut self, cmd: LockCmd, now: SimInstant) -> Result<u64, ProposeError> {
+        if self.role != ReplicaRole::Leader {
+            return Err(ProposeError::NotLeader { hint: self.leader_hint });
+        }
+        self.log.push(LogEntry { term: self.term, cmd });
+        let index = self.log.len() as u64;
+        if self.majority() == 1 {
+            // Single-replica quorum: committed on append.
+            self.advance_commit();
+        } else {
+            self.broadcast_append(now);
+        }
+        Ok(index)
+    }
+
+    /// Fires every timer due at `now`.
+    pub fn on_timer(&mut self, now: SimInstant) {
+        while let Some(timer) = self.timers.pop_due(now.as_micros()) {
+            match timer.kind {
+                TimerKind::Election
+                    if timer.gen == self.election_gen && self.role != ReplicaRole::Leader =>
+                {
+                    self.start_election(now);
+                }
+                TimerKind::Heartbeat
+                    if timer.gen == self.heartbeat_gen && self.role == ReplicaRole::Leader =>
+                {
+                    self.broadcast_append(now);
+                    self.schedule_heartbeat(now);
+                }
+                // A stale generation (superseded by a later reschedule)
+                // or a timer that no longer matches the role.
+                _ => {}
+            }
+        }
+    }
+
+    /// Processes one message from a peer replica.
+    pub fn on_message(&mut self, from: NodeId, msg: QuorumMsg, now: SimInstant) {
+        match msg {
+            QuorumMsg::RequestVote { term, last_index, last_term } => {
+                self.observe_term(term);
+                let up_to_date = {
+                    let (my_last_index, my_last_term) = self.last_log();
+                    last_term > my_last_term
+                        || (last_term == my_last_term && last_index >= my_last_index)
+                };
+                let granted = term == self.term
+                    && up_to_date
+                    && (self.voted_for.is_none() || self.voted_for == Some(from));
+                if granted {
+                    self.voted_for = Some(from);
+                    self.reset_election_timer(now);
+                }
+                self.outbox.push((from, QuorumMsg::Vote { term: self.term, granted }));
+            }
+            QuorumMsg::Vote { term, granted } => {
+                self.observe_term(term);
+                if self.role == ReplicaRole::Candidate && term == self.term && granted {
+                    self.votes.insert(from);
+                    if self.votes.len() >= self.majority() {
+                        self.become_leader(now);
+                    }
+                }
+            }
+            QuorumMsg::Append { term, prev_index, prev_term, entries, commit } => {
+                if term < self.term {
+                    self.outbox.push((
+                        from,
+                        QuorumMsg::AppendOk { term: self.term, ok: false, match_index: 0 },
+                    ));
+                    return;
+                }
+                self.observe_term(term);
+                self.role = ReplicaRole::Follower;
+                self.leader_hint = Some(from);
+                self.reset_election_timer(now);
+
+                let prev = prev_index as usize;
+                let prev_matches =
+                    prev == 0 || (prev <= self.log.len() && self.log[prev - 1].term == prev_term);
+                if !prev_matches {
+                    // Roll back to the divergence point and report our
+                    // length so the leader backs off its next_index.
+                    if prev <= self.log.len() {
+                        self.log.truncate(prev.saturating_sub(1));
+                    }
+                    self.outbox.push((
+                        from,
+                        QuorumMsg::AppendOk {
+                            term: self.term,
+                            ok: false,
+                            match_index: self.log.len() as u64,
+                        },
+                    ));
+                    return;
+                }
+                for (i, entry) in entries.iter().enumerate() {
+                    let idx = prev + i + 1;
+                    if idx <= self.log.len() {
+                        if self.log[idx - 1].term != entry.term {
+                            self.log.truncate(idx - 1);
+                            self.log.push(*entry);
+                        }
+                    } else {
+                        self.log.push(*entry);
+                    }
+                }
+                let match_index = (prev + entries.len()) as u64;
+                if commit > self.commit {
+                    self.commit = commit.min(self.log.len() as u64);
+                    self.apply_committed();
+                }
+                self.outbox
+                    .push((from, QuorumMsg::AppendOk { term: self.term, ok: true, match_index }));
+            }
+            QuorumMsg::AppendOk { term, ok, match_index } => {
+                self.observe_term(term);
+                if self.role != ReplicaRole::Leader || term != self.term {
+                    return;
+                }
+                if ok {
+                    let m = self.match_index.entry(from).or_insert(0);
+                    *m = (*m).max(match_index);
+                    self.next_index.insert(from, match_index + 1);
+                    self.advance_commit();
+                } else {
+                    let next = self.next_index.entry(from).or_insert(1);
+                    *next = (*next - 1).clamp(match_index + 1, u64::MAX).max(1);
+                    self.send_append_to(from);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    fn last_log(&self) -> (u64, Term) {
+        match self.log.last() {
+            Some(e) => (self.log.len() as u64, e.term),
+            None => (0, 0),
+        }
+    }
+
+    /// Steps down if `term` is newer than ours.
+    fn observe_term(&mut self, term: Term) {
+        if term > self.term {
+            self.term = term;
+            self.role = ReplicaRole::Follower;
+            self.voted_for = None;
+            self.votes.clear();
+        }
+    }
+
+    fn reset_election_timer(&mut self, now: SimInstant) {
+        self.election_gen += 1;
+        let jitter = self.rng.up_to(self.cfg.election_jitter.as_micros());
+        let at = now.as_micros() + self.cfg.election_min.as_micros() + jitter;
+        self.timers.schedule(at, Timer { kind: TimerKind::Election, gen: self.election_gen });
+    }
+
+    fn schedule_heartbeat(&mut self, now: SimInstant) {
+        self.timers.schedule(
+            now.as_micros() + self.cfg.heartbeat.as_micros(),
+            Timer { kind: TimerKind::Heartbeat, gen: self.heartbeat_gen },
+        );
+    }
+
+    fn start_election(&mut self, now: SimInstant) {
+        self.term += 1;
+        self.role = ReplicaRole::Candidate;
+        self.voted_for = Some(self.me);
+        self.votes = BTreeSet::from([self.me]);
+        let (last_index, last_term) = self.last_log();
+        let peers: Vec<NodeId> = self.members.iter().copied().filter(|&m| m != self.me).collect();
+        for peer in peers {
+            self.outbox
+                .push((peer, QuorumMsg::RequestVote { term: self.term, last_index, last_term }));
+        }
+        self.reset_election_timer(now);
+        if self.votes.len() >= self.majority() {
+            self.become_leader(now);
+        }
+    }
+
+    fn become_leader(&mut self, now: SimInstant) {
+        self.role = ReplicaRole::Leader;
+        self.leader_hint = Some(self.me);
+        self.elections_won += 1;
+        let last = self.log.len() as u64;
+        self.next_index = self.members.iter().map(|&m| (m, last + 1)).collect();
+        self.match_index = self.members.iter().map(|&m| (m, 0)).collect();
+        self.heartbeat_gen += 1;
+        self.obs.record(
+            now.as_micros(),
+            EventKind::ElectionWon,
+            u32::from(self.me),
+            self.term as u32,
+            0,
+        );
+        self.broadcast_append(now);
+        self.schedule_heartbeat(now);
+    }
+
+    fn broadcast_append(&mut self, _now: SimInstant) {
+        let peers: Vec<NodeId> = self.members.iter().copied().filter(|&m| m != self.me).collect();
+        for peer in peers {
+            self.send_append_to(peer);
+        }
+    }
+
+    fn send_append_to(&mut self, peer: NodeId) {
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        let prev_index = next.saturating_sub(1);
+        let prev_term = if prev_index == 0 { 0 } else { self.log[(prev_index - 1) as usize].term };
+        let entries: Vec<LogEntry> = self.log[(next - 1) as usize..].to_vec();
+        self.outbox.push((
+            peer,
+            QuorumMsg::Append {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        ));
+    }
+
+    fn advance_commit(&mut self) {
+        let my_last = self.log.len() as u64;
+        for n in ((self.commit + 1)..=my_last).rev() {
+            // Only entries from the current term commit by counting (the
+            // Raft commit rule); earlier-term entries commit transitively.
+            if self.log[(n - 1) as usize].term != self.term {
+                continue;
+            }
+            let replicated = 1 + self
+                .members
+                .iter()
+                .filter(|&&m| m != self.me)
+                .filter(|&&m| self.match_index.get(&m).copied().unwrap_or(0) >= n)
+                .count();
+            if replicated >= self.majority() {
+                self.commit = n;
+                self.apply_committed();
+                break;
+            }
+        }
+    }
+
+    fn apply_committed(&mut self) {
+        while self.applied < self.commit {
+            self.applied += 1;
+            let cmd = self.log[(self.applied - 1) as usize].cmd;
+            self.grants.apply(&cmd);
+            self.committed.push(cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Per-hop latency of the test network, in virtual microseconds.
+    const LAT: u64 = 500;
+
+    /// A tiny deterministic virtual-time network driving replicas.
+    struct Quorumette {
+        replicas: Vec<LockReplica>,
+        down: BTreeSet<NodeId>,
+        queue: Vec<(u64, u64, NodeId, NodeId, QuorumMsg)>, // (at, seq, to, from, msg)
+        seq: u64,
+        now: u64,
+    }
+
+    impl Quorumette {
+        fn new(n: u16, seed: u64) -> Self {
+            let members: Vec<NodeId> = (0..n).collect();
+            let replicas = members
+                .iter()
+                .map(|&m| {
+                    LockReplica::new(
+                        m,
+                        members.clone(),
+                        QuorumConfig::default(),
+                        seed,
+                        SimInstant::ZERO,
+                    )
+                })
+                .collect();
+            Quorumette { replicas, down: BTreeSet::new(), queue: Vec::new(), seq: 0, now: 0 }
+        }
+
+        fn pump_outboxes(&mut self) {
+            for i in 0..self.replicas.len() {
+                let from = self.replicas[i].id();
+                if self.down.contains(&from) {
+                    self.replicas[i].take_outbox();
+                    continue;
+                }
+                for (to, msg) in self.replicas[i].take_outbox() {
+                    if self.down.contains(&to) {
+                        continue;
+                    }
+                    self.queue.push((self.now + LAT, self.seq, to, from, msg));
+                    self.seq += 1;
+                }
+            }
+        }
+
+        /// Advances to the next event (message arrival or timer) and
+        /// processes everything due. Returns false when nothing is left.
+        fn step(&mut self) -> bool {
+            self.pump_outboxes();
+            let next_msg = self.queue.iter().map(|e| e.0).min();
+            let next_timer = self
+                .replicas
+                .iter()
+                .filter(|r| !self.down.contains(&r.id()))
+                .filter_map(|r| r.next_deadline())
+                .map(|d| d.as_micros())
+                .min();
+            let Some(at) = [next_msg, next_timer].into_iter().flatten().min() else {
+                return false;
+            };
+            self.now = self.now.max(at);
+            let mut due: Vec<_> = Vec::new();
+            self.queue.retain(|e| {
+                if e.0 <= at {
+                    due.push(e.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|e| (e.0, e.1));
+            for (_, _, to, from, msg) in due {
+                if !self.down.contains(&to) {
+                    let idx = to as usize;
+                    self.replicas[idx].on_message(from, msg, SimInstant::from_micros(self.now));
+                }
+            }
+            for r in &mut self.replicas {
+                if !self.down.contains(&r.id()) {
+                    r.on_timer(SimInstant::from_micros(self.now));
+                }
+            }
+            self.pump_outboxes();
+            true
+        }
+
+        fn run_until(&mut self, deadline_micros: u64, mut pred: impl FnMut(&Self) -> bool) -> bool {
+            while self.now < deadline_micros {
+                if pred(self) {
+                    return true;
+                }
+                if !self.step() {
+                    return pred(self);
+                }
+            }
+            pred(self)
+        }
+
+        fn live_leader(&self) -> Option<NodeId> {
+            let leaders: Vec<NodeId> = self
+                .replicas
+                .iter()
+                .filter(|r| !self.down.contains(&r.id()) && r.is_leader())
+                .map(|r| r.id())
+                .collect();
+            (leaders.len() == 1).then(|| leaders[0])
+        }
+
+        fn replica_mut(&mut self, id: NodeId) -> &mut LockReplica {
+            &mut self.replicas[id as usize]
+        }
+    }
+
+    fn elect(q: &mut Quorumette) -> NodeId {
+        assert!(
+            q.run_until(2_000_000, |q| q.live_leader().is_some()),
+            "no leader elected within 2 virtual seconds"
+        );
+        q.live_leader().unwrap()
+    }
+
+    /// Drives `cmds` through the quorum with NotLeader redirect retries,
+    /// returning the virtual time at which the last command committed.
+    fn drive(q: &mut Quorumette, cmds: &[LockCmd]) {
+        for &cmd in cmds {
+            let mut target = elect(q);
+            loop {
+                let now = SimInstant::from_micros(q.now);
+                match q.replica_mut(target).propose(cmd, now) {
+                    Ok(index) => {
+                        assert!(
+                            q.run_until(q.now + 2_000_000, |q| q
+                                .replicas
+                                .iter()
+                                .filter(|r| !q.down.contains(&r.id()))
+                                .all(|r| r.commit_index() >= index)),
+                            "command did not commit quorum-wide"
+                        );
+                        break;
+                    }
+                    Err(ProposeError::NotLeader { hint }) => {
+                        target = match hint {
+                            Some(h) if !q.down.contains(&h) && h != target => h,
+                            _ => elect(q),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_replicas_elect_exactly_one_live_leader() {
+        let mut q = Quorumette::new(3, 42);
+        let leader = elect(&mut q);
+        // Stability: run on; the leader holds (same term, no usurper).
+        let term = q.replicas[leader as usize].term();
+        q.run_until(q.now + 200_000, |_| false);
+        assert_eq!(q.live_leader(), Some(leader), "heartbeats suppress new elections");
+        assert_eq!(q.replicas[leader as usize].term(), term);
+    }
+
+    #[test]
+    fn committed_commands_replicate_to_every_replica() {
+        let mut q = Quorumette::new(3, 7);
+        let cmds = [
+            LockCmd::Grant { lock: 1, to: 0 },
+            LockCmd::Grant { lock: 2, to: 1 },
+            LockCmd::Release { lock: 1, from: 0 },
+            LockCmd::Transfer { lock: 2, from: 1, to: 2 },
+        ];
+        drive(&mut q, &cmds);
+        for r in &q.replicas {
+            assert_eq!(r.committed(), &cmds, "identical committed history at {}", r.id());
+            assert_eq!(r.grants().holder(2), Some(2));
+            assert_eq!(r.grants().holder(1), None);
+        }
+    }
+
+    #[test]
+    fn leader_crash_fails_over_and_rederives_grants() {
+        let mut q = Quorumette::new(3, 99);
+        drive(&mut q, &[LockCmd::Grant { lock: 5, to: 1 }, LockCmd::Grant { lock: 6, to: 2 }]);
+        let old_leader = elect(&mut q);
+        let old_term = q.replicas[old_leader as usize].term();
+        q.down.insert(old_leader);
+
+        // The survivors elect a new leader in a strictly later term.
+        assert!(
+            q.run_until(q.now + 2_000_000, |q| q.live_leader().is_some_and(|l| l != old_leader)),
+            "no failover"
+        );
+        let new_leader = q.live_leader().unwrap();
+        assert!(q.replicas[new_leader as usize].term() > old_term);
+        // Its grant table was re-derived from the committed log, intact.
+        assert_eq!(q.replicas[new_leader as usize].grants().holder(5), Some(1));
+        assert_eq!(q.replicas[new_leader as usize].grants().holder(6), Some(2));
+
+        // The quorum keeps accepting commands.
+        drive(&mut q, &[LockCmd::Release { lock: 5, from: 1 }]);
+        for r in q.replicas.iter().filter(|r| !q.down.contains(&r.id())) {
+            assert_eq!(r.grants().holder(5), None);
+            assert_eq!(r.committed().len(), 3);
+        }
+    }
+
+    #[test]
+    fn crash_and_crash_free_runs_commit_identical_histories() {
+        // The flagship acceptance shape at the lock-service level: the
+        // same client command stream, with and without a leader crash
+        // mid-stream, commits the same history and final table.
+        let cmds: Vec<LockCmd> = (0..8u32)
+            .map(|i| {
+                if i % 3 == 2 {
+                    LockCmd::Release { lock: i / 3, from: (i % 2) as NodeId }
+                } else {
+                    LockCmd::Grant { lock: i / 3, to: (i % 2) as NodeId }
+                }
+            })
+            .collect();
+
+        let mut calm = Quorumette::new(3, 1234);
+        drive(&mut calm, &cmds);
+
+        let mut chaotic = Quorumette::new(3, 1234);
+        drive(&mut chaotic, &cmds[..4]);
+        let victim = elect(&mut chaotic);
+        chaotic.down.insert(victim);
+        drive(&mut chaotic, &cmds[4..]);
+
+        let calm_history = calm.replicas[0].committed().to_vec();
+        let survivor = chaotic.replicas.iter().find(|r| !chaotic.down.contains(&r.id())).unwrap();
+        assert_eq!(survivor.committed(), &calm_history[..], "crash changed the committed history");
+        assert_eq!(survivor.grants(), calm.replicas[0].grants());
+    }
+
+    #[test]
+    fn same_seed_replays_identical_elections() {
+        let run = |seed: u64| {
+            let mut q = Quorumette::new(3, seed);
+            let leader = elect(&mut q);
+            (leader, q.replicas[leader as usize].term(), q.now)
+        };
+        assert_eq!(run(555), run(555), "same seed, same winner, same term, same time");
+        // And measuring once more for a different seed usually differs in
+        // timing — not asserted (it legitimately may collide).
+    }
+
+    #[test]
+    fn quorum_msgs_round_trip_the_codec() {
+        let msgs = vec![
+            QuorumMsg::RequestVote { term: 3, last_index: 9, last_term: 2 },
+            QuorumMsg::Vote { term: 3, granted: true },
+            QuorumMsg::Append {
+                term: 4,
+                prev_index: 2,
+                prev_term: 1,
+                entries: vec![
+                    LogEntry { term: 4, cmd: LockCmd::Grant { lock: 7, to: 1 } },
+                    LogEntry { term: 4, cmd: LockCmd::Transfer { lock: 7, from: 1, to: 0 } },
+                ],
+                commit: 2,
+            },
+            QuorumMsg::AppendOk { term: 4, ok: false, match_index: 11 },
+        ];
+        for msg in msgs {
+            assert_eq!(QuorumMsg::decode(&msg.encode()), Some(msg));
+        }
+        assert_eq!(QuorumMsg::decode(&[]), None);
+        assert_eq!(QuorumMsg::decode(&[9, 1, 2]), None);
+    }
+
+    #[test]
+    fn minority_partition_cannot_commit() {
+        let mut q = Quorumette::new(3, 21);
+        let leader = elect(&mut q);
+        // Cut the leader off from both followers.
+        let followers: Vec<NodeId> = (0..3).filter(|&n| n != leader).collect();
+        q.down.insert(followers[0]);
+        q.down.insert(followers[1]);
+        let now = SimInstant::from_micros(q.now);
+        let idx = q.replica_mut(leader).propose(LockCmd::Grant { lock: 1, to: 0 }, now).unwrap();
+        q.run_until(q.now + 500_000, |_| false);
+        assert!(
+            q.replicas[leader as usize].commit_index() < idx,
+            "an isolated leader must not commit"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Typed WAL records and their byte codec.
+//!
+//! Each [`DurRecord`] is one committed fact a process journals before
+//! acting on it: its identity and epoch, tick-frontier advances, local
+//! object writes, opaque application checkpoints, and replicated
+//! lock-manager commands. The codec is self-contained (tag byte +
+//! little-endian fields) so a record decodes without any schema outside
+//! this module; an undecodable payload is treated like tail corruption by
+//! the store — replay stops there.
+
+use sdso_net::NodeId;
+
+/// A replicated lock-manager command — the unit of quorum log
+/// replication and the lock-flavoured WAL record payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockCmd {
+    /// `lock` was granted to `to`.
+    Grant {
+        /// The lock's object id.
+        lock: u32,
+        /// The grantee.
+        to: NodeId,
+    },
+    /// `lock` was released by `from`.
+    Release {
+        /// The lock's object id.
+        lock: u32,
+        /// The releasing holder.
+        from: NodeId,
+    },
+    /// `lock` moved from `from` to `to` without an intervening release
+    /// (entry consistency's interval transfer).
+    Transfer {
+        /// The lock's object id.
+        lock: u32,
+        /// Previous holder.
+        from: NodeId,
+        /// New holder.
+        to: NodeId,
+    },
+}
+
+impl LockCmd {
+    /// The lock this command concerns.
+    pub fn lock(&self) -> u32 {
+        match *self {
+            LockCmd::Grant { lock, .. }
+            | LockCmd::Release { lock, .. }
+            | LockCmd::Transfer { lock, .. } => lock,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            LockCmd::Grant { lock, to } => {
+                out.push(0);
+                out.extend_from_slice(&lock.to_le_bytes());
+                out.extend_from_slice(&u32::from(to).to_le_bytes());
+            }
+            LockCmd::Release { lock, from } => {
+                out.push(1);
+                out.extend_from_slice(&lock.to_le_bytes());
+                out.extend_from_slice(&u32::from(from).to_le_bytes());
+            }
+            LockCmd::Transfer { lock, from, to } => {
+                out.push(2);
+                out.extend_from_slice(&lock.to_le_bytes());
+                out.extend_from_slice(&u32::from(from).to_le_bytes());
+                out.extend_from_slice(&u32::from(to).to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Option<LockCmd> {
+        match r.u8()? {
+            0 => Some(LockCmd::Grant { lock: r.u32()?, to: r.node()? }),
+            1 => Some(LockCmd::Release { lock: r.u32()?, from: r.node()? }),
+            2 => Some(LockCmd::Transfer { lock: r.u32()?, from: r.node()?, to: r.node()? }),
+            _ => None,
+        }
+    }
+}
+
+/// One committed fact in a process's write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurRecord {
+    /// Written once when the log is created (and again after each
+    /// checkpoint): who this log belongs to and which membership epoch it
+    /// last operated in. Recovery asserts the identity matches before
+    /// trusting anything else.
+    Ident {
+        /// The owning process.
+        node: NodeId,
+        /// The membership epoch at write time.
+        epoch: u32,
+    },
+    /// A committed logical-tick boundary: everything before it in the log
+    /// happened at or before `time`.
+    Tick {
+        /// The logical (rendezvous) tick just completed.
+        time: u64,
+        /// The Lamport frontier at that boundary.
+        lamport: u64,
+    },
+    /// A committed local write to a shared object.
+    Write {
+        /// The object written.
+        object: u32,
+        /// Byte offset of the write.
+        offset: u32,
+        /// The bytes written.
+        bytes: Vec<u8>,
+        /// Lamport stamp of the write.
+        stamp: u64,
+        /// The writing process (version tie-breaker).
+        writer: NodeId,
+    },
+    /// An opaque application-state blob (e.g. a game core's private
+    /// state), tagged so one log can carry several kinds.
+    App {
+        /// Application-defined discriminator.
+        tag: u8,
+        /// The encoded state.
+        bytes: Vec<u8>,
+    },
+    /// A replicated lock-manager log entry (term + index locate it in the
+    /// quorum log).
+    Lock {
+        /// Election term the entry was appended under.
+        term: u64,
+        /// 1-based position in the quorum log.
+        index: u64,
+        /// The replicated command.
+        cmd: LockCmd,
+    },
+}
+
+const TAG_IDENT: u8 = 1;
+const TAG_TICK: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_APP: u8 = 4;
+const TAG_LOCK: u8 = 5;
+
+impl DurRecord {
+    /// The record's wire tag (also the `WalAppend` event operand).
+    pub fn tag(&self) -> u8 {
+        match self {
+            DurRecord::Ident { .. } => TAG_IDENT,
+            DurRecord::Tick { .. } => TAG_TICK,
+            DurRecord::Write { .. } => TAG_WRITE,
+            DurRecord::App { .. } => TAG_APP,
+            DurRecord::Lock { .. } => TAG_LOCK,
+        }
+    }
+
+    /// Encodes the record as a WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.tag());
+        match self {
+            DurRecord::Ident { node, epoch } => {
+                out.extend_from_slice(&u32::from(*node).to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            DurRecord::Tick { time, lamport } => {
+                out.extend_from_slice(&time.to_le_bytes());
+                out.extend_from_slice(&lamport.to_le_bytes());
+            }
+            DurRecord::Write { object, offset, bytes, stamp, writer } => {
+                out.extend_from_slice(&object.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&stamp.to_le_bytes());
+                out.extend_from_slice(&u32::from(*writer).to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            DurRecord::App { tag, bytes } => {
+                out.push(*tag);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            DurRecord::Lock { term, index, cmd } => {
+                out.extend_from_slice(&term.to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+                cmd.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes a WAL payload; `None` on any malformed input (the store
+    /// treats that as corruption and stops replay).
+    pub fn decode(payload: &[u8]) -> Option<DurRecord> {
+        let mut r = Reader { data: payload, pos: 0 };
+        let rec = match r.u8()? {
+            TAG_IDENT => DurRecord::Ident { node: r.node()?, epoch: r.u32()? },
+            TAG_TICK => DurRecord::Tick { time: r.u64()?, lamport: r.u64()? },
+            TAG_WRITE => {
+                let object = r.u32()?;
+                let offset = r.u32()?;
+                let stamp = r.u64()?;
+                let writer = r.node()?;
+                let bytes = r.bytes()?;
+                DurRecord::Write { object, offset, bytes, stamp, writer }
+            }
+            TAG_APP => {
+                let tag = r.u8()?;
+                let bytes = r.bytes()?;
+                DurRecord::App { tag, bytes }
+            }
+            TAG_LOCK => {
+                let term = r.u64()?;
+                let index = r.u64()?;
+                DurRecord::Lock { term, index, cmd: LockCmd::decode_from(&mut r)? }
+            }
+            _ => return None,
+        };
+        if r.pos == payload.len() {
+            Some(rec)
+        } else {
+            None
+        }
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl Reader<'_> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        let b = *self.data.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let s = self.data.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let s = self.data.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub(crate) fn node(&mut self) -> Option<NodeId> {
+        NodeId::try_from(self.u32()?).ok()
+    }
+
+    pub(crate) fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let s = self.data.get(self.pos..self.pos + len)?;
+        self.pos += len;
+        Some(s.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<DurRecord> {
+        vec![
+            DurRecord::Ident { node: 3, epoch: 7 },
+            DurRecord::Tick { time: 42, lamport: 99 },
+            DurRecord::Write { object: 5, offset: 16, bytes: vec![1, 2, 3], stamp: 8, writer: 2 },
+            DurRecord::App { tag: 9, bytes: b"state".to_vec() },
+            DurRecord::Lock { term: 2, index: 11, cmd: LockCmd::Grant { lock: 4, to: 1 } },
+            DurRecord::Lock { term: 3, index: 12, cmd: LockCmd::Release { lock: 4, from: 1 } },
+            DurRecord::Lock {
+                term: 3,
+                index: 13,
+                cmd: LockCmd::Transfer { lock: 4, from: 1, to: 2 },
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in samples() {
+            let encoded = rec.encode();
+            assert_eq!(DurRecord::decode(&encoded), Some(rec));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_and_truncation_are_rejected() {
+        for rec in samples() {
+            let mut encoded = rec.encode();
+            encoded.push(0);
+            assert_eq!(DurRecord::decode(&encoded), None, "trailing byte must fail");
+            let short = &encoded[..encoded.len() - 2];
+            assert_eq!(DurRecord::decode(short), None, "truncated payload must fail");
+        }
+        assert_eq!(DurRecord::decode(&[]), None);
+        assert_eq!(DurRecord::decode(&[200]), None, "unknown tag");
+    }
+}

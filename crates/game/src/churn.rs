@@ -147,7 +147,7 @@ pub fn run_churn_node_obs<E: Endpoint>(
 /// points stay clear until they join. Every process (joiners included)
 /// shares the identical initial bodies, so a snapshot only ever carries
 /// objects modified since the start.
-fn build_churn_runtime<E: Endpoint>(
+pub(crate) fn build_churn_runtime<E: Endpoint>(
     endpoint: E,
     scenario: &Scenario,
     plan: &MembershipPlan,

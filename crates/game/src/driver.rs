@@ -127,6 +127,14 @@ pub struct NodeStats {
     /// row-major order) — the raw material for rendering and for
     /// cross-replica consistency oracles.
     pub final_world: Vec<Block>,
+    /// Crash/restart cycles this process performed (crash runs only).
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_replayed: u64,
+    /// Virtual time this process was absent from the group: from each
+    /// crash instant to the completed rejoin (snapshot installed), summed
+    /// over recoveries. The raw material for the recovery-time gate.
+    pub recovery_time: SimSpan,
 }
 
 impl NodeStats {
@@ -259,6 +267,90 @@ impl GameCore {
     /// spawn cell in its lockset then — it is the tank's own cell).
     pub fn respawn_pending(&self) -> bool {
         !self.tank.alive
+    }
+
+    /// Serialises the dynamic game state — everything
+    /// [`GameCore::with_flags`] cannot reconstruct from its arguments —
+    /// for the crash-recovery WAL (`DurRecord::App`, tag 0).
+    /// Fixed-width little-endian fields behind a leading version byte;
+    /// the format is private to this crate.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(72 + 10 * self.processed_fires.len());
+        out.push(1); // version
+        out.extend_from_slice(&self.tank.pos.x.to_le_bytes());
+        out.extend_from_slice(&self.tank.pos.y.to_le_bytes());
+        out.push(self.tank.hp);
+        out.push(self.tank.facing.index());
+        out.push(u8::from(self.tank.alive));
+        for word in
+            [self.tick, self.goals, self.deaths, self.shots, self.bonuses, self.modifications]
+        {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.extend_from_slice(&self.score.to_le_bytes());
+        match self.waypoint {
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+            None => out.extend_from_slice(&[0; 5]),
+        }
+        out.extend_from_slice(&(self.processed_fires.len() as u16).to_le_bytes());
+        for (&team, &tick) in &self.processed_fires {
+            out.extend_from_slice(&team.to_le_bytes());
+            out.extend_from_slice(&tick.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a core from [`GameCore::encode`] bytes over the
+    /// constructor arguments a restarted process still knows (they are
+    /// deterministic, so recovery does not persist them). Returns `None`
+    /// on a foreign version or a truncated payload.
+    pub fn decode(
+        scenario: Scenario,
+        me: NodeId,
+        arbitrate: bool,
+        strict: bool,
+        bytes: &[u8],
+    ) -> Option<Self> {
+        let mut cur = StateCursor { bytes, pos: 0 };
+        if cur.u8()? != 1 {
+            return None;
+        }
+        let pos = Pos::new(cur.u16()?, cur.u16()?);
+        let hp = cur.u8()?;
+        let facing = Direction::from_index(cur.u8()?)?;
+        let alive = cur.u8()? != 0;
+        let [tick, goals, deaths, shots, bonuses, modifications] =
+            [cur.u64()?, cur.u64()?, cur.u64()?, cur.u64()?, cur.u64()?, cur.u64()?];
+        let score = i64::from_le_bytes(cur.take::<8>()?);
+        let waypoint = match cur.u8()? {
+            0 => {
+                cur.take::<4>()?;
+                None
+            }
+            _ => Some(Pos::new(cur.u16()?, cur.u16()?)),
+        };
+        let fires = cur.u16()?;
+        let mut processed_fires = BTreeMap::new();
+        for _ in 0..fires {
+            let team = cur.u16()?;
+            processed_fires.insert(team, cur.u64()?);
+        }
+        let mut core = GameCore::with_flags(scenario, me, arbitrate, strict);
+        core.tank = TankState { pos, hp, facing, alive };
+        core.tick = tick;
+        core.score = score;
+        core.goals = goals;
+        core.deaths = deaths;
+        core.shots = shots;
+        core.bonuses = bonuses;
+        core.modifications = modifications;
+        core.processed_fires = processed_fires;
+        core.waypoint = waypoint;
+        Some(core)
     }
 
     fn write(&mut self, port: &mut impl BlockPort, pos: Pos, block: Block) -> Result<(), DsoError> {
@@ -452,6 +544,29 @@ impl GameCore {
         self.tank.pos = to;
         let block = self.my_tank_block(None);
         self.write(port, to, block)
+    }
+}
+
+/// Bounds-checked little-endian reader for [`GameCore::decode`].
+struct StateCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl StateCursor<'_> {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let slice = self.bytes.get(self.pos..self.pos + N)?;
+        self.pos += N;
+        slice.try_into().ok()
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take::<2>().map(u16::from_le_bytes)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_le_bytes)
     }
 }
 

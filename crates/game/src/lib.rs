@@ -27,6 +27,9 @@
 //! * [`driver`] — per-protocol node runners producing [`NodeStats`];
 //! * [`churn`] — the same runners under a membership plan (players leave
 //!   and join mid-game through epoch-numbered view changes);
+//! * [`crash`] — the same runners under a [`sdso_net::FaultPlan`] crash
+//!   schedule: processes fail-stop mid-game and recover from their WAL
+//!   (`sdso-dur`), rejoining with pre-crash identity and state;
 //! * [`mod@render`] — ASCII display of (possibly stale) world replicas.
 //!
 //! # Example
@@ -57,6 +60,7 @@
 pub mod ai;
 pub mod block;
 pub mod churn;
+pub mod crash;
 pub mod driver;
 pub mod render;
 pub mod scenario;
@@ -67,6 +71,7 @@ pub mod world;
 pub use ai::{decide, Action, WorldView};
 pub use block::{Block, FireRecord};
 pub use churn::{run_churn_node, run_churn_node_obs};
+pub use crash::{run_crash_node, run_crash_node_obs};
 pub use driver::{
     ec_lockset, run_node, run_node_obs, BlockPort, GameCore, NodeStats, Protocol, TankState,
 };

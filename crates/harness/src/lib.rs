@@ -33,6 +33,7 @@
 
 mod chaos;
 mod churn;
+mod crash;
 mod experiment;
 mod figures;
 mod shard;
@@ -41,6 +42,9 @@ pub mod transports;
 
 pub use chaos::{chaos_plan, chaos_retry_config, chaos_table, converged, run_chaos_experiment};
 pub use churn::{churn_converged, churn_table, default_churn_plan, run_churn_experiment};
+pub use crash::{
+    crash_converged, crash_plan_membership, crash_table, default_crash_plan, run_crash_experiment,
+};
 pub use experiment::{mean_of, run_experiment, run_experiment_obs, run_seeds, RunSummary};
 pub use figures::Sweep;
 pub use shard::{

@@ -87,6 +87,26 @@ impl Partition {
     }
 }
 
+/// A scheduled process crash (and optional restart), in the driver's tick
+/// domain.
+///
+/// Crash events are *not* interpreted by the message-level
+/// [`FaultInjector`]: they describe process death, which drivers realise
+/// at the membership layer (crash = abrupt leave at `crash_tick`; restart
+/// = late join at `restart_tick` with WAL-carried state). Keeping them on
+/// the plan gives one seeded artifact that replays both the message chaos
+/// and the process-death schedule bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The process that dies.
+    pub node: NodeId,
+    /// The driver tick at whose barrier the process dies.
+    pub crash_tick: u64,
+    /// The driver tick at whose barrier the process rejoins, if it ever
+    /// restarts.
+    pub restart_tick: Option<u64>,
+}
+
 /// A declarative description of how links should misbehave.
 ///
 /// All probabilities are per message. The zero plan (see
@@ -111,6 +131,9 @@ pub struct FaultPlan {
     /// Timed partitions; messages crossing an active partition are
     /// dropped (and counted as injected drops).
     pub partitions: Vec<Partition>,
+    /// Scheduled process crashes/restarts, realised by crash-aware
+    /// drivers (not by the message-level injector).
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl FaultPlan {
@@ -124,6 +147,7 @@ impl FaultPlan {
             reorder_window: SimSpan::ZERO,
             jitter: SimSpan::ZERO,
             partitions: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -165,6 +189,74 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a process crash at `crash_tick`, with an optional restart
+    /// at `restart_tick` (which must be strictly later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_tick <= crash_tick`, or if `node` already has a
+    /// crash scheduled (one crash/restart cycle per node per plan).
+    pub fn with_crash(mut self, node: NodeId, crash_tick: u64, restart_tick: Option<u64>) -> Self {
+        if let Some(r) = restart_tick {
+            assert!(r > crash_tick, "restart tick {r} must follow crash tick {crash_tick}");
+        }
+        assert!(
+            self.crash_of(node).is_none(),
+            "node {node} already has a crash scheduled in this plan"
+        );
+        self.crashes.push(CrashEvent { node, crash_tick, restart_tick });
+        self
+    }
+
+    /// Adds `count` seeded crash/restart events over nodes `1..n` (node 0
+    /// is protected so a stable survivor always exists), with crash ticks
+    /// drawn from `[min_tick, max_tick)` and each crash followed by a
+    /// restart 2–5 ticks later (capped below `max_tick`).
+    ///
+    /// The schedule is drawn from a *separate* generator salted off the
+    /// plan seed, so adding crashes never shifts the message-level
+    /// decision stream — `judge()` verdicts are unchanged.
+    pub fn with_seeded_crashes(
+        mut self,
+        n: usize,
+        count: usize,
+        min_tick: u64,
+        max_tick: u64,
+    ) -> Self {
+        const CRASH_STREAM_SALT: u64 = 0xC4A5_11DE_AD5E_ED00;
+        assert!(n > 1, "need at least two nodes to crash one");
+        assert!(min_tick < max_tick, "empty crash-tick window");
+        let mut rng = DetRng::new(self.seed ^ CRASH_STREAM_SALT);
+        let mut placed = 0usize;
+        while placed < count {
+            let node = (1 + rng.up_to(n as u64 - 2)) as NodeId;
+            if self.crash_of(node).is_some() {
+                // Already crashing: the window is per-node single-shot.
+                if self.crashes.len() >= n - 1 {
+                    break;
+                }
+                continue;
+            }
+            let crash_tick = min_tick + rng.up_to(max_tick - min_tick - 1);
+            let gap = 2 + rng.up_to(3);
+            let restart = crash_tick + gap;
+            let restart_tick = if restart < max_tick { Some(restart) } else { None };
+            self.crashes.push(CrashEvent { node, crash_tick, restart_tick });
+            placed += 1;
+        }
+        self
+    }
+
+    /// The crash event scheduled for `node`, if any.
+    pub fn crash_of(&self, node: NodeId) -> Option<&CrashEvent> {
+        self.crashes.iter().find(|c| c.node == node)
+    }
+
+    /// Every node with a scheduled crash, in schedule order.
+    pub fn crashing_nodes(&self) -> Vec<NodeId> {
+        self.crashes.iter().map(|c| c.node).collect()
+    }
+
     /// Whether the plan can inject anything at all.
     pub fn is_noop(&self) -> bool {
         self.drop_prob <= 0.0
@@ -172,6 +264,7 @@ impl FaultPlan {
             && self.reorder_prob <= 0.0
             && self.jitter == SimSpan::ZERO
             && self.partitions.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Whether `a → b` traffic at `at` crosses an active partition.
@@ -296,6 +389,49 @@ mod tests {
         let v = inj.judge(0, 1, SimInstant::from_micros(10));
         assert!(v.dropped);
         assert!(!v.duplicated);
+    }
+
+    #[test]
+    fn crash_events_do_not_shift_the_decision_stream() {
+        // The crash schedule is drawn from a salted generator at plan
+        // construction: message-level verdicts must be bit-identical with
+        // and without crashes in the plan.
+        let base = FaultPlan::new(123).with_drop(0.3).with_dup(0.1);
+        let mut plain = FaultInjector::new(base.clone());
+        let mut crashing = FaultInjector::new(base.with_seeded_crashes(16, 3, 4, 40));
+        for i in 0..500u64 {
+            let at = SimInstant::from_micros(i);
+            assert_eq!(plain.judge(0, 1, at), crashing.judge(0, 1, at));
+        }
+    }
+
+    #[test]
+    fn seeded_crashes_replay_identically_and_respect_bounds() {
+        let a = FaultPlan::new(9).with_seeded_crashes(16, 4, 5, 30);
+        let b = FaultPlan::new(9).with_seeded_crashes(16, 4, 5, 30);
+        assert_eq!(a.crashes, b.crashes, "same seed, same crash schedule");
+        assert_eq!(a.crashes.len(), 4);
+        for c in &a.crashes {
+            assert!(c.node >= 1 && (c.node as usize) < 16, "node 0 is protected");
+            assert!((5..30).contains(&c.crash_tick));
+            if let Some(r) = c.restart_tick {
+                assert!(r > c.crash_tick && r < 30);
+            }
+        }
+        // Per-node single-shot: no node crashes twice.
+        let nodes = a.crashing_nodes();
+        let distinct: std::collections::BTreeSet<_> = nodes.iter().collect();
+        assert_eq!(distinct.len(), nodes.len());
+    }
+
+    #[test]
+    fn with_crash_builder_and_queries() {
+        let plan = FaultPlan::new(1).with_crash(3, 10, Some(14)).with_crash(5, 20, None);
+        assert!(!plan.is_noop(), "a crash schedule is not a no-op plan");
+        assert_eq!(plan.crash_of(3).unwrap().restart_tick, Some(14));
+        assert_eq!(plan.crash_of(5).unwrap().restart_tick, None);
+        assert!(plan.crash_of(0).is_none());
+        assert_eq!(plan.crashing_nodes(), vec![3, 5]);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod wire;
 pub use deadline::{Backoff, DeadlineQueue};
 pub use endpoint::{Endpoint, NodeId, PeerEvent};
 pub use error::NetError;
-pub use fault::{DetRng, FaultInjector, FaultPlan, Partition};
+pub use fault::{CrashEvent, DetRng, FaultInjector, FaultPlan, Partition};
 pub use faulty::FaultyEndpoint;
 pub use message::{Incoming, MsgClass, Payload};
 pub use metrics::{ClassCounters, NetMetrics, NetMetricsSnapshot};

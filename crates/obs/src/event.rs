@@ -65,10 +65,21 @@ pub enum EventKind {
     /// A shared object was written through the runtime.
     /// `(object, version_lo32, bytes)`.
     ObjectWrite = 21,
+    /// A record was appended (and synced) to the write-ahead log.
+    /// `(record_tag, payload_bytes, wal_len_lo32)`.
+    WalAppend = 22,
+    /// A recovering process replayed its write-ahead log.
+    /// `(records_replayed, truncated_bytes, 0)`.
+    WalReplay = 23,
+    /// A crashed process finished local recovery and is rejoining.
+    /// `(node, epoch, records_replayed)`.
+    Recover = 24,
+    /// A quorum replica won a leader election. `(replica, term, 0)`.
+    ElectionWon = 25,
 }
 
 /// Number of distinct event kinds (size of the per-kind counter array).
-pub const KIND_COUNT: usize = 22;
+pub const KIND_COUNT: usize = 26;
 
 /// `ThreadSpawn`/`ThreadJoin` role operand: a transport poll/reactor thread.
 pub const THREAD_ROLE_REACTOR: u32 = 1;
@@ -103,6 +114,10 @@ impl EventKind {
         EventKind::ThreadJoin,
         EventKind::ObjectRead,
         EventKind::ObjectWrite,
+        EventKind::WalAppend,
+        EventKind::WalReplay,
+        EventKind::Recover,
+        EventKind::ElectionWon,
     ];
 
     /// Stable lower-case name used by exporters and dumps.
@@ -130,6 +145,10 @@ impl EventKind {
             EventKind::ThreadJoin => "thread_join",
             EventKind::ObjectRead => "object_read",
             EventKind::ObjectWrite => "object_write",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalReplay => "wal_replay",
+            EventKind::Recover => "recover",
+            EventKind::ElectionWon => "election_won",
         }
     }
 }

@@ -227,13 +227,44 @@ pub fn chrome_trace(nodes: &[(u16, Vec<EventRecord>)]) -> String {
                     &mut out,
                     &mut first,
                 ),
+                EventKind::WalReplay => emit(
+                    instant(
+                        tid,
+                        "wal_replay",
+                        ev.at,
+                        &format!("\"records\":{},\"truncated\":{}", ev.a, ev.b),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::Recover => emit(
+                    instant(
+                        tid,
+                        "recover",
+                        ev.at,
+                        &format!("\"node\":{},\"epoch\":{},\"records\":{}", ev.a, ev.b, ev.c),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
+                EventKind::ElectionWon => emit(
+                    instant(
+                        tid,
+                        "election_won",
+                        ev.at,
+                        &format!("\"replica\":{},\"term\":{}", ev.a, ev.b),
+                    ),
+                    &mut out,
+                    &mut first,
+                ),
                 // Like Send/Recv, per-access object events dominate volume
                 // without adding visual information; the race checker reads
                 // them from the event log instead.
                 EventKind::Send
                 | EventKind::Recv
                 | EventKind::ObjectRead
-                | EventKind::ObjectWrite => {}
+                | EventKind::ObjectWrite
+                | EventKind::WalAppend => {}
             }
         }
     }

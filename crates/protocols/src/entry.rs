@@ -313,6 +313,10 @@ pub struct EntryConsistency<E: Endpoint> {
     runtime: SdsoRuntime<E>,
     /// Manager-placement policy; `None` is the paper's `object mod n`.
     placement: Option<Placement>,
+    /// Manager-route overrides: statically placed manager → the process
+    /// actually serving its lock duties (a replica group's current
+    /// leader). Single-hop, applied after placement.
+    route: BTreeMap<NodeId, NodeId>,
     managed: BTreeMap<ObjectId, ManagedLock>,
     /// Grants received but not yet consumed by `acquire`.
     granted: BTreeMap<ObjectId, (NodeId, Version)>,
@@ -335,6 +339,7 @@ impl<E: Endpoint> EntryConsistency<E> {
         EntryConsistency {
             runtime,
             placement: None,
+            route: BTreeMap::new(),
             managed: BTreeMap::new(),
             granted: BTreeMap::new(),
             held: BTreeMap::new(),
@@ -375,7 +380,36 @@ impl<E: Endpoint> EntryConsistency<E> {
         let idx = key as usize % members.len();
         // The index is in range by construction; a view always contains at
         // least this process, so the fallback cannot be reached.
-        members.iter().copied().nth(idx).unwrap_or_else(|| self.runtime.node_id())
+        let placed = members.iter().copied().nth(idx).unwrap_or_else(|| self.runtime.node_id());
+        self.route.get(&placed).copied().unwrap_or(placed)
+    }
+
+    /// Redirects lock traffic for every object statically placed at
+    /// `placed` toward `leader` (`None` clears the override). This is how
+    /// a crash-tolerant deployment keeps EC's lock RPCs pointed at a
+    /// replica group's *current* leader: placement stays static, the
+    /// route table follows elections.
+    ///
+    /// Like [`Placement`], every process must install the same routes —
+    /// both the requester and the serving process evaluate
+    /// [`EntryConsistency::manager_of_view`], and a disagreement strands
+    /// lock requests at a process that does not consider itself the
+    /// manager. Routes are single-hop: a redirect's target is used as-is,
+    /// never re-looked-up.
+    pub fn set_manager_route(&mut self, placed: NodeId, leader: Option<NodeId>) {
+        match leader {
+            Some(to) => {
+                self.route.insert(placed, to);
+            }
+            None => {
+                self.route.remove(&placed);
+            }
+        }
+    }
+
+    /// The installed manager-route overrides.
+    pub fn manager_routes(&self) -> &BTreeMap<NodeId, NodeId> {
+        &self.route
     }
 
     /// The underlying runtime (object reads, metrics).
@@ -386,6 +420,14 @@ impl<E: Endpoint> EntryConsistency<E> {
     /// Mutable runtime access.
     pub fn runtime_mut(&mut self) -> &mut SdsoRuntime<E> {
         &mut self.runtime
+    }
+
+    /// Dismantles the lock layer, returning the underlying runtime. Any
+    /// outstanding grants or queued requests are abandoned — callers model
+    /// a process that stops participating abruptly (crash-fault paths) or
+    /// one that has already released everything.
+    pub fn into_runtime(self) -> SdsoRuntime<E> {
+        self.runtime
     }
 
     /// Protocol counters.
@@ -910,6 +952,29 @@ mod tests {
         assert_eq!(nodes[0].manager_of_view(ObjectId(1)), 2);
         assert_eq!(nodes[0].manager_of_view(ObjectId(2)), 3);
         assert_eq!(nodes[0].manager_of_view(ObjectId(3)), 0);
+    }
+
+    #[test]
+    fn manager_route_overrides_follow_the_leader() {
+        // A replica group's election moves lock duty off the statically
+        // placed manager: the route table redirects exactly that node's
+        // objects, composes with placement and the view, and clears back.
+        let mut nodes = cluster(4, 4);
+        let node = &mut nodes[0];
+        assert_eq!(node.manager_of_view(ObjectId(1)), 1);
+        assert_eq!(node.manager_of_view(ObjectId(5)), 1);
+        node.set_manager_route(1, Some(3));
+        assert_eq!(node.manager_of_view(ObjectId(1)), 3, "redirected to the leader");
+        assert_eq!(node.manager_of_view(ObjectId(5)), 3, "every object placed at 1 follows");
+        assert_eq!(node.manager_of_view(ObjectId(2)), 2, "other managers untouched");
+        // Single-hop: a route whose target is itself rerouted is not
+        // chased (3 -> 0 does not turn 1's traffic toward 0).
+        node.set_manager_route(3, Some(0));
+        assert_eq!(node.manager_of_view(ObjectId(1)), 3);
+        node.set_manager_route(1, None);
+        node.set_manager_route(3, None);
+        assert_eq!(node.manager_of_view(ObjectId(1)), 1, "cleared routes restore placement");
+        assert!(node.manager_routes().is_empty());
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! | MSYNC  | `sdso_game::sfuncs::Msync` — worst-case row/column alignment |
 //! | MSYNC2 | `sdso_game::sfuncs::Msync2` — alignment **and** within range |
 
-use sdso_core::{DsoError, ExchangeReport, SFunction, SdsoRuntime, SendMode};
-use sdso_net::Endpoint;
+use sdso_core::{DsoError, ExchangeReport, SFunction, SdsoRuntime, SendMode, ViewChange};
+use sdso_net::{Endpoint, NodeId, SimSpan};
 
 /// A lookahead-consistent process: an S-DSO runtime paired with the
 /// s-function that drives its exchange schedule.
@@ -105,6 +105,70 @@ impl<E: Endpoint, S: SFunction> Lookahead<E, S> {
         self.runtime.exchange(true, SendMode::Broadcast, &mut self.sfunc)
     }
 
+    /// [`Lookahead::step`] with crash detection: the rendezvous wait is
+    /// bounded by `budget`, and peers that never reciprocated within it
+    /// are escalated to the membership layer as an abrupt leave (the
+    /// returned [`ViewChange`], empty on a quiet step). This is the fix
+    /// for MSYNC/MSYNC2 parking forever on a vanished rendezvous partner:
+    /// the group re-forms around the survivors instead of stalling.
+    ///
+    /// Every survivor must run the same bounded discipline under a
+    /// schedule that makes the vanished peer due to all of them at the
+    /// same tick (`EveryTick`, a broadcast barrier, or a planned crash
+    /// schedule); otherwise eviction skew between survivors can drop one
+    /// interval of their mutual traffic at the epoch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`DsoError::PeerUnresponsive`] when *every* live peer went silent —
+    /// a process that lost the whole group cannot tell "they all crashed"
+    /// from "I am partitioned", and continuing alone would fork the world.
+    /// Otherwise propagates [`Lookahead::step`]'s errors.
+    pub fn step_bounded(
+        &mut self,
+        budget: SimSpan,
+    ) -> Result<(ExchangeReport, ViewChange), DsoError> {
+        let (report, unresponsive) =
+            self.runtime.exchange_bounded(true, self.mode, &mut self.sfunc, budget)?;
+        self.escalate(report, unresponsive, budget)
+    }
+
+    /// [`Lookahead::step_barrier`] with the same bounded-wait escalation
+    /// as [`Lookahead::step_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Lookahead::step_bounded`].
+    pub fn step_barrier_bounded(
+        &mut self,
+        budget: SimSpan,
+    ) -> Result<(ExchangeReport, ViewChange), DsoError> {
+        let (report, unresponsive) =
+            self.runtime.exchange_bounded(true, SendMode::Broadcast, &mut self.sfunc, budget)?;
+        self.escalate(report, unresponsive, budget)
+    }
+
+    /// Converts a non-empty unresponsive set into an applied leave-flavour
+    /// view change, refusing to evict the entire peer group.
+    fn escalate(
+        &mut self,
+        report: ExchangeReport,
+        unresponsive: Vec<NodeId>,
+        budget: SimSpan,
+    ) -> Result<(ExchangeReport, ViewChange), DsoError> {
+        if unresponsive.is_empty() {
+            return Ok((report, ViewChange::new([], [])));
+        }
+        let me = self.runtime.node_id();
+        let live_peers = self.runtime.membership().peers_of(me).len();
+        if unresponsive.len() >= live_peers {
+            return Err(DsoError::PeerUnresponsive { peers: unresponsive, waited: budget });
+        }
+        let change = ViewChange::leave(unresponsive);
+        self.apply_view_change(&change)?;
+        Ok((report, change))
+    }
+
     /// Applies one membership change through the runtime, letting this
     /// node's s-function schedule first exchanges for joiners. Call only
     /// after the [`Lookahead::step_barrier`] of the trigger tick.
@@ -149,7 +213,6 @@ mod tests {
     use super::*;
     use sdso_core::{DsoConfig, EveryTick, LogicalTime, ObjectId, ObjectStore};
     use sdso_net::memory::{MemoryEndpoint, MemoryHub};
-    use sdso_net::NodeId;
 
     fn cluster(n: usize) -> Vec<SdsoRuntime<MemoryEndpoint>> {
         MemoryHub::new(n)
@@ -234,6 +297,73 @@ mod tests {
                 assert_eq!(rt.read(ObjectId(id)).unwrap()[0], 6);
             }
         }
+    }
+
+    #[test]
+    fn bounded_step_evicts_a_vanished_peer_and_survivors_converge() {
+        // Satellite regression: a rendezvous peer that vanishes mid-run
+        // used to park MSYNC-style steps forever in `await_rendezvous`.
+        // With the bounded step, both survivors declare it unresponsive,
+        // apply the same abrupt leave, and keep exchanging.
+        let mut rts = cluster(3);
+        let ghost_rt = rts.remove(2);
+        // The ghost participates for ticks 1 and 2, then dies abruptly —
+        // no settle, no goodbye. Its endpoint is kept alive (below) so
+        // survivor traffic to it queues instead of erroring, exactly like
+        // an OS buffering frames for a dead process's socket.
+        let ghost = std::thread::spawn(move || {
+            let mut node = Lookahead::new(ghost_rt, EveryTick).unwrap();
+            for tick in 0..2u8 {
+                node.runtime_mut().write(ObjectId(2), 0, &[tick + 1]).unwrap();
+                node.step().unwrap();
+            }
+            node.into_runtime()
+        });
+        let survivors: Vec<_> = rts
+            .into_iter()
+            .map(|rt| {
+                std::thread::spawn(move || {
+                    let mut node = Lookahead::new(rt, EveryTick).unwrap();
+                    let me = node.runtime().node_id();
+                    let mut evicted = Vec::new();
+                    for tick in 0..5u8 {
+                        node.runtime_mut().write(ObjectId(u32::from(me)), 0, &[tick + 1]).unwrap();
+                        let (_, change) = node.step_bounded(SimSpan::from_millis(200)).unwrap();
+                        evicted.extend(change.left.iter().copied());
+                    }
+                    (node.into_runtime(), evicted)
+                })
+            })
+            .collect();
+        let ghost_rt = ghost.join().unwrap();
+        for h in survivors {
+            let (rt, evicted) = h.join().unwrap();
+            assert_eq!(evicted, vec![2], "the ghost was evicted exactly once");
+            assert!(!rt.membership().contains(2));
+            // Survivors converged with each other through tick 5...
+            assert_eq!(rt.read(ObjectId(0)).unwrap()[0], 5);
+            assert_eq!(rt.read(ObjectId(1)).unwrap()[0], 5);
+            // ...and retain the ghost's last pre-crash write.
+            assert_eq!(rt.read(ObjectId(2)).unwrap()[0], 2);
+        }
+        drop(ghost_rt);
+    }
+
+    #[test]
+    fn bounded_step_refuses_to_evict_the_whole_group() {
+        // A process whose *every* peer went silent cannot distinguish a
+        // group crash from its own partition; continuing alone would fork
+        // the world, so the bounded step errors instead of evicting.
+        let mut rts = cluster(2);
+        let ghost_rt = rts.pop().unwrap();
+        let rt = rts.pop().unwrap();
+        let mut node = Lookahead::new(rt, EveryTick).unwrap();
+        node.runtime_mut().write(ObjectId(0), 0, &[1]).unwrap();
+        match node.step_bounded(SimSpan::from_millis(50)) {
+            Err(DsoError::PeerUnresponsive { peers, .. }) => assert_eq!(peers, vec![1]),
+            other => panic!("expected PeerUnresponsive, got {other:?}"),
+        }
+        drop(ghost_rt);
     }
 
     #[test]

@@ -24,12 +24,20 @@
 //! Add `--churn` to run under dynamic membership: two players leave at
 //! staggered mid-run barriers and two late joiners take their slots via
 //! snapshot transfer (needs ≥ 4 teams and a lookahead/EC protocol).
+//!
+//! Add `--crash` to run under fail-stop crashes: one player dies abruptly
+//! in the first half of the run and recovers from its write-ahead log
+//! (rejoining via snapshot with its pre-crash identity), another dies in
+//! the second half and stays down (needs ≥ 4 teams and a lookahead/EC
+//! protocol).
 
 use sdso_core::{text_histogram_dump, ObsSet};
 use sdso_game::{
-    render, run_churn_node_obs, run_node_obs, scoreboard, Pos, Protocol, RenderOptions, Scenario,
+    render, run_churn_node_obs, run_crash_node_obs, run_node_obs, scoreboard, Pos, Protocol,
+    RenderOptions, Scenario,
 };
-use sdso_harness::default_churn_plan;
+use sdso_harness::{default_churn_plan, default_crash_plan};
+use sdso_net::SimSpan;
 use sdso_net::TraceConfig;
 use sdso_sim::{NetworkModel, SimCluster};
 
@@ -52,6 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.retain(|a| a != "--render");
     let do_churn = args.iter().any(|a| a == "--churn");
     args.retain(|a| a != "--churn");
+    let do_crash = args.iter().any(|a| a == "--crash");
+    args.retain(|a| a != "--crash");
+    if do_churn && do_crash {
+        return Err("--churn and --crash are separate experiments; pick one".into());
+    }
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
@@ -89,17 +102,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         None
     };
+    let faults = if do_crash {
+        if !Protocol::PAPER.contains(&protocol) {
+            return Err(format!(
+                "{protocol} has no view-change barrier; --crash needs one of \
+                                bsync/msync/msync2/ec"
+            )
+            .into());
+        }
+        if teams < 4 {
+            return Err("--crash needs at least 4 teams (donor, crashers, a bystander)".into());
+        }
+        if ticks < 8 {
+            return Err("--crash needs at least 8 ticks (crash, restart, a tail of play)".into());
+        }
+        Some(default_crash_plan(0x5D50_C4A5, usize::from(teams), ticks))
+    } else {
+        None
+    };
 
     let scenario = Scenario::paper(teams, range).with_ticks(ticks);
     println!(
         "running {protocol} with {teams} teams, range {range}, {ticks} ticks{} \
          on a simulated {}-node cluster (10 Mbps switched Ethernet model)…",
-        if do_churn { ", with mid-run churn" } else { "" },
+        if do_churn {
+            ", with mid-run churn"
+        } else if do_crash {
+            ", with seeded crashes"
+        } else {
+            ""
+        },
         teams
     );
     if let Some(plan) = &plan {
         for (tick, change) in plan.changes() {
             println!("  tick {tick}: {:?} join, {:?} leave", change.joined, change.left);
+        }
+    }
+    if let Some(faults) = &faults {
+        for crash in &faults.crashes {
+            match crash.restart_tick {
+                Some(r) => println!(
+                    "  tick {}: process {} crashes, restarts at tick {r}",
+                    crash.crash_tick, crash.node
+                ),
+                None => println!(
+                    "  tick {}: process {} crashes and stays down",
+                    crash.crash_tick, crash.node
+                ),
+            }
         }
     }
 
@@ -108,13 +159,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let obs_for_nodes = obs_set.clone();
     let run_scenario = scenario.clone();
     let run_plan = plan.clone();
+    let run_faults = faults.clone();
     let outcome =
         SimCluster::new(usize::from(teams), NetworkModel::paper_testbed()).run(move |ep| {
             let obs = obs_for_nodes.node(sdso_net::Endpoint::node_id(&ep));
-            match &run_plan {
-                Some(plan) => run_churn_node_obs(ep, &run_scenario, protocol, plan, obs)
+            match (&run_plan, &run_faults) {
+                (Some(plan), _) => run_churn_node_obs(ep, &run_scenario, protocol, plan, obs)
                     .map_err(sdso_net::NetError::from),
-                None => {
+                (None, Some(faults)) => {
+                    run_crash_node_obs(ep, &run_scenario, protocol, faults, obs)
+                        .map_err(sdso_net::NetError::from)
+                }
+                (None, None) => {
                     run_node_obs(ep, &run_scenario, protocol, obs).map_err(sdso_net::NetError::from)
                 }
             }
@@ -149,7 +205,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("virtual makespan: {}", outcome.makespan());
 
-    if plan.is_some() {
+    if plan.is_some() || faults.is_some() {
         let stats: Vec<_> = outcome.nodes.iter().filter_map(|n| n.result.as_ref().ok()).collect();
         let view_changes: u64 = stats.iter().map(|s| s.dso.view_changes).sum();
         let snapshots: u64 = stats.iter().map(|s| s.dso.snapshots_sent).sum();
@@ -158,6 +214,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "membership: {view_changes} view-change applications, {snapshots} snapshot(s) \
              ({snapshot_bytes} bytes) to late joiners, {compacted} diff slot(s) compacted"
+        );
+    }
+    if faults.is_some() {
+        let stats: Vec<_> = outcome.nodes.iter().filter_map(|n| n.result.as_ref().ok()).collect();
+        let recoveries: u64 = stats.iter().map(|s| s.recoveries).sum();
+        let wal_replayed: u64 = stats.iter().map(|s| s.wal_replayed).sum();
+        let downtime = stats.iter().fold(SimSpan::ZERO, |acc, s| acc + s.recovery_time);
+        println!(
+            "recovery: {recoveries} WAL recover{} ({wal_replayed} record(s) replayed), \
+             {downtime} of summed virtual unavailability",
+            if recoveries == 1 { "y" } else { "ies" }
         );
     }
 
