@@ -11,6 +11,8 @@
 //! cargo run --release -p sdso-bench --bin perf -- shard check  [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- crash record [FLAGS]
 //! cargo run --release -p sdso-bench --bin perf -- crash check  [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- wire record [FLAGS]
+//! cargo run --release -p sdso-bench --bin perf -- wire check  [FLAGS]
 //!
 //! COMMANDS
 //!   record        Run the fixed scenario matrix and write a new baseline
@@ -35,12 +37,17 @@
 //!                 against the committed BENCH_5.json, and enforce the
 //!                 recovery contract (convergence, WAL replay, the
 //!                 unavailability ceiling) fresh
+//!   wire record   Sweep {10M,100M,1G,10G} links × the paper protocols,
+//!                 absolute vs compressed wire format, write BENCH_6.json
+//!   wire check    Run the same sweep, compare bytes/tick and exchange
+//!                 latency against the committed BENCH_6.json, and
+//!                 enforce the MSYNC2 >=40% reduction floor fresh
 //!
 //! FLAGS
 //!   --out FILE        record: where to write the baseline (default
 //!                     BENCH_0.json; BENCH_2.json for micro, BENCH_3.json
 //!                     for net, BENCH_4.json for shard, BENCH_5.json for
-//!                     crash)
+//!                     crash, BENCH_6.json for wire)
 //!   --baseline FILE   check: baseline to compare against (same defaults)
 //!   --tolerance F     check: relative tolerance, e.g. 0.25 = ±25% (default 0.25)
 //!   --ticks N         iterations per process (default 120; check inherits
@@ -68,6 +75,7 @@ use sdso_bench::netbench::{
     run_net_suite, NetReport, NET_DEFAULT_PINGS, NET_DEFAULT_SPOKES, NET_PARITY_FLOOR,
 };
 use sdso_bench::shardbench::{run_shard_suite, ShardReport};
+use sdso_bench::wirebench::{run_wire_suite, WireReport, WIRE_REDUCTION_FLOOR};
 use sdso_game::{Protocol, Scenario};
 use sdso_harness::run_experiment_obs;
 use sdso_net::TraceConfig;
@@ -184,7 +192,9 @@ fn usage() -> ! {
         \x20      perf shard record [--out FILE]\n\
         \x20      perf shard check  [--baseline FILE] [--tolerance F]\n\
         \x20      perf crash record [--out FILE]\n\
-        \x20      perf crash check  [--baseline FILE] [--tolerance F]"
+        \x20      perf crash check  [--baseline FILE] [--tolerance F]\n\
+        \x20      perf wire record [--out FILE]\n\
+        \x20      perf wire check  [--baseline FILE] [--tolerance F]"
     );
     std::process::exit(2)
 }
@@ -194,15 +204,16 @@ fn main() {
     let Some(first) = args.first() else { usage() };
     // `micro record` / `micro check` fold into one command token; the
     // shared flag loop then applies with micro-suite defaults.
-    let (command, flags_from) = if ["micro", "net", "shard", "crash"].contains(&first.as_str()) {
-        match args.get(1).map(String::as_str) {
-            Some("record") => (format!("{first}-record"), 2),
-            Some("check") => (format!("{first}-check"), 2),
-            _ => usage(),
-        }
-    } else {
-        (first.clone(), 1)
-    };
+    let (command, flags_from) =
+        if ["micro", "net", "shard", "crash", "wire"].contains(&first.as_str()) {
+            match args.get(1).map(String::as_str) {
+                Some("record") => (format!("{first}-record"), 2),
+                Some("check") => (format!("{first}-check"), 2),
+                _ => usage(),
+            }
+        } else {
+            (first.clone(), 1)
+        };
     let default_file = if first == "micro" {
         "BENCH_2.json"
     } else if first == "net" {
@@ -211,6 +222,8 @@ fn main() {
         "BENCH_4.json"
     } else if first == "crash" {
         "BENCH_5.json"
+    } else if first == "wire" {
+        "BENCH_6.json"
     } else {
         "BENCH_0.json"
     };
@@ -262,6 +275,8 @@ fn main() {
         "shard-check" => cmd_shard_check(&baseline_path, tolerance),
         "crash-record" => cmd_crash_record(&out),
         "crash-check" => cmd_crash_check(&baseline_path, tolerance),
+        "wire-record" => cmd_wire_record(&out),
+        "wire-check" => cmd_wire_check(&baseline_path, tolerance),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -534,6 +549,61 @@ fn cmd_crash_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
             eprintln!("FAIL {v}");
         }
         Err(format!("{} crash checks failed against {baseline_path}", violations.len()))
+    }
+}
+
+fn cmd_wire_record(out: &str) -> Result<(), String> {
+    eprintln!("recording wire-compression baseline (link sweep, absolute vs compressed):");
+    let report = run_wire_suite()?;
+    let contract = report.contract_violations();
+    if !contract.is_empty() {
+        for v in &contract {
+            eprintln!("FAIL {v}");
+        }
+        return Err(format!(
+            "refusing to record a baseline that breaks the compression contract \
+             ({} violations)",
+            contract.len()
+        ));
+    }
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wire baseline written to {out} ({} cells, MSYNC2 worst-link reduction {:.1}%)",
+        report.cells.len(),
+        report.msync2_reduction * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_wire_check(baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = read_baseline(baseline_path, "wire record")?;
+    let baseline = WireReport::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    eprintln!(
+        "checking wire compression against {baseline_path} ({} cells, ±{:.0}%):",
+        baseline.cells.len(),
+        tolerance * 100.0
+    );
+    let current = run_wire_suite()?;
+    let mut violations = baseline.compare(&current, tolerance);
+    // The compression contract, enforced fresh: MSYNC2 must clear the
+    // reduction floor on its worst link and no cell may inflate. The sim
+    // is deterministic, so these are exact — any breach is a real change.
+    violations.extend(current.contract_violations());
+    if violations.is_empty() {
+        println!(
+            "perf wire passed: {} cells within ±{:.0}% of {baseline_path}, \
+             MSYNC2 worst-link reduction {:.1}% (floor {:.0}%)",
+            baseline.cells.len(),
+            tolerance * 100.0,
+            current.derived_msync2_reduction() * 100.0,
+            WIRE_REDUCTION_FLOOR * 100.0
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {v}");
+        }
+        Err(format!("{} wire checks failed against {baseline_path}", violations.len()))
     }
 }
 

@@ -15,3 +15,4 @@ pub mod json;
 pub mod micro;
 pub mod netbench;
 pub mod shardbench;
+pub mod wirebench;

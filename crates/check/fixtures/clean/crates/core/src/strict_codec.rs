@@ -1,0 +1,38 @@
+//! Bug-removed twin of the `wire-compat` violation fixture: the same
+//! codec surface with the rejections replaced by the negotiation
+//! contract — record the peer's version and cap with the minimum we
+//! implement, and route every unknown version through the absolute v1
+//! decode path. Old and future binaries both stay on the wire.
+
+pub const CODEC_V1: u8 = 1;
+pub const CODEC_V2: u8 = 2;
+
+pub struct StrictCodec {
+    pub peer_version: u8,
+}
+
+pub enum CodecError {
+    Truncated,
+}
+
+impl StrictCodec {
+    pub fn on_offer(&mut self, version: u8) -> Result<(), CodecError> {
+        self.peer_version = version.min(CODEC_V2);
+        Ok(())
+    }
+
+    pub fn decode(&self, version: u8, blob: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if version >= CODEC_V2 {
+            return Ok(self.decode_v2(blob));
+        }
+        Ok(self.decode_v1(blob))
+    }
+
+    fn decode_v1(&self, blob: &[u8]) -> Vec<u8> {
+        blob.to_vec()
+    }
+
+    fn decode_v2(&self, blob: &[u8]) -> Vec<u8> {
+        blob.to_vec()
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: a version-rejecting codec path (must trip `wire-compat`).
+//! Both halves of the compatibility contract are broken here: the offer
+//! handler errors on anything below v2 (dropping every not-yet-upgraded
+//! peer off the wire), and the decoder's wildcard arm rejects instead of
+//! routing unknown versions to the absolute v1 path — so a future v3
+//! sender is cut off too, even though v3 would still negotiate down.
+
+pub const CODEC_V1: u8 = 1;
+pub const CODEC_V2: u8 = 2;
+
+pub struct StrictCodec {
+    pub peer_version: u8,
+}
+
+pub enum CodecError {
+    Unsupported(u8),
+}
+
+impl StrictCodec {
+    pub fn on_offer(&mut self, version: u8) -> Result<(), CodecError> {
+        if version < CODEC_V2 {
+            return Err(CodecError::Unsupported(version));
+        }
+        self.peer_version = version;
+        Ok(())
+    }
+
+    pub fn decode(&self, version: u8, blob: &[u8]) -> Result<Vec<u8>, CodecError> {
+        match version {
+            CODEC_V2 => Ok(blob.to_vec()),
+            other => Err(CodecError::Unsupported(other)),
+        }
+    }
+}

@@ -151,6 +151,7 @@ mod tests {
             "no-blocking-in-reactor",
             "region-routing",
             "durability",
+            "wire-compat",
         ] {
             assert!(rules.contains(rule), "fixture must trip {rule}; got {rules:?}");
         }

@@ -1,0 +1,335 @@
+//! `wire-compat`: codec-version gates choose an encoding, never reject.
+//!
+//! The wire codec is negotiated, not mandated: every process speaks the
+//! absolute v1 `Data` encoding forever, and `Data2` only flows after a
+//! `CodecOffer` handshake proves the peer decodes it. That contract is
+//! what lets a rolling upgrade mix old and new binaries in one cluster —
+//! and it dies the moment any decode or negotiation path turns a version
+//! *comparison* into an *error*: `if version < CODEC_V2 { return Err }`
+//! silently drops every not-yet-upgraded peer off the wire, and a
+//! `match version { CODEC_V2 => .., _ => Err(..) }` does the same to any
+//! future v3 sender. The rule therefore denies two shapes anywhere in
+//! the workspace:
+//!
+//! 1. a comparison against a `CODEC_V*` constant whose governed branch
+//!    (the `if` block, its `else`, or the guarded match arm) produces an
+//!    error (`Err(..)`, `panic!`, `unreachable!`, `todo!`);
+//! 2. a `match` on a version value that patterns on a `CODEC_V*`
+//!    constant and errors in any arm.
+//!
+//! Comparisons that merely *select* an encoding — the real runtime's
+//! `peer_version.is_some_and(|v| v >= CODEC_V2)` send-side gate — stay
+//! clean: choosing v1 for an old peer is compatibility, rejecting it is
+//! the bug.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::find_bounded;
+
+/// Rule identifier.
+pub const RULE: &str = "wire-compat";
+
+/// Prefix shared by the codec-version constants (`CODEC_V1`, `CODEC_V2`).
+const VERSION_CONST: &str = "CODEC_V";
+
+/// Constructs that turn a version gate into a peer-dropping rejection.
+const ERROR_PRODUCERS: [&str; 4] = ["Err(", "panic!", "unreachable!", "todo!"];
+
+/// Runs the rule over one prepared file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let clean = ctx.clean;
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+
+    // Shape 1: `.. <op> CODEC_Vx` / `CODEC_Vx <op> ..` gating an error.
+    for at in find_bounded(clean, VERSION_CONST) {
+        let end = ident_end(bytes, at);
+        if !comparison_bound(bytes, at, end) {
+            continue;
+        }
+        for (open, close) in governed_branches(bytes, end) {
+            if let Some(producer) = error_producer(&clean[open..close]) {
+                out.push(ctx.diag(
+                    RULE,
+                    at,
+                    format!(
+                        "codec-version comparison gates `{producer}`: version checks must \
+                         select an encoding, never reject a peer — cap with the negotiated \
+                         minimum instead (old binaries always speak v1)"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+
+    // Shape 2: `match <..version..> { .. CODEC_Vx => .. }` with an
+    // erroring arm (typically the `_ =>` wildcard rejecting v1 or a
+    // future v3).
+    for at in find_bounded(clean, "match ") {
+        let Some(open) = scrutinee_block_open(bytes, at + "match ".len()) else { continue };
+        if !clean[at..open].contains("version") {
+            continue;
+        }
+        let Some(close) = match_brace(bytes, open) else { continue };
+        let body = &clean[open + 1..close];
+        if find_bounded(body, VERSION_CONST).is_empty() {
+            continue;
+        }
+        if let Some(producer) = error_producer(body) {
+            out.push(ctx.diag(
+                RULE,
+                at,
+                format!(
+                    "version dispatch has an arm producing `{producer}`: a decoder must \
+                     accept every negotiated codec version — route unknown versions to the \
+                     v1 path, don't reject them"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Byte offset one past the identifier starting at `at`.
+fn ident_end(b: &[u8], at: usize) -> usize {
+    let mut i = at;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+/// True when the `CODEC_V*` token at `at..end` participates in a
+/// comparison (`==`, `!=`, `<`, `>`, `<=`, `>=`) rather than a plain
+/// mention, a `const` definition, or a match pattern (`CODEC_V2 =>`).
+fn comparison_bound(b: &[u8], at: usize, end: usize) -> bool {
+    // Look behind: `v >= CODEC_V2`, `version != CODEC_V2`, ...
+    let mut i = at;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i >= 1 {
+        let prev = b[i - 1];
+        let prev2 = if i >= 2 { b[i - 2] } else { 0 };
+        // `=>` ends a pattern, `=` alone is an assignment/definition.
+        let eq_cmp =
+            prev == b'=' && (prev2 == b'=' || prev2 == b'!' || prev2 == b'<' || prev2 == b'>');
+        if eq_cmp || prev == b'<' || (prev == b'>' && prev2 != b'=') {
+            return true;
+        }
+    }
+    // Look ahead: `CODEC_V2 <= v`, `CODEC_V2 == v`, ... (but not `=>`).
+    let mut j = end;
+    while j < b.len() && b[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j < b.len() {
+        let next = b[j];
+        let next2 = if j + 1 < b.len() { b[j + 1] } else { 0 };
+        if ((next == b'=' || next == b'!') && next2 == b'=')
+            || next == b'<'
+            || (next == b'>' && next2 != b'=')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The branch bodies governed by the comparison ending at `from`: the
+/// `if` block plus its `else` (either side may hold the rejection), or
+/// the guarded match arm after `=>`. Empty when the comparison feeds a
+/// plain binding (`let ok = v >= CODEC_V2;`) — flagging resumes wherever
+/// that binding is later compared, which this scan cannot follow.
+fn governed_branches(b: &[u8], from: usize) -> Vec<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            // A stray separator before any block: the comparison is an
+            // argument or a binding initialiser, not an `if` condition.
+            b';' => return Vec::new(),
+            b',' if depth <= 0 => return Vec::new(),
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                // Match guard: the governed body is the arm after `=>`.
+                return arm_body(b, i + 2).into_iter().collect();
+            }
+            b'{' => {
+                let Some(close) = match_brace(b, i) else { return Vec::new() };
+                let mut branches = vec![(i + 1, close)];
+                if let Some(else_branch) = else_branch(b, close) {
+                    branches.push(else_branch);
+                }
+                return branches;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// The `else` (or `else if`) block following the `}` at `close`, if any.
+fn else_branch(b: &[u8], close: usize) -> Option<(usize, usize)> {
+    let mut i = close + 1;
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if !b[i..].starts_with(b"else") {
+        return None;
+    }
+    i += "else".len();
+    // Skip an `else if ..` condition up to its block.
+    while i < b.len() && b[i] != b'{' && b[i] != b';' {
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'{' {
+        return None;
+    }
+    match_brace(b, i).map(|c| (i + 1, c))
+}
+
+/// A match-arm body starting at `from` (just past `=>`): up to the
+/// matching end of its block, or the `,` closing a blockless arm.
+fn arm_body(b: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'{' {
+        return match_brace(b, i).map(|c| (i + 1, c));
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < b.len() {
+        match b[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b',' if depth <= 0 => return Some((i, j)),
+            b'}' if depth <= 0 => return Some((i, j)),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((i, b.len()))
+}
+
+/// The `{` opening a match body, scanning a scrutinee from `from`.
+fn scrutinee_block_open(b: &[u8], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, &c) in b.iter().enumerate().skip(from) {
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => return Some(i),
+            b';' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+fn match_brace(b: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The first error-producing construct in `body`, if any.
+fn error_producer(body: &str) -> Option<&'static str> {
+    ERROR_PRODUCERS.iter().copied().find(|p| !find_bounded(body, p).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean_source, strip_test_modules};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let clean = strip_test_modules(&clean_source(src));
+        let lines: Vec<&str> = src.lines().collect();
+        check(&FileCtx { rel_path: "crates/core/src/runtime.rs", clean: &clean, lines: &lines })
+    }
+
+    #[test]
+    fn rejecting_old_versions_is_flagged() {
+        let src = "fn on_offer(&mut self, version: u8) -> Result<(), E> {\n    \
+             if version < CODEC_V2 {\n        \
+             return Err(E::Unsupported(version));\n    }\n    Ok(())\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn rejection_hiding_in_the_else_arm_is_flagged() {
+        let src = "fn on_offer(v: u8) -> Result<(), E> {\n    \
+             if v >= CODEC_V2 { accept(v) } else { Err(E::TooOld) }\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn wildcard_rejecting_version_dispatch_is_flagged() {
+        let src = "fn decode(version: u8, blob: &[u8]) -> Result<Vec<u8>, E> {\n    \
+             match version {\n        \
+             CODEC_V2 => decode_v2(blob),\n        \
+             _ => Err(E::Unsupported),\n    }\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("every negotiated codec version"), "{d:?}");
+    }
+
+    #[test]
+    fn guarded_match_arm_rejection_is_flagged() {
+        let src = "fn deliver(msg: Msg) -> Result<(), E> {\n    \
+             match msg {\n        \
+             Msg::Offer { version: v } if v != CODEC_V2 => Err(E::BadVersion),\n        \
+             other => handle(other),\n    }\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn selecting_an_encoding_stays_clean() {
+        // The real runtime's send gate: an old peer gets v1, never an
+        // error. The `None` branch falling through is compatibility.
+        let src = "fn encode(&mut self, peer: u16) -> Msg {\n    \
+             if self.links[peer as usize].peer_version.is_some_and(|v| v >= CODEC_V2) {\n        \
+             return self.encode_v2(peer);\n    }\n    \
+             self.encode_v1(peer)\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_rejecting_version_dispatch_stays_clean() {
+        let src = "fn pick(version: u8) -> Encoder {\n    \
+             match version {\n        \
+             CODEC_V2 => Encoder::Compressed,\n        \
+             _ => Encoder::Absolute,\n    }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn definitions_and_plain_mentions_stay_clean() {
+        let src = "pub const CODEC_V1: u8 = 1;\npub const CODEC_V2: u8 = 2;\n\
+             fn offer() -> Msg { Msg::Offer { version: CODEC_V2 } }";
+        assert!(run(src).is_empty());
+    }
+}

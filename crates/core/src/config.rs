@@ -18,6 +18,43 @@ impl Default for RetryConfig {
     }
 }
 
+/// Wire-compression tunables (codec v2; see `ARCHITECTURE.md` §14).
+///
+/// Everything here defaults to **off**: the committed perf baselines and
+/// the bit-identical replay suites were recorded against the v1 wire
+/// format, and compression only switches on for peers that negotiated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireConfig {
+    /// Offer codec v2 (varint/run-length diff encoding) to peers and use
+    /// it on links where the peer offered it back. Peers that never offer
+    /// (or older builds) keep receiving the v1 format.
+    pub codec_v2: bool,
+    /// On negotiated v2 links, XOR each diff against the link's shadow of
+    /// the peer's last-delivered state before run-length encoding, so
+    /// unchanged bytes inside rewritten ranges collapse to zero runs.
+    /// Requires in-order exactly-once delivery on the link (the ARQ
+    /// reliability layer, or a lossless FIFO transport); falls back to
+    /// absolute encoding per update whenever no shadow exists. Implies
+    /// nothing unless `codec_v2` is also set.
+    pub xor_delta: bool,
+    /// Coalesce overlapping/duplicate ranges to the same object inside one
+    /// outgoing batch before framing (a buffered slot update and a
+    /// current-interval update to the same object become one update).
+    pub batch_dedup: bool,
+}
+
+impl WireConfig {
+    /// Everything off — the v1 wire format, byte-for-byte.
+    pub fn v1() -> Self {
+        WireConfig::default()
+    }
+
+    /// The full bandwidth diet: v2 codec, XOR-delta, batch dedup.
+    pub fn compressed() -> Self {
+        WireConfig { codec_v2: true, xor_delta: true, batch_dedup: true }
+    }
+}
+
 /// Tunables of the S-DSO runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsoConfig {
@@ -47,6 +84,10 @@ pub struct DsoConfig {
     /// deployment code consult it. Simulated and in-memory transports ignore
     /// this knob entirely, so deterministic replays are unaffected.
     pub transport: TransportKind,
+    /// Wire-compression layer (codec v2 negotiation, XOR-delta, batch
+    /// dedup). Defaults to all-off, which reproduces the v1 wire format
+    /// byte-for-byte.
+    pub wire: WireConfig,
 }
 
 impl DsoConfig {
@@ -58,6 +99,7 @@ impl DsoConfig {
             reliability: None,
             batch_frames: true,
             transport: TransportKind::default(),
+            wire: WireConfig::default(),
         }
     }
 
@@ -69,6 +111,7 @@ impl DsoConfig {
             reliability: None,
             batch_frames: true,
             transport: TransportKind::default(),
+            wire: WireConfig::default(),
         }
     }
 
@@ -99,6 +142,12 @@ impl DsoConfig {
     /// Returns a copy selecting a real-socket transport implementation.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Returns a copy with the wire-compression layer configured.
+    pub fn with_wire(mut self, wire: WireConfig) -> Self {
+        self.wire = wire;
         self
     }
 }
@@ -136,6 +185,15 @@ mod tests {
         assert!(DsoConfig::paper().batch_frames);
         assert!(DsoConfig::compact().batch_frames);
         assert!(!DsoConfig::paper().with_batch_frames(false).batch_frames);
+    }
+
+    #[test]
+    fn wire_compression_defaults_off_and_toggles() {
+        assert_eq!(DsoConfig::paper().wire, WireConfig::v1());
+        assert_eq!(DsoConfig::compact().wire, WireConfig::default());
+        let c = DsoConfig::compact().with_wire(WireConfig::compressed());
+        assert!(c.wire.codec_v2 && c.wire.xor_delta && c.wire.batch_dedup);
+        assert!(!WireConfig::v1().codec_v2);
     }
 
     #[test]

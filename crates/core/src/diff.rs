@@ -347,6 +347,30 @@ impl Diff {
     pub fn encoded_len(&self) -> usize {
         4 + self.runs.iter().map(|r| 8 + r.bytes.len()).sum::<usize>()
     }
+
+    /// Rebuilds a diff from `(offset, bytes)` runs, enforcing the same
+    /// sorted/non-overlapping/no-wraparound invariants as the wire decode.
+    /// Used by the v2 codec, whose delta-offset headers reconstruct the
+    /// sender's run list exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] when a run wraps the u32 address space
+    /// or the list is unsorted/overlapping.
+    pub(crate) fn from_sorted_runs(raw: Vec<(u32, Vec<u8>)>) -> Result<Self, NetError> {
+        let runs: Vec<Run> = raw.into_iter().map(|(offset, bytes)| Run { offset, bytes }).collect();
+        if runs.iter().any(|r| {
+            u32::try_from(r.bytes.len()).ok().and_then(|l| r.offset.checked_add(l)).is_none()
+        }) {
+            return Err(NetError::Codec("diff run exceeds u32 address space".into()));
+        }
+        for pair in runs.windows(2) {
+            if pair[1].offset < pair[0].end() {
+                return Err(NetError::Codec("diff runs overlap or are unsorted".into()));
+            }
+        }
+        Ok(Diff { runs })
+    }
 }
 
 impl Wire for Diff {

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod codec;
 mod config;
 mod diff;
 mod dirty;
@@ -83,7 +84,8 @@ mod store;
 pub mod wire;
 
 pub use clock::{LogicalClock, LogicalTime};
-pub use config::{DsoConfig, RetryConfig};
+pub use codec::{CODEC_V1, CODEC_V2};
+pub use config::{DsoConfig, RetryConfig, WireConfig};
 pub use diff::Diff;
 pub use dirty::DirtyRanges;
 pub use error::DsoError;

@@ -54,6 +54,15 @@ pub struct DsoMetrics {
     /// destination's interest set does not cover the object's region (they
     /// stay buffered and flush at the next broadcast exchange).
     pub shard_suppressed: u64,
+    /// Update batches shipped in the compressed v2 wire encoding
+    /// (varint/run-length, optionally XOR-delta'd against the link shadow).
+    pub codec_v2_sent: u64,
+    /// Update batches that fell back to the absolute v1 encoding after v2
+    /// was negotiated (oversized run, or no seedable XOR shadow).
+    pub codec_v2_fallbacks: u64,
+    /// Updates coalesced away by batch-level dedup before framing
+    /// (overlapping same-object diffs merged into one update).
+    pub batch_deduped: u64,
     /// State snapshots pushed to late joiners.
     pub snapshots_sent: u64,
     /// Encoded bytes of snapshot payloads pushed (O(objects), never
@@ -88,6 +97,9 @@ impl DsoMetrics {
             slots_compacted: self.slots_compacted + other.slots_compacted,
             non_member_dropped: self.non_member_dropped + other.non_member_dropped,
             shard_suppressed: self.shard_suppressed + other.shard_suppressed,
+            codec_v2_sent: self.codec_v2_sent + other.codec_v2_sent,
+            codec_v2_fallbacks: self.codec_v2_fallbacks + other.codec_v2_fallbacks,
+            batch_deduped: self.batch_deduped + other.batch_deduped,
             snapshots_sent: self.snapshots_sent + other.snapshots_sent,
             snapshot_bytes: self.snapshot_bytes + other.snapshot_bytes,
             snapshots_installed: self.snapshots_installed + other.snapshots_installed,
@@ -126,6 +138,9 @@ pub(crate) struct DsoCounters {
     pub(crate) slots_compacted: Counter,
     pub(crate) non_member_dropped: Counter,
     pub(crate) shard_suppressed: Counter,
+    pub(crate) codec_v2_sent: Counter,
+    pub(crate) codec_v2_fallbacks: Counter,
+    pub(crate) batch_deduped: Counter,
     pub(crate) snapshots_sent: Counter,
     pub(crate) snapshot_bytes: Counter,
     pub(crate) snapshots_installed: Counter,
@@ -155,6 +170,9 @@ impl DsoCounters {
             slots_compacted: registry.counter("dso.member.slots_compacted"),
             non_member_dropped: registry.counter("dso.member.non_member_dropped"),
             shard_suppressed: registry.counter("dso.shard.suppressed"),
+            codec_v2_sent: registry.counter("dso.codec.v2_sent"),
+            codec_v2_fallbacks: registry.counter("dso.codec.v2_fallbacks"),
+            batch_deduped: registry.counter("dso.codec.batch_deduped"),
             snapshots_sent: registry.counter("dso.member.snapshots_sent"),
             snapshot_bytes: registry.counter("dso.member.snapshot_bytes"),
             snapshots_installed: registry.counter("dso.member.snapshots_installed"),
@@ -183,6 +201,9 @@ impl DsoCounters {
             slots_compacted: self.slots_compacted.get(),
             non_member_dropped: self.non_member_dropped.get(),
             shard_suppressed: self.shard_suppressed.get(),
+            codec_v2_sent: self.codec_v2_sent.get(),
+            codec_v2_fallbacks: self.codec_v2_fallbacks.get(),
+            batch_deduped: self.batch_deduped.get(),
             snapshots_sent: self.snapshots_sent.get(),
             snapshot_bytes: self.snapshot_bytes.get(),
             snapshots_installed: self.snapshots_installed.get(),

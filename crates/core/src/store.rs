@@ -9,6 +9,11 @@ use crate::object::{ObjectId, Version};
 #[derive(Debug, Clone)]
 pub struct Replica {
     data: Vec<u8>,
+    /// The bytes the object was registered with. Every process registers
+    /// the same initial contents (the `share` contract), which makes this a
+    /// deterministic seed both ends of a link can derive independently —
+    /// the wire codec's XOR shadows start from it.
+    initial: Vec<u8>,
     version: Version,
     /// Spans touched since the last [`ObjectStore::clear_dirty`]; lets diff
     /// builders scan only changed regions ([`Diff::between_ranges`]).
@@ -19,6 +24,12 @@ impl Replica {
     /// The replica's current bytes.
     pub fn data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// The bytes the object was registered with (identical on every
+    /// process by the `share` contract).
+    pub fn initial_body(&self) -> &[u8] {
+        &self.initial
     }
 
     /// The replica's version stamp.
@@ -80,7 +91,12 @@ impl ObjectStore {
         }
         self.objects.insert(
             id,
-            Replica { data: initial, version: Version::INITIAL, dirty: DirtyRanges::new() },
+            Replica {
+                data: initial.clone(),
+                initial,
+                version: Version::INITIAL,
+                dirty: DirtyRanges::new(),
+            },
         );
         Ok(())
     }
@@ -231,6 +247,12 @@ impl ObjectStore {
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Replica)> {
         self.objects.iter().map(|(&id, r)| (id, r))
     }
+
+    /// The bytes `id` was registered with, or `None` if it was never
+    /// shared. See [`Replica::initial_body`].
+    pub fn initial_body(&self, id: ObjectId) -> Option<&[u8]> {
+        self.objects.get(&id).map(|r| r.initial_body())
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +378,16 @@ mod tests {
         s.clear_dirty(ObjectId(1)).unwrap();
         assert!(!s.apply_remote(ObjectId(1), &remote, v(1, 0)).unwrap());
         assert!(s.replica(ObjectId(1)).unwrap().dirty_ranges().is_clean());
+    }
+
+    #[test]
+    fn initial_body_survives_writes() {
+        let mut s = ObjectStore::new();
+        s.share(ObjectId(1), vec![7; 4]).unwrap();
+        s.write(ObjectId(1), 0, &[1, 2], v(1, 0)).unwrap();
+        assert_eq!(s.initial_body(ObjectId(1)).unwrap(), &[7; 4]);
+        assert_eq!(s.read(ObjectId(1)).unwrap(), &[1, 2, 7, 7]);
+        assert!(s.initial_body(ObjectId(9)).is_none());
     }
 
     #[test]

@@ -134,6 +134,37 @@ pub enum DsoMessage {
         /// Current state of every modified object.
         updates: Vec<WireUpdate>,
     },
+    /// A codec capability offer (wire format v2 negotiation, §14). Sent at
+    /// most once per link per codec generation; the receiver records the
+    /// offered version, replies with its own offer if it has not already,
+    /// and consumes the message in the admission layer — protocol dispatch
+    /// never sees it. Until a peer's offer arrives, everything sent to it
+    /// uses the v1 format.
+    CodecOffer {
+        /// Highest codec version the sender can decode.
+        version: u8,
+    },
+    /// The v2 data half of a rendezvous pair: semantically identical to
+    /// [`DsoMessage::Data`], but with the update list encoded by the
+    /// varint/run-length (and optionally XOR-delta) codec into an opaque
+    /// blob. The blob is resolved back into a plain `Data` at the
+    /// exactly-once delivery point in the runtime (where the per-link XOR
+    /// shadows live), keeping this decode pure so stored ARQ retransmit
+    /// clones re-encode safely.
+    Data2 {
+        /// Membership epoch the sender computed this exchange under.
+        epoch: Epoch,
+        /// Sender's logical time.
+        time: LogicalTime,
+        /// Count of prior `Data2` messages the sender has put on this link
+        /// since the last codec reset. The receiver cross-checks it against
+        /// its own delivery count: a mismatch means the XOR shadows are out
+        /// of lockstep and decoding must fail loudly instead of silently
+        /// applying garbage.
+        basis: u64,
+        /// The codec-v2 encoded update list (see `crate::codec`).
+        blob: Vec<u8>,
+    },
 }
 
 const TAG_DATA: u8 = 1;
@@ -147,6 +178,8 @@ const TAG_ENV: u8 = 8;
 const TAG_SEQ_ACK: u8 = 9;
 const TAG_SNAPSHOT_REQ: u8 = 10;
 const TAG_SNAPSHOT: u8 = 11;
+const TAG_CODEC_OFFER: u8 = 12;
+const TAG_DATA2: u8 = 13;
 
 impl DsoMessage {
     /// The membership epoch stamped on this message, for the kinds that
@@ -154,6 +187,7 @@ impl DsoMessage {
     pub fn epoch(&self) -> Option<Epoch> {
         match self {
             DsoMessage::Data { epoch, .. }
+            | DsoMessage::Data2 { epoch, .. }
             | DsoMessage::Sync { epoch, .. }
             | DsoMessage::SnapshotReq { epoch }
             | DsoMessage::Snapshot { epoch, .. } => Some(*epoch),
@@ -163,7 +197,8 @@ impl DsoMessage {
             | DsoMessage::GetRep { .. }
             | DsoMessage::Ack
             | DsoMessage::App { .. }
-            | DsoMessage::SeqAck { .. } => None,
+            | DsoMessage::SeqAck { .. }
+            | DsoMessage::CodecOffer { .. } => None,
         }
     }
 
@@ -172,13 +207,15 @@ impl DsoMessage {
     pub fn class(&self) -> MsgClass {
         match self {
             DsoMessage::Data { .. }
+            | DsoMessage::Data2 { .. }
             | DsoMessage::Put { .. }
             | DsoMessage::GetRep { .. }
             | DsoMessage::Snapshot { .. } => MsgClass::Data,
             DsoMessage::Sync { .. }
             | DsoMessage::GetReq { .. }
             | DsoMessage::Ack
-            | DsoMessage::SnapshotReq { .. } => MsgClass::Control,
+            | DsoMessage::SnapshotReq { .. }
+            | DsoMessage::CodecOffer { .. } => MsgClass::Control,
             DsoMessage::App { class, .. } => *class,
             DsoMessage::Env { inner, .. } => inner.class(),
             DsoMessage::SeqAck { .. } => MsgClass::Control,
@@ -262,6 +299,17 @@ impl Wire for DsoMessage {
                 w.put_u64(*lamport);
                 w.put_seq(updates, |w, u| u.encode(w));
             }
+            DsoMessage::CodecOffer { version } => {
+                w.put_u8(TAG_CODEC_OFFER);
+                w.put_u8(*version);
+            }
+            DsoMessage::Data2 { epoch, time, basis, blob } => {
+                w.put_u8(TAG_DATA2);
+                w.put_u32(epoch.0);
+                w.put_u64(time.as_ticks());
+                w.put_u64(*basis);
+                w.put_bytes(blob);
+            }
         }
     }
 
@@ -317,6 +365,14 @@ impl Wire for DsoMessage {
                 let lamport = r.get_u64()?;
                 let updates = r.get_seq(WireUpdate::decode)?;
                 Ok(DsoMessage::Snapshot { epoch, time, lamport, updates })
+            }
+            TAG_CODEC_OFFER => Ok(DsoMessage::CodecOffer { version: r.get_u8()? }),
+            TAG_DATA2 => {
+                let epoch = Epoch(r.get_u32()?);
+                let time = LogicalTime::from_ticks(r.get_u64()?);
+                let basis = r.get_u64()?;
+                let blob = r.get_bytes()?.to_vec();
+                Ok(DsoMessage::Data2 { epoch, time, basis, blob })
             }
             tag => Err(NetError::Codec(format!("unknown DsoMessage tag {tag:#x}"))),
         }
@@ -393,6 +449,13 @@ mod tests {
                 version: v,
             }],
         });
+        roundtrip(DsoMessage::CodecOffer { version: 2 });
+        roundtrip(DsoMessage::Data2 {
+            epoch: Epoch(4),
+            time: LogicalTime::from_ticks(11),
+            basis: 3,
+            blob: vec![0x81, 0x02, 0x00],
+        });
     }
 
     #[test]
@@ -461,6 +524,12 @@ mod tests {
             MsgClass::Data
         );
         assert_eq!(DsoMessage::Ack.class(), MsgClass::Control);
+        assert_eq!(DsoMessage::CodecOffer { version: 2 }.class(), MsgClass::Control);
+        let d2 =
+            DsoMessage::Data2 { epoch: Epoch(1), time: LogicalTime::ZERO, basis: 0, blob: vec![] };
+        assert_eq!(d2.class(), MsgClass::Data, "compressed data is still data");
+        assert_eq!(d2.epoch(), Some(Epoch(1)));
+        assert_eq!(DsoMessage::CodecOffer { version: 2 }.epoch(), None);
     }
 
     #[test]
@@ -498,6 +567,13 @@ mod tests {
             DsoMessage::Env { seq: 17, inner: Box::new(DsoMessage::Ack) },
             DsoMessage::SeqAck { next: 42 },
             DsoMessage::SnapshotReq { epoch: Epoch(2) },
+            DsoMessage::CodecOffer { version: 2 },
+            DsoMessage::Data2 {
+                epoch: Epoch(2),
+                time: LogicalTime::from_ticks(6),
+                basis: 1,
+                blob: vec![3, 1, 4, 1, 5],
+            },
             DsoMessage::Snapshot {
                 epoch: Epoch(2),
                 time: LogicalTime::from_ticks(12),

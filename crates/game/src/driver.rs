@@ -664,6 +664,7 @@ fn build_runtime<E: Endpoint>(
         frame_wire_len: scenario.frame_wire_len,
         merge_diffs: scenario.merge_diffs,
         reliability: scenario.reliability,
+        wire: scenario.wire,
         batch_frames: true,
         ..DsoConfig::paper()
     };

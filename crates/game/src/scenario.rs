@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sdso_core::RetryConfig;
+use sdso_core::{RetryConfig, WireConfig};
 use sdso_net::{NodeId, SimSpan};
 
 use crate::block::{Block, MIN_BLOCK_BYTES};
@@ -44,6 +44,10 @@ pub struct Scenario {
     /// testbed) adds zero overhead; chaos runs set it so drops and
     /// reordering are recovered via the resync path.
     pub reliability: Option<RetryConfig>,
+    /// Wire-compression tunables. The default ([`WireConfig::v1`])
+    /// reproduces the paper's absolute diff encoding byte-for-byte; the
+    /// wire-diet bench sweeps [`WireConfig::compressed`] against it.
+    pub wire: WireConfig,
     /// Number of bonus pick-ups scattered on the map.
     pub bonuses: usize,
     /// Number of bombs.
@@ -82,6 +86,7 @@ impl Scenario {
             frame_wire_len: Some(2048),
             merge_diffs: true,
             reliability: None,
+            wire: WireConfig::v1(),
             bonuses: 20,
             bombs: 10,
             obstacles: 24,
@@ -141,6 +146,12 @@ impl Scenario {
     /// Returns a copy with the reliability layer switched on.
     pub fn with_reliability(mut self, cfg: RetryConfig) -> Self {
         self.reliability = Some(cfg);
+        self
+    }
+
+    /// Returns a copy with different wire-compression settings.
+    pub fn with_wire(mut self, wire: WireConfig) -> Self {
+        self.wire = wire;
         self
     }
 

@@ -144,6 +144,27 @@ impl WireWriter {
         self.put_u8(v as u8);
     }
 
+    /// Appends an LEB128 varint: seven value bits per byte, low group
+    /// first, high bit set on every byte but the last. Values below 128
+    /// cost one byte; `u64::MAX` costs ten.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.put_u8(byte);
+                return;
+            }
+            self.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Appends raw bytes with no length prefix. The caller's framing must
+    /// make the length recoverable (see [`WireReader::get_raw`]).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Appends a `u32`-length-prefixed byte string.
     ///
     /// # Panics
@@ -262,6 +283,39 @@ impl<'a> WireReader<'a> {
             1 => Ok(true),
             b => Err(NetError::Codec(format!("invalid bool byte {b:#x}"))),
         }
+    }
+
+    /// Reads an LEB128 varint written by [`WireWriter::put_varint`].
+    ///
+    /// # Errors
+    /// Returns [`NetError::Codec`] if the input is exhausted, the
+    /// continuation chain runs past ten bytes, or the tenth byte carries
+    /// bits beyond `u64`'s width (a non-canonical overlong encoding).
+    pub fn get_varint(&mut self) -> Result<u64, NetError> {
+        let mut value = 0u64;
+        for group in 0..10u32 {
+            let byte = self.get_u8()?;
+            let bits = u64::from(byte & 0x7F);
+            // Group 9 holds the top single bit of a u64; anything more
+            // overflows.
+            if group == 9 && bits > 1 {
+                return Err(NetError::Codec("varint overflows u64".into()));
+            }
+            value |= bits << (7 * group);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(NetError::Codec("varint longer than 10 bytes".into()))
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix — the caller's framing
+    /// supplies `n`, see [`WireWriter::put_raw`]).
+    ///
+    /// # Errors
+    /// Returns [`NetError::Codec`] if the input is exhausted.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        self.take(n)
     }
 
     /// Reads a `u32`-length-prefixed byte string.
@@ -414,6 +468,47 @@ mod tests {
         w.put_u16(7);
         assert_eq!(w.len(), 2);
         assert_eq!(&w.into_bytes()[..], &7u16.to_le_bytes());
+    }
+
+    #[test]
+    fn varint_roundtrips_at_every_group_boundary() {
+        let mut cases = vec![0u64, 1, 127, 128, 129, 255, 16_383, 16_384, u64::MAX - 1, u64::MAX];
+        for shift in 0..9 {
+            cases.push((1u64 << (7 * shift)) - 1);
+            cases.push(1u64 << (7 * shift));
+        }
+        for &v in &cases {
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            assert!(bytes.len() <= 10);
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), v, "value {v}");
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_small_values_cost_one_byte() {
+        for v in 0u64..128 {
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), 1);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflowing_encodings() {
+        // Eleven continuation bytes: the chain never terminates in bounds.
+        let overlong = [0x80u8; 11];
+        assert!(WireReader::new(&overlong).get_varint().is_err());
+        // Ten bytes whose last group carries more than u64's top bit.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x02;
+        assert!(WireReader::new(&overflow).get_varint().is_err());
+        // Truncated mid-chain.
+        let truncated = [0xFFu8, 0xFF];
+        assert!(WireReader::new(&truncated).get_varint().is_err());
     }
 
     #[test]

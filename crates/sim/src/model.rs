@@ -47,6 +47,18 @@ impl NetworkModel {
         }
     }
 
+    /// A late-90s upgrade of the testbed: switched 100 Mbps Ethernet with
+    /// the same R4400-class hosts (stack cost dominated by the CPU, not
+    /// the link, so it stays at 700 µs; switch latency drops to ≈ 200 µs).
+    pub fn fast_ethernet() -> Self {
+        NetworkModel {
+            send_cpu: SimSpan::from_micros(700),
+            recv_cpu: SimSpan::from_micros(700),
+            bandwidth_bps: 100_000_000,
+            latency: SimSpan::from_micros(200),
+        }
+    }
+
     /// A modern-LAN model (1 Gbps, 50 µs latency, 5 µs stacks) for
     /// sensitivity studies.
     pub fn modern_lan() -> Self {
@@ -55,6 +67,19 @@ impl NetworkModel {
             recv_cpu: SimSpan::from_micros(5),
             bandwidth_bps: 1_000_000_000,
             latency: SimSpan::from_micros(50),
+        }
+    }
+
+    /// A datacenter fabric (10 Gbps, 10 µs latency, 2 µs kernel-bypass
+    /// stacks): the fast end of the wire sweep, where per-message CPU and
+    /// propagation dwarf serialisation and bandwidth savings stop mattering
+    /// for latency.
+    pub fn datacenter() -> Self {
+        NetworkModel {
+            send_cpu: SimSpan::from_micros(2),
+            recv_cpu: SimSpan::from_micros(2),
+            bandwidth_bps: 10_000_000_000,
+            latency: SimSpan::from_micros(10),
         }
     }
 
@@ -115,5 +140,18 @@ mod tests {
     #[test]
     fn default_is_paper_testbed() {
         assert_eq!(NetworkModel::default(), NetworkModel::paper_testbed());
+    }
+
+    #[test]
+    fn sweep_presets_order_by_serialisation_time() {
+        let frame = 2048;
+        let t10m = NetworkModel::paper_testbed().transmission(frame);
+        let t100m = NetworkModel::fast_ethernet().transmission(frame);
+        let t1g = NetworkModel::modern_lan().transmission(frame);
+        let t10g = NetworkModel::datacenter().transmission(frame);
+        assert!(t10m > t100m && t100m > t1g && t1g > t10g, "{t10m} {t100m} {t1g} {t10g}");
+        // 100 Mbps moves a 2048-byte frame in ≈ 164 µs, 10 Gbps in ≈ 2 µs.
+        assert!((160..170).contains(&t100m.as_micros()), "got {t100m}");
+        assert!(t10g.as_micros() <= 2, "got {t10g}");
     }
 }
